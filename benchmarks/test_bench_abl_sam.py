@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Ablation R-tree breakdown (experiment id abl-sam)."""
+
+from repro.experiments import abl_sam_dimensionality as experiment
+
+
+def test_bench_abl_sam(benchmark, experiment_scale, record_report):
+    """Regenerates the paper artefact and records the resulting table."""
+    report = benchmark.pedantic(
+        experiment.run, args=(experiment_scale,), iterations=1, rounds=1
+    )
+    record_report(report)
+    assert report.rows, "the experiment produced no rows"

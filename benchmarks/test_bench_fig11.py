@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 11 weight skew (experiment id fig11)."""
+
+from repro.experiments import fig11_weight_skew as experiment
+
+
+def test_bench_fig11(benchmark, experiment_scale, record_report):
+    """Regenerates the paper artefact and records the resulting table."""
+    report = benchmark.pedantic(
+        experiment.run, args=(experiment_scale,), iterations=1, rounds=1
+    )
+    record_report(report)
+    assert report.rows, "the experiment produced no rows"

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 6 effect of k (experiment id fig6)."""
+
+from repro.experiments import fig6_effect_of_k as experiment
+
+
+def test_bench_fig6(benchmark, experiment_scale, record_report):
+    """Regenerates the paper artefact and records the resulting table."""
+    report = benchmark.pedantic(
+        experiment.run, args=(experiment_scale,), iterations=1, rounds=1
+    )
+    record_report(report)
+    assert report.rows, "the experiment produced no rows"

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 9 compressed fragments (experiment id fig9)."""
+
+from repro.experiments import fig9_compression as experiment
+
+
+def test_bench_fig9(benchmark, experiment_scale, record_report):
+    """Regenerates the paper artefact and records the resulting table."""
+    report = benchmark.pedantic(
+        experiment.run, args=(experiment_scale,), iterations=1, rounds=1
+    )
+    record_report(report)
+    assert report.rows, "the experiment produced no rows"

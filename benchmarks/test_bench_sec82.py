@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Section 8.2 multi-feature (experiment id sec82)."""
+
+from repro.experiments import sec82_multifeature as experiment
+
+
+def test_bench_sec82(benchmark, experiment_scale, record_report):
+    """Regenerates the paper artefact and records the resulting table."""
+    report = benchmark.pedantic(
+        experiment.run, args=(experiment_scale,), iterations=1, rounds=1
+    )
+    record_report(report)
+    assert report.rows, "the experiment produced no rows"

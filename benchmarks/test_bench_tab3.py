@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 3 response times (experiment id tab3)."""
+
+from repro.experiments import tab3_response_time as experiment
+
+
+def test_bench_tab3(benchmark, experiment_scale, record_report):
+    """Regenerates the paper artefact and records the resulting table."""
+    report = benchmark.pedantic(
+        experiment.run, args=(experiment_scale,), iterations=1, rounds=1
+    )
+    record_report(report)
+    assert report.rows, "the experiment produced no rows"

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 4 BOND vs VA-file (experiment id tab4)."""
+
+from repro.experiments import tab4_vafile as experiment
+
+
+def test_bench_tab4(benchmark, experiment_scale, record_report):
+    """Regenerates the paper artefact and records the resulting table."""
+    report = benchmark.pedantic(
+        experiment.run, args=(experiment_scale,), iterations=1, rounds=1
+    )
+    record_report(report)
+    assert report.rows, "the experiment produced no rows"

@@ -1,0 +1,83 @@
+"""Combining BOND with compression: 8-bit fragments, VA-file comparison.
+
+Section 7.4 of the paper shows that the approximation idea of the VA-file is
+orthogonal to BOND: quantise every coefficient to 8 bits, run the
+branch-and-bound filter on the small approximate fragments, and refine the few
+survivors on the exact vectors.  This example measures, on one collection and
+one query workload, the bytes read by
+
+* exact BOND,
+* BOND over 8-bit fragments (filter + exact refinement),
+* a VA-file scan (filter + exact refinement), and
+* a full sequential scan,
+
+and verifies that all four return identical answers.
+
+Run with::
+
+    python examples/compressed_search.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    BondSearcher,
+    CompressedBondSearcher,
+    CompressedStore,
+    DecomposedStore,
+    HistogramIntersection,
+    RowStore,
+    SequentialScan,
+    VAFile,
+    make_corel_like,
+    sample_queries,
+)
+
+
+def main() -> None:
+    histograms = make_corel_like(cardinality=15_000, dimensionality=166, seed=13)
+    workload = sample_queries(histograms, 10, seed=21)
+    k = 10
+
+    exact_store = DecomposedStore(histograms, name="exact")
+    compressed_store = CompressedStore(DecomposedStore(histograms, name="for-compressed"), bits=8)
+    vafile_store = CompressedStore(DecomposedStore(histograms, name="for-vafile"), bits=8)
+    row_store = RowStore(histograms)
+    metric = HistogramIntersection()
+
+    methods = {
+        "BOND (exact fragments)": BondSearcher(exact_store, metric),
+        "BOND (8-bit fragments + refine)": CompressedBondSearcher(compressed_store, metric),
+        "VA-file (filter + refine)": VAFile(vafile_store, metric),
+        "sequential scan": SequentialScan(row_store, metric),
+    }
+
+    print(f"collection: {histograms.shape[0]} x {histograms.shape[1]}, "
+          f"compression ratio {compressed_store.compression_ratio():.1f}x, "
+          f"{len(workload)} queries, k={k}\n")
+
+    total_bytes = {name: 0 for name in methods}
+    reference_scores = None
+    for query in workload:
+        per_query_scores = {}
+        for name, searcher in methods.items():
+            result = searcher.search(query, k)
+            total_bytes[name] += result.cost.bytes_read
+            per_query_scores[name] = np.sort(result.scores)
+        reference_scores = per_query_scores["sequential scan"]
+        for name, scores in per_query_scores.items():
+            assert np.allclose(scores, reference_scores), f"{name} disagreed with the scan"
+
+    scan_bytes = total_bytes["sequential scan"]
+    print(f"{'method':35s} {'MB read':>10s} {'vs scan':>9s}")
+    for name, bytes_read in total_bytes.items():
+        print(f"{name:35s} {bytes_read / 1e6:10.2f} {bytes_read / scan_bytes:9.1%}")
+
+    print("\nall four methods returned identical top-k answers;")
+    print("compression and dimension-wise pruning compose: the 8-bit BOND filter reads the least data.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Multi-feature queries: "similar to image A in colour AND to image B in texture".
+
+Section 8.2 of the paper: when every feature collection is vertically
+decomposed, the per-feature searches do not have to run as separate streams
+that are merged afterwards — one synchronized branch-and-bound can work on
+the union of all dimensions and prune candidates using *global* score bounds.
+This example compares that synchronized search against the classic
+stream-merging (threshold-algorithm) approach on two synthetic feature
+collections, for both an arithmetic (weighted average) and a fuzzy (min)
+aggregate.
+
+Run with::
+
+    python examples/multifeature_query.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DecomposedStore,
+    FeatureComponent,
+    FuzzyMinAggregate,
+    MultiFeatureBondSearcher,
+    SquaredEuclidean,
+    StreamMergingSearcher,
+    WeightedAverageAggregate,
+)
+from repro.datasets.clustered import make_multifeature_collections
+
+
+def build_components(color, texture):
+    return [
+        FeatureComponent("color", DecomposedStore(color, name="color"), SquaredEuclidean()),
+        FeatureComponent("texture", DecomposedStore(texture, name="texture"), SquaredEuclidean()),
+    ]
+
+
+def run_comparison(color, texture, aggregate, label: str, k: int = 10) -> None:
+    query_color = color[77]     # "similar to image 77 in colour"
+    query_texture = texture[512]  # "... and to image 512 in texture"
+
+    synchronized = MultiFeatureBondSearcher(build_components(color, texture), aggregate)
+    merging = StreamMergingSearcher(build_components(color, texture), aggregate)
+
+    sync_result = synchronized.search([query_color, query_texture], k)
+    merge_result = merging.search([query_color, query_texture], k)
+
+    print(f"aggregate: {label}")
+    print("  top-5 (synchronized):", ", ".join(
+        f"#{oid} ({score:.3f})" for oid, score in zip(sync_result.oids[:5], sync_result.scores[:5])
+    ))
+    assert abs(sync_result.scores[0] - merge_result.scores[0]) < 1e-9, "both methods are exact"
+    ratio = merge_result.cost.total_work / max(sync_result.cost.total_work, 1)
+    print(f"  work: synchronized {sync_result.cost.total_work:,}  "
+          f"stream-merging {merge_result.cost.total_work:,}  "
+          f"-> synchronized is {100 * (1 - 1 / ratio):.0f}% cheaper\n")
+
+
+def main() -> None:
+    color, texture = make_multifeature_collections(20_000, dimensionalities=(64, 128), skew=1.0)
+    print(f"two feature collections over the same {color.shape[0]} objects: "
+          f"colour ({color.shape[1]}-d) and texture ({texture.shape[1]}-d)\n")
+
+    run_comparison(color, texture, WeightedAverageAggregate([2.0, 1.0]), "weighted average (colour counts double)")
+    run_comparison(color, texture, FuzzyMinAggregate(), "fuzzy min (must match on BOTH features)")
+
+    print("the paper reports ~20% (average) and ~70% (min) advantages for synchronized search;")
+    print("the gap is largest for min because stream merging must dig deep into both streams.")
+
+
+if __name__ == "__main__":
+    main()

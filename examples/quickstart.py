@@ -1,0 +1,64 @@
+"""Quickstart: k-NN search on vertically decomposed data with BOND.
+
+Builds a Corel-like collection of colour histograms, decomposes it into one
+table per dimension, and answers a 10-NN query with BOND — then runs the same
+query with a plain sequential scan to show that the answers are identical
+while BOND touched a fraction of the data.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    BondSearcher,
+    DecomposedStore,
+    HistogramIntersection,
+    RowStore,
+    SequentialScan,
+    make_corel_like,
+)
+
+
+def main() -> None:
+    # 1. A collection of 10,000 image colour histograms (166 HSV bins each).
+    histograms = make_corel_like(cardinality=10_000, dimensionality=166, seed=7)
+    print(f"collection: {histograms.shape[0]} histograms x {histograms.shape[1]} bins")
+
+    # 2. The physical design of the paper: one table per dimension.
+    store = DecomposedStore(histograms, name="corel")
+    print(f"decomposed into {store.dimensionality} fragments, "
+          f"storage overhead {100 * (store.storage_overhead_ratio() - 1):.1f}%")
+
+    # 3. A k-NN query with BOND (histogram intersection, criterion Hq).
+    query = histograms[4242]
+    searcher = BondSearcher(store, HistogramIntersection())
+    result = searcher.search(query, k=10)
+
+    print("\ntop-10 neighbours (BOND):")
+    for rank, (oid, score) in enumerate(zip(result.oids, result.scores), start=1):
+        print(f"  {rank:2d}. image {oid:6d}  similarity {score:.4f}")
+
+    # 4. The same query with a full sequential scan (the SSH baseline).
+    scan = SequentialScan(RowStore(histograms), HistogramIntersection())
+    scan_result = scan.search(query, k=10)
+    assert np.allclose(np.sort(result.scores), np.sort(scan_result.scores)), "results must agree"
+
+    # 5. How much work did BOND avoid?
+    dimensions, remaining = result.candidate_trace.as_arrays()
+    print("\npruning curve (dimensions processed -> candidates remaining):")
+    for step_dimensions, step_remaining in zip(dimensions, remaining):
+        print(f"  {step_dimensions:4d} dims -> {step_remaining:6d} candidates")
+    print(f"\nBOND read  {result.cost.bytes_read / 1e6:8.2f} MB "
+          f"({result.dimensions_processed} of {store.dimensionality} fragments contributed)")
+    print(f"scan read  {scan_result.cost.bytes_read / 1e6:8.2f} MB (every coefficient of every vector)")
+    print(f"=> BOND touched {result.cost.bytes_read / scan_result.cost.bytes_read:.1%} "
+          f"of the bytes the scan needed, with identical answers")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in pyproject.toml; this file only exists so that
+``pip install -e .`` works on environments whose setuptools/pip lack PEP 660
+editable-install support (no ``wheel`` package available offline).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,130 @@
+"""BOND: efficient k-NN search on vertically decomposed data.
+
+A from-scratch reproduction of de Vries, Mamoulis, Nes & Kersten,
+"Efficient k-NN Search on Vertically Decomposed Data", ACM SIGMOD 2002.
+
+The package re-exports the user-facing entry points; see README.md for a
+quickstart and DESIGN.md for the full system inventory.
+
+Typical usage::
+
+    import numpy as np
+    from repro import DecomposedStore, BondSearcher, HistogramIntersection, make_corel_like
+
+    histograms = make_corel_like(cardinality=10_000, dimensionality=166)
+    store = DecomposedStore(histograms)
+    searcher = BondSearcher(store, HistogramIntersection())
+    result = searcher.search(histograms[42], k=10)
+    print(result.oids, result.scores)
+"""
+
+from repro.baselines import RTreeIndex, SimilarityNetwork, VAFile
+from repro.bounds import (
+    EqBound,
+    EvBound,
+    HhBound,
+    HqBound,
+    PartialState,
+    PruningBound,
+    WeightedEuclideanBound,
+)
+from repro.core import (
+    BondSearcher,
+    CompressedBondSearcher,
+    DataSkewOrdering,
+    DecreasingQueryOrdering,
+    FeatureComponent,
+    FixedPeriodSchedule,
+    GeometricSchedule,
+    IncreasingQueryOrdering,
+    MultiFeatureBondSearcher,
+    PartialAbandonScan,
+    RandomOrdering,
+    SearchResult,
+    SequentialScan,
+    StreamMergingSearcher,
+    subspace_search,
+    weighted_search,
+)
+from repro.datasets import (
+    describe_dataset,
+    make_clustered,
+    make_corel_like,
+    make_skewed_weights,
+    make_subspace_weights,
+)
+from repro.engine import CostModel
+from repro.errors import ReproError
+from repro.metrics import (
+    AverageAggregate,
+    EuclideanSimilarity,
+    FuzzyMaxAggregate,
+    FuzzyMinAggregate,
+    HistogramIntersection,
+    SquaredEuclidean,
+    WeightedAverageAggregate,
+    WeightedSquaredEuclidean,
+)
+from repro.storage import (
+    CompressedStore,
+    DecomposedStore,
+    RowStore,
+    load_decomposed,
+    save_decomposed,
+)
+from repro.workload import QueryWorkload, exact_top_k, sample_queries
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AverageAggregate",
+    "BondSearcher",
+    "CompressedBondSearcher",
+    "CompressedStore",
+    "CostModel",
+    "DataSkewOrdering",
+    "DecomposedStore",
+    "DecreasingQueryOrdering",
+    "EqBound",
+    "EuclideanSimilarity",
+    "EvBound",
+    "FeatureComponent",
+    "FixedPeriodSchedule",
+    "FuzzyMaxAggregate",
+    "FuzzyMinAggregate",
+    "GeometricSchedule",
+    "HhBound",
+    "HistogramIntersection",
+    "HqBound",
+    "IncreasingQueryOrdering",
+    "MultiFeatureBondSearcher",
+    "PartialAbandonScan",
+    "PartialState",
+    "PruningBound",
+    "QueryWorkload",
+    "RTreeIndex",
+    "RandomOrdering",
+    "ReproError",
+    "RowStore",
+    "SearchResult",
+    "SequentialScan",
+    "SimilarityNetwork",
+    "SquaredEuclidean",
+    "StreamMergingSearcher",
+    "VAFile",
+    "WeightedAverageAggregate",
+    "WeightedEuclideanBound",
+    "WeightedSquaredEuclidean",
+    "describe_dataset",
+    "exact_top_k",
+    "load_decomposed",
+    "make_clustered",
+    "make_corel_like",
+    "make_skewed_weights",
+    "make_subspace_weights",
+    "sample_queries",
+    "save_decomposed",
+    "subspace_search",
+    "weighted_search",
+    "__version__",
+]

@@ -1,0 +1,83 @@
+"""Precomputed similarity network (the Section 2 straw-man).
+
+The brute-force alternative sketched in Related Work precomputes, for every
+object in the collection, its k nearest neighbours — a "similarity network".
+Queries against indexed objects then cost a single lookup, but the structure
+has the drawbacks the paper lists: it cannot be updated incrementally, it
+fixes k and the metric at build time, it supports neither weighted nor
+subspace queries, and it cannot answer queries for objects outside the
+collection.  It is included so examples and ablations can quantify those
+trade-offs against BOND.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.metrics.base import Metric
+from repro.metrics.histogram import HistogramIntersection
+
+
+class SimilarityNetwork:
+    """A precomputed k-NN graph over a fixed collection."""
+
+    def __init__(
+        self,
+        vectors: np.ndarray,
+        *,
+        neighbours: int = 10,
+        metric: Metric | None = None,
+        batch_size: int = 512,
+    ) -> None:
+        matrix = np.asarray(vectors, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] == 0:
+            raise QueryError("the similarity network needs a non-empty 2-D matrix")
+        if neighbours < 1:
+            raise QueryError("the neighbourhood size must be at least 1")
+        self._metric = metric if metric is not None else HistogramIntersection()
+        self._neighbours = min(neighbours, matrix.shape[0] - 1) if matrix.shape[0] > 1 else 0
+        self._matrix = matrix
+        self._neighbour_oids, self._neighbour_scores = self._build(batch_size)
+
+    def _build(self, batch_size: int) -> tuple[np.ndarray, np.ndarray]:
+        """All-pairs scoring in batches; O(n^2) time and O(n*k) space."""
+        count = self._matrix.shape[0]
+        width = self._neighbours
+        neighbour_oids = np.zeros((count, width), dtype=np.int64)
+        neighbour_scores = np.zeros((count, width), dtype=np.float64)
+        for start in range(0, count, batch_size):
+            stop = min(start + batch_size, count)
+            for row in range(start, stop):
+                scores = self._metric.score(self._matrix, self._matrix[row])
+                order = self._metric.best_first(scores)
+                # Skip the object itself (always its own best match).
+                order = order[order != row][:width]
+                neighbour_oids[row] = order
+                neighbour_scores[row] = scores[order]
+        return neighbour_oids, neighbour_scores
+
+    @property
+    def neighbourhood_size(self) -> int:
+        """The fixed number of neighbours stored per object."""
+        return self._neighbours
+
+    def neighbours_of(self, oid: int, k: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """The precomputed neighbours of an indexed object.
+
+        Raises :class:`QueryError` when ``k`` exceeds the precomputed
+        neighbourhood size — the structural limitation the paper points out.
+        """
+        if oid < 0 or oid >= self._matrix.shape[0]:
+            raise QueryError("the similarity network only answers queries for indexed objects")
+        k = self._neighbours if k is None else k
+        if k > self._neighbours:
+            raise QueryError(
+                f"the similarity network was built for {self._neighbours} neighbours; "
+                f"{k} were requested (rebuild required)"
+            )
+        return self._neighbour_oids[oid, :k].copy(), self._neighbour_scores[oid, :k].copy()
+
+    def supports_query_vector(self) -> bool:
+        """Whether ad-hoc query vectors are supported (they are not)."""
+        return False

@@ -1,0 +1,38 @@
+"""Pruning bounds for BOND (Section 4 and Appendix A).
+
+After processing the first ``m`` dimensions (in some order), BOND knows for
+every surviving vector its partial score ``S(x⁻, q⁻)``.  A *pruning bound*
+supplies, per vector, a lower and an upper bound on the contribution
+``S(x⁺, q⁺)`` of the still-unseen dimensions; adding the partial score gives
+the bounds ``S_min`` / ``S_max`` on the complete aggregate that Algorithm 2
+prunes with.
+
+Four bounds from the paper are provided, plus the weighted-Euclidean bounds of
+Appendix A:
+
+=========  ==========================  =======================================
+Criterion  Metric                      State needed besides partial scores
+=========  ==========================  =======================================
+``Hq``     histogram intersection      nothing (query-only bounds, Eq. 5/6)
+``Hh``     histogram intersection      ``T(h⁻)`` per vector (Eq. 7/8/9)
+``Eq``     squared Euclidean           nothing (query-only bound, Eq. 10)
+``Ev``     squared Euclidean           ``T(v⁺)`` per vector (Lemmas 1 and 2)
+``Ew``     weighted squared Euclidean  ``T(v⁺)`` per vector (Eq. 14/15)
+=========  ==========================  =======================================
+"""
+
+from repro.bounds.base import PartialState, PruningBound, RemainingBounds
+from repro.bounds.histogram import HhBound, HqBound
+from repro.bounds.euclidean import EqBound, EvBound
+from repro.bounds.weighted import WeightedEuclideanBound
+
+__all__ = [
+    "EqBound",
+    "EvBound",
+    "HhBound",
+    "HqBound",
+    "PartialState",
+    "PruningBound",
+    "RemainingBounds",
+    "WeightedEuclideanBound",
+]

@@ -1,0 +1,165 @@
+"""Protocol shared by all pruning bounds.
+
+A bound receives the *partial state* of a BOND run — which dimensions have
+been processed (and in what order), the query, the candidates' partial scores
+and whatever per-vector bookkeeping the bound declared it needs — and returns
+per-candidate lower/upper bounds on the contribution of the remaining
+dimensions.  BOND turns these into bounds on the complete aggregate by adding
+the partial scores (all the paper's aggregates are sums over dimensions).
+
+Bounds declare their bookkeeping needs through two flags:
+
+* ``needs_partial_value_sums`` — the bound needs ``T(x⁻)``, the sum of each
+  candidate's coefficients over the *processed* dimensions (criterion Hh);
+* ``needs_remaining_value_sums`` — the bound needs ``T(x⁺)``, the sum over
+  the *remaining* dimensions (criteria Ev and the weighted bound); the paper
+  materialises ``T(v)`` once and updates it as dimensions are consumed.
+
+The distinction matters for the cost accounting: maintaining these sums is
+exactly the "additional bookkeeping" the paper weighs against the better
+pruning of the richer criteria.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import BoundError
+
+
+@dataclass
+class PartialState:
+    """Snapshot of a BOND run after processing ``num_processed`` dimensions.
+
+    Attributes
+    ----------
+    query:
+        The full query vector (all N dimensions, in original dimension order).
+    order:
+        Permutation of ``0..N-1``: the processing order of the dimensions.
+    num_processed:
+        How many dimensions (the prefix of ``order``) have been processed.
+    partial_scores:
+        ``S(x⁻, q⁻)`` for each surviving candidate, aligned with the
+        candidate list maintained by the searcher.
+    partial_value_sums:
+        ``T(x⁻)`` per candidate, or ``None`` when not maintained.
+    remaining_value_sums:
+        ``T(x⁺)`` per candidate, or ``None`` when not maintained.
+    weights:
+        Per-dimension query weights for weighted search, or ``None``.
+    """
+
+    query: np.ndarray
+    order: np.ndarray
+    num_processed: int
+    partial_scores: np.ndarray
+    partial_value_sums: np.ndarray | None = None
+    remaining_value_sums: np.ndarray | None = None
+    weights: np.ndarray | None = None
+
+    @property
+    def dimensionality(self) -> int:
+        """Total number of dimensions N."""
+        return int(self.query.shape[0])
+
+    @property
+    def num_candidates(self) -> int:
+        """Number of surviving candidates."""
+        return int(self.partial_scores.shape[0])
+
+    @property
+    def processed_dimensions(self) -> np.ndarray:
+        """The dimension indices processed so far (prefix of the order)."""
+        return self.order[: self.num_processed]
+
+    @property
+    def remaining_dimensions(self) -> np.ndarray:
+        """The dimension indices not yet processed."""
+        return self.order[self.num_processed:]
+
+    @property
+    def remaining_query(self) -> np.ndarray:
+        """The query coefficients of the remaining dimensions (q⁺)."""
+        return self.query[self.remaining_dimensions]
+
+    @property
+    def processed_query(self) -> np.ndarray:
+        """The query coefficients of the processed dimensions (q⁻)."""
+        return self.query[self.processed_dimensions]
+
+    def validate(self) -> None:
+        """Sanity-check internal consistency; raises :class:`BoundError`."""
+        if self.order.shape[0] != self.dimensionality:
+            raise BoundError("dimension order must be a permutation of all dimensions")
+        if self.num_processed < 0 or self.num_processed > self.dimensionality:
+            raise BoundError("num_processed outside 0..N")
+        for label, array in (
+            ("partial_value_sums", self.partial_value_sums),
+            ("remaining_value_sums", self.remaining_value_sums),
+        ):
+            if array is not None and array.shape[0] != self.num_candidates:
+                raise BoundError(f"{label} is not aligned with the candidate list")
+        if self.weights is not None and self.weights.shape[0] != self.dimensionality:
+            raise BoundError("weights must cover every dimension")
+
+
+@dataclass
+class RemainingBounds:
+    """Per-candidate bounds on the remaining contribution ``S(x⁺, q⁺)``.
+
+    ``lower`` and ``upper`` are either scalars (query-only bounds such as Hq
+    and Eq produce the same value for every candidate) or arrays aligned with
+    the candidate list.
+    """
+
+    lower: np.ndarray | float
+    upper: np.ndarray | float
+
+    def as_arrays(self, num_candidates: int) -> tuple[np.ndarray, np.ndarray]:
+        """Broadcast both bounds to arrays of length ``num_candidates``."""
+        lower = np.broadcast_to(np.asarray(self.lower, dtype=np.float64), (num_candidates,))
+        upper = np.broadcast_to(np.asarray(self.upper, dtype=np.float64), (num_candidates,))
+        return np.array(lower), np.array(upper)
+
+
+class PruningBound(abc.ABC):
+    """Base class of all pruning criteria."""
+
+    #: Short name used in experiment reports ("Hq", "Hh", "Eq", "Ev", "Ew").
+    name: str = "bound"
+    #: Whether the bound needs ``T(x⁻)`` maintained per candidate.
+    needs_partial_value_sums: bool = False
+    #: Whether the bound needs ``T(x⁺)`` maintained per candidate.
+    needs_remaining_value_sums: bool = False
+
+    @abc.abstractmethod
+    def remaining_bounds(self, state: PartialState) -> RemainingBounds:
+        """Bounds on the remaining contribution for every candidate."""
+
+    def total_bounds(self, state: PartialState) -> tuple[np.ndarray, np.ndarray]:
+        """Bounds ``(S_min, S_max)`` on the complete aggregate per candidate."""
+        state.validate()
+        remaining = self.remaining_bounds(state)
+        lower, upper = remaining.as_arrays(state.num_candidates)
+        return state.partial_scores + lower, state.partial_scores + upper
+
+    def pruning_worthwhile(self, state: PartialState) -> bool:
+        """Whether attempting to prune in this state can discard anything.
+
+        Section 5.2 observes that criterion Hq cannot prune a single vector
+        until ``T(q⁻) > 0.5``; bounds override this to let the searcher skip
+        the (heap + selection) overhead of futile pruning attempts.  The
+        default is to always try.
+        """
+        return True
+
+    def bookkeeping_arrays(self) -> int:
+        """How many extra per-vector arrays this bound requires (for reports)."""
+        return int(self.needs_partial_value_sums) + int(self.needs_remaining_value_sums)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"

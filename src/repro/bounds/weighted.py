@@ -1,0 +1,144 @@
+"""Pruning bounds for weighted squared Euclidean distance (Appendix A).
+
+The weighted distance ``sum_i w_i (v_i - q_i)^2`` stretches every axis by
+``sqrt(w_i)`` (Figure 13).  Appendix A derives a lower bound (Equation 15)
+and an upper bound (Equation 14) on the remaining contribution given
+``T(v⁺)``.
+
+**Lower bound (Equation 15).**  Minimising ``sum w_i d_i^2`` subject to
+``sum d_i = T(v⁺) - T(q⁺)`` is a weighted least-norm problem whose optimum is
+``(T(v⁺) - T(q⁺))² / sum_i (1 / w_i)`` — exactly the paper's Equation 15 once
+the product notation is simplified.  If any remaining dimension has weight
+zero the bound degenerates to 0 (that dimension can absorb any difference for
+free), which is also what the formula yields in the limit.
+
+**Upper bound.**  Equation 14 as printed assumes the remaining mass should be
+piled onto the dimensions with the smallest ``w_i q_i²``; with strongly
+non-uniform weights that choice is not always the true maximiser, so using it
+verbatim could under-estimate the worst case and prune unsafely.  This
+implementation therefore uses a *provably safe* upper bound — the minimum of
+
+* the box-corner bound ``sum_i w_i · max(q_i, 1 - q_i)²`` (ignores the mass
+  constraint entirely), and
+* ``max(w⁺) ·`` (the exact unweighted Lemma 1 maximum for ``T(v⁺)``), which
+  dominates the weighted distance because every weight is at most
+  ``max(w⁺)``
+
+— and exposes the paper's literal Equation 14 as ``paper_equation14`` for
+comparison experiments.  The substitution is recorded in DESIGN.md; for the
+weight distributions of Figure 11 (skewed but applied to the *query*
+dimensions that are processed first) the safe bound prunes almost as well.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bounds.base import PartialState, PruningBound, RemainingBounds
+from repro.bounds.euclidean import lemma1_upper_bound
+from repro.errors import BoundError
+
+
+class WeightedEuclideanBound(PruningBound):
+    """Bounds for weighted squared Euclidean distance (criterion Ew)."""
+
+    name = "Ew"
+    needs_remaining_value_sums = True
+
+    def __init__(self, *, use_paper_upper_bound: bool = False) -> None:
+        self._use_paper_upper_bound = use_paper_upper_bound
+
+    def remaining_bounds(self, state: PartialState) -> RemainingBounds:
+        """Per-candidate bounds using the weights of the remaining dimensions."""
+        if state.weights is None:
+            raise BoundError("the weighted bound needs query weights in the partial state")
+        if state.remaining_value_sums is None:
+            raise BoundError("the weighted bound needs T(v+) maintained per candidate")
+
+        remaining_dimensions = state.remaining_dimensions
+        remaining_query = state.query[remaining_dimensions]
+        remaining_weights = state.weights[remaining_dimensions]
+        remaining_sums = state.remaining_value_sums
+        if remaining_dimensions.shape[0] == 0:
+            zeros = np.zeros_like(remaining_sums)
+            return RemainingBounds(lower=zeros, upper=zeros)
+
+        lower = self._lower_bound(remaining_query, remaining_weights, remaining_sums)
+        if self._use_paper_upper_bound:
+            upper = self.paper_equation14(remaining_query, remaining_weights, remaining_sums)
+        else:
+            upper = self._safe_upper_bound(remaining_query, remaining_weights, remaining_sums)
+        return RemainingBounds(lower=lower, upper=upper)
+
+    # -- lower bound (Equation 15) ---------------------------------------------
+
+    @staticmethod
+    def _lower_bound(
+        remaining_query: np.ndarray,
+        remaining_weights: np.ndarray,
+        remaining_sums: np.ndarray,
+    ) -> np.ndarray:
+        total_difference = remaining_sums - float(remaining_query.sum())
+        if np.any(remaining_weights <= 0.0):
+            # A zero-weight dimension can absorb the whole difference for free.
+            return np.zeros_like(remaining_sums)
+        inverse_weight_sum = float(np.sum(1.0 / remaining_weights))
+        return (total_difference * total_difference) / inverse_weight_sum
+
+    # -- safe upper bound ---------------------------------------------------------
+
+    @staticmethod
+    def _safe_upper_bound(
+        remaining_query: np.ndarray,
+        remaining_weights: np.ndarray,
+        remaining_sums: np.ndarray,
+    ) -> np.ndarray:
+        corner = float(
+            np.sum(remaining_weights * np.maximum(remaining_query, 1.0 - remaining_query) ** 2)
+        )
+        maximum_weight = float(remaining_weights.max())
+        unweighted = lemma1_upper_bound(remaining_query, remaining_sums)
+        return np.minimum(corner, maximum_weight * unweighted)
+
+    # -- the paper's Equation 14, for comparison ----------------------------------
+
+    @staticmethod
+    def paper_equation14(
+        remaining_query: np.ndarray,
+        remaining_weights: np.ndarray,
+        remaining_sums: np.ndarray,
+    ) -> np.ndarray:
+        """The literal upper bound of Equation 14 (order by decreasing w·q²).
+
+        Provided for reproducing the paper's criterion exactly in comparison
+        experiments; see the module docstring for why the default searcher
+        uses the safe bound instead.
+        """
+        order = np.argsort(remaining_weights * remaining_query**2)[::-1]
+        query_sorted = remaining_query[order]
+        weights_sorted = remaining_weights[order]
+        num_remaining = query_sorted.shape[0]
+
+        weighted_q2 = weights_sorted * query_sorted**2
+        weighted_1m2 = weights_sorted * (1.0 - query_sorted) ** 2
+        prefix_q2 = np.concatenate([[0.0], np.cumsum(weighted_q2)])
+        suffix_1m = np.concatenate([np.cumsum(weighted_1m2[::-1])[::-1], [0.0]])
+
+        clipped = np.clip(np.asarray(remaining_sums, dtype=np.float64), 0.0, float(num_remaining))
+        filled = np.floor(clipped).astype(np.int64)
+        fractional = clipped - filled
+        fractional_position = num_remaining - filled
+
+        bounds = np.empty_like(clipped)
+        all_filled = fractional_position == 0
+        bounds[all_filled] = suffix_1m[0]
+        partial = ~all_filled
+        if np.any(partial):
+            positions = fractional_position[partial]
+            bounds[partial] = (
+                prefix_q2[positions - 1]
+                + weights_sorted[positions - 1]
+                * (fractional[partial] - query_sorted[positions - 1]) ** 2
+                + suffix_1m[positions]
+            )
+        return bounds

@@ -1,0 +1,67 @@
+"""The paper's contribution: BOND and the query variants built on it.
+
+* :class:`~repro.core.bond.BondSearcher` — Algorithm 2, branch-and-bound k-NN
+  over a vertically decomposed store, with pluggable metric, pruning bound,
+  dimension ordering and pruning schedule;
+* :class:`~repro.core.sequential.SequentialScan` — Algorithm 1, the SSH / SSE
+  baselines (plus the footnote-6 partial-abandon variant);
+* :mod:`~repro.core.ordering` — dimension-ordering strategies (Section 5.1);
+* :mod:`~repro.core.planner` — pruning-period schedules (Section 5.2);
+* :mod:`~repro.core.compressed` — BOND over 8-bit approximated fragments with
+  exact refinement (Section 7.4);
+* :mod:`~repro.core.weighted` / :mod:`~repro.core.subspace` — weighted and
+  subspace k-NN (Section 8.1, Appendix A);
+* :mod:`~repro.core.multifeature` — synchronized multi-feature search and the
+  stream-merging baseline it is compared against (Section 8.2);
+* :mod:`~repro.core.mil` — BOND expressed as the Section 6.1 MIL program over
+  the engine algebra, for demonstrating the relational implementation.
+"""
+
+from repro.core.result import SearchResult
+from repro.core.ordering import (
+    DataSkewOrdering,
+    DecreasingQueryOrdering,
+    DimensionOrdering,
+    IncreasingQueryOrdering,
+    OriginalOrdering,
+    RandomOrdering,
+)
+from repro.core.planner import (
+    FixedPeriodSchedule,
+    GeometricSchedule,
+    PruningSchedule,
+    recommend_period,
+)
+from repro.core.bond import BondSearcher
+from repro.core.sequential import PartialAbandonScan, SequentialScan
+from repro.core.compressed import CompressedBondSearcher
+from repro.core.weighted import weighted_search
+from repro.core.subspace import subspace_search
+from repro.core.multifeature import (
+    FeatureComponent,
+    MultiFeatureBondSearcher,
+    StreamMergingSearcher,
+)
+
+__all__ = [
+    "BondSearcher",
+    "CompressedBondSearcher",
+    "DataSkewOrdering",
+    "DecreasingQueryOrdering",
+    "DimensionOrdering",
+    "FeatureComponent",
+    "FixedPeriodSchedule",
+    "GeometricSchedule",
+    "IncreasingQueryOrdering",
+    "MultiFeatureBondSearcher",
+    "OriginalOrdering",
+    "PartialAbandonScan",
+    "PruningSchedule",
+    "RandomOrdering",
+    "SearchResult",
+    "SequentialScan",
+    "StreamMergingSearcher",
+    "subspace_search",
+    "recommend_period",
+    "weighted_search",
+]

@@ -1,0 +1,292 @@
+"""BOND: Branch-and-bound ON Decomposed data (Algorithm 2).
+
+The searcher accumulates the query's similarity (or distance) to every
+surviving vector one dimension fragment at a time, in an order chosen by a
+:class:`~repro.core.ordering.DimensionOrdering`.  After every batch of
+dimensions (controlled by a :class:`~repro.core.planner.PruningSchedule`) it
+asks the :class:`~repro.bounds.base.PruningBound` for lower/upper bounds on
+every candidate's complete score and discards the candidates that can no
+longer reach the top k:
+
+* for similarity metrics, let ``kappa_min`` be the k-th largest lower bound;
+  every candidate whose *upper* bound is below ``kappa_min`` is pruned
+  (Algorithm 2, step 4);
+* for distance metrics, let ``kappa_max`` be the k-th smallest upper bound;
+  every candidate whose *lower* bound exceeds ``kappa_max`` is pruned (the
+  remark after Algorithm 2).
+
+Once the candidate set is no larger than k (or the dimensions are exhausted)
+the survivors' exact scores are completed on the remaining dimensions — only
+k-ish vectors wide — and the best k are returned.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bounds.base import PartialState, PruningBound
+from repro.bounds.euclidean import EvBound
+from repro.bounds.histogram import HqBound
+from repro.bounds.weighted import WeightedEuclideanBound
+from repro.core.candidates import CandidateMode, CandidateSet
+from repro.core.ordering import DecreasingQueryOrdering, DimensionOrdering
+from repro.core.planner import FixedPeriodSchedule, PruningSchedule
+from repro.core.result import PruningTrace, SearchResult
+from repro.errors import QueryError
+from repro.metrics.base import Metric, MetricKind
+from repro.metrics.euclidean import SquaredEuclidean
+from repro.metrics.histogram import HistogramIntersection
+from repro.metrics.weighted import WeightedSquaredEuclidean
+from repro.storage.decomposed import DecomposedStore
+
+
+def default_bound_for(metric: Metric) -> PruningBound:
+    """The pruning criterion the paper recommends for each metric.
+
+    Histogram intersection pairs with Hq (best response times in Table 3),
+    the plain Euclidean metric with Ev (Eq prunes "hardly any image",
+    Figure 5), and the weighted metric with the weighted bound of Appendix A.
+    """
+    if isinstance(metric, WeightedSquaredEuclidean):
+        return WeightedEuclideanBound()
+    if isinstance(metric, SquaredEuclidean):
+        return EvBound()
+    if isinstance(metric, HistogramIntersection):
+        return HqBound()
+    raise QueryError(
+        f"no default pruning bound for metric {type(metric).__name__}; pass one explicitly"
+    )
+
+
+class BondSearcher:
+    """k-NN search by branch-and-bound over a vertically decomposed store.
+
+    Parameters
+    ----------
+    store:
+        The decomposed collection to search.
+    metric:
+        Similarity or distance metric (histogram intersection, squared
+        Euclidean or weighted squared Euclidean).  Defaults to histogram
+        intersection.
+    bound:
+        Pruning criterion; defaults to the paper's recommendation for the
+        metric (see :func:`default_bound_for`).
+    ordering:
+        Dimension-ordering strategy (default: decreasing query value).
+    schedule:
+        Pruning-period schedule (default: every 8 dimensions, the paper's m).
+    candidate_mode:
+        ``"auto"`` (bitmap first, positional after the switch-over),
+        ``"bitmap"`` or ``"positional"``.
+    switch_selectivity:
+        Candidate fraction below which the auto mode materialises the
+        candidate set.
+    """
+
+    def __init__(
+        self,
+        store: DecomposedStore,
+        metric: Metric | None = None,
+        bound: PruningBound | None = None,
+        *,
+        ordering: DimensionOrdering | None = None,
+        schedule: PruningSchedule | None = None,
+        candidate_mode: str = "auto",
+        switch_selectivity: float = 0.05,
+    ) -> None:
+        self._store = store
+        self._metric = metric if metric is not None else HistogramIntersection()
+        self._bound = bound if bound is not None else default_bound_for(self._metric)
+        self._ordering = ordering if ordering is not None else DecreasingQueryOrdering()
+        self._schedule = schedule if schedule is not None else FixedPeriodSchedule(8)
+        self._candidate_mode = candidate_mode
+        self._switch_selectivity = switch_selectivity
+        if self._bound.needs_remaining_value_sums:
+            store.materialize_row_sums()
+
+    # -- public API -------------------------------------------------------------
+
+    @property
+    def store(self) -> DecomposedStore:
+        """The decomposed store being searched."""
+        return self._store
+
+    @property
+    def metric(self) -> Metric:
+        """The similarity / distance metric in use."""
+        return self._metric
+
+    @property
+    def bound(self) -> PruningBound:
+        """The pruning criterion in use."""
+        return self._bound
+
+    def search(self, query: np.ndarray, k: int, *, trace: PruningTrace | None = None) -> SearchResult:
+        """Return the k nearest neighbours of ``query``.
+
+        Parameters
+        ----------
+        query:
+            The query vector (full dimensionality of the store).
+        k:
+            Number of neighbours; clamped to the collection size.
+        trace:
+            Optional :class:`~repro.core.result.PruningTrace` to record the
+            pruning curve into (also attached to the returned result).
+        """
+        started = time.perf_counter()
+        query = self._metric.validate_query(query)
+        if query.shape[0] != self._store.dimensionality:
+            raise QueryError(
+                f"query has {query.shape[0]} dimensions, the store has {self._store.dimensionality}"
+            )
+        if k <= 0:
+            raise QueryError("k must be at least 1")
+        k = min(k, self._store.cardinality)
+
+        weights = self._metric.weights if isinstance(self._metric, WeightedSquaredEuclidean) else None
+        dimension_order = self._ordering.order(query, weights=weights)
+        if weights is not None:
+            # Subspace fast path: zero-weight dimensions contribute nothing
+            # and their fragments never need to be touched (Section 8.1).
+            dimension_order = dimension_order[weights[dimension_order] > 0.0]
+
+        candidates = CandidateSet(
+            self._store,
+            track_partial_sums=self._bound.needs_partial_value_sums,
+            track_remaining_sums=self._bound.needs_remaining_value_sums,
+            mode=self._candidate_mode,
+            switch_selectivity=self._switch_selectivity,
+        )
+        trace = trace if trace is not None else PruningTrace()
+        trace.record(0, len(candidates))
+
+        cost_checkpoint = self._store.cost.checkpoint()
+        total_dimensions = int(dimension_order.shape[0])
+        schedule_length = self._store.dimensionality if weights is None else total_dimensions
+
+        processed = 0
+        full_scan_dimensions = 0
+        next_attempt = processed + self._schedule.first_batch(schedule_length)
+
+        while processed < total_dimensions and len(candidates) > k:
+            dimension = int(dimension_order[processed])
+            column = candidates.column_values(dimension)
+            contributions = self._metric.contributions(column, query[dimension], dimension=dimension)
+            self._store.cost.charge_arithmetic(len(column) * self._metric.arithmetic_ops_per_value())
+            candidates.accumulate(contributions, column)
+            if candidates.mode is CandidateMode.BITMAP:
+                full_scan_dimensions += 1
+            processed += 1
+
+            if processed >= next_attempt or processed == total_dimensions:
+                before = len(candidates)
+                self._attempt_prune(query, dimension_order, processed, candidates, k, weights)
+                trace.record(processed, len(candidates))
+                next_attempt = processed + self._schedule.next_batch(
+                    dimensionality=schedule_length,
+                    dimensions_processed=processed,
+                    candidates_before=before,
+                    candidates_after=len(candidates),
+                )
+
+        final_scores = self._finish_scores(query, dimension_order, processed, candidates)
+        oids, scores = self._rank(candidates.oids, final_scores, k)
+        elapsed = time.perf_counter() - started
+
+        return SearchResult(
+            oids=oids,
+            scores=scores,
+            dimensions_processed=processed,
+            full_scan_dimensions=full_scan_dimensions,
+            candidate_trace=trace,
+            cost=self._store.cost.since(cost_checkpoint),
+            elapsed_seconds=elapsed,
+        )
+
+    # -- internals -----------------------------------------------------------------
+
+    def _attempt_prune(
+        self,
+        query: np.ndarray,
+        order: np.ndarray,
+        processed: int,
+        candidates: CandidateSet,
+        k: int,
+        weights: np.ndarray | None,
+    ) -> None:
+        """One pruning attempt: bound every candidate and drop the hopeless ones."""
+        if len(candidates) <= k:
+            return
+        state = PartialState(
+            query=query,
+            order=self._full_order(order, query.shape[0]),
+            num_processed=processed,
+            partial_scores=candidates.partial_scores,
+            partial_value_sums=candidates.partial_value_sums,
+            remaining_value_sums=candidates.remaining_value_sums,
+            weights=weights,
+        )
+        if not self._bound.pruning_worthwhile(state):
+            return
+        lower, upper = self._bound.total_bounds(state)
+        cost = self._store.cost
+        cost.charge_arithmetic(2 * len(candidates))
+        cost.charge_heap(len(candidates))
+        cost.charge_comparisons(len(candidates))
+
+        if self._metric.kind is MetricKind.SIMILARITY:
+            # kappa_min: the k-th largest guaranteed (lower-bound) score.
+            kappa = float(np.partition(lower, len(lower) - k)[len(lower) - k])
+            keep = upper >= kappa
+        else:
+            # kappa_max: the k-th smallest worst-case (upper-bound) score.
+            kappa = float(np.partition(upper, k - 1)[k - 1])
+            keep = lower <= kappa
+        candidates.prune(keep)
+
+    def _full_order(self, order: np.ndarray, dimensionality: int) -> np.ndarray:
+        """Extend a (possibly subspace-restricted) order to all dimensions.
+
+        The pruning bounds define "remaining dimensions" as everything after
+        the processed prefix; for subspace queries the zero-weight dimensions
+        are appended at the end so they count as remaining but never get
+        processed (their weight is zero, so they contribute nothing to the
+        weighted bounds either).
+        """
+        if order.shape[0] == dimensionality:
+            return order
+        missing = np.setdiff1d(np.arange(dimensionality, dtype=np.int64), order, assume_unique=True)
+        return np.concatenate([order, missing])
+
+    def _finish_scores(
+        self,
+        query: np.ndarray,
+        order: np.ndarray,
+        processed: int,
+        candidates: CandidateSet,
+    ) -> np.ndarray:
+        """Complete the survivors' exact scores on the unprocessed dimensions."""
+        scores = candidates.partial_scores.copy()
+        remaining = order[processed:]
+        if remaining.shape[0] == 0 or len(candidates) == 0:
+            return scores
+        values = self._store.gather_matrix(candidates.oids, remaining)
+        self._store.cost.charge_arithmetic(values.size * self._metric.arithmetic_ops_per_value())
+        for position, dimension in enumerate(remaining):
+            scores += self._metric.contributions(
+                values[:, position], query[int(dimension)], dimension=int(dimension)
+            )
+        return scores
+
+    def _rank(self, oids: np.ndarray, scores: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Best k (OIDs, scores), best first, with deterministic tie-breaks."""
+        if scores.shape[0] == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+        self._store.cost.charge_heap(scores.shape[0])
+        order = self._metric.best_first(scores)
+        top = order[:k]
+        return oids[top], scores[top]

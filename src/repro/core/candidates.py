@@ -1,0 +1,166 @@
+"""Candidate-set management for BOND (Section 6.1).
+
+During a BOND search the surviving candidates carry per-vector state: the
+partial score, and — depending on the pruning criterion — the processed mass
+``T(x⁻)`` and/or the remaining mass ``T(x⁺)``.  Early in the search nearly
+every vector is still alive, so the candidate set is best represented as a
+bitmap over the whole collection and fragments are read in full; once the
+candidate set has shrunk below a selectivity threshold the searcher switches
+to a *positional* (materialised) representation where only the candidates'
+values of each further fragment are fetched.
+
+:class:`CandidateSet` encapsulates that state, the representation switch and
+the cost accounting of fragment access in both modes.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.engine.bitmap import Bitmap
+from repro.engine.cost import DOUBLE_BYTES
+from repro.errors import QueryError
+from repro.storage.decomposed import DecomposedStore
+
+
+class CandidateMode(Enum):
+    """How the candidate set is represented physically."""
+
+    BITMAP = "bitmap"
+    POSITIONAL = "positional"
+
+
+class CandidateSet:
+    """Surviving candidates plus their per-vector bookkeeping.
+
+    Parameters
+    ----------
+    store:
+        The decomposed store the search runs on.
+    track_partial_sums:
+        Maintain ``T(x⁻)`` per candidate (needed by criterion Hh).
+    track_remaining_sums:
+        Maintain ``T(x⁺)`` per candidate (needed by Ev and the weighted
+        bound); initialised from the store's materialised row sums.
+    mode:
+        ``"auto"`` switches from bitmap to positional once selectivity drops
+        below ``switch_selectivity``; ``"bitmap"`` / ``"positional"`` force a
+        representation for the whole search (the ablation toggle).
+    switch_selectivity:
+        Candidate fraction below which the auto mode materialises.
+    """
+
+    def __init__(
+        self,
+        store: DecomposedStore,
+        *,
+        track_partial_sums: bool = False,
+        track_remaining_sums: bool = False,
+        mode: str = "auto",
+        switch_selectivity: float = 0.05,
+    ) -> None:
+        if mode not in ("auto", "bitmap", "positional"):
+            raise QueryError("candidate mode must be 'auto', 'bitmap' or 'positional'")
+        if not (0.0 < switch_selectivity <= 1.0):
+            raise QueryError("switch_selectivity must be in (0, 1]")
+        self._store = store
+        self._mode_policy = mode
+        self._switch_selectivity = switch_selectivity
+
+        live = store.full_candidates()
+        self._oids = live.oids()
+        self._current_mode = (
+            CandidateMode.POSITIONAL if mode == "positional" else CandidateMode.BITMAP
+        )
+
+        count = len(self._oids)
+        self.partial_scores = np.zeros(count, dtype=np.float64)
+        self.partial_value_sums = np.zeros(count, dtype=np.float64) if track_partial_sums else None
+        if track_remaining_sums:
+            row_sums = store.row_sums().tail
+            self.remaining_value_sums = row_sums[self._oids].astype(np.float64).copy()
+        else:
+            self.remaining_value_sums = None
+
+    # -- basic accessors -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self._oids.shape[0])
+
+    @property
+    def oids(self) -> np.ndarray:
+        """OIDs of the surviving candidates (ascending)."""
+        return self._oids
+
+    @property
+    def mode(self) -> CandidateMode:
+        """The current physical representation."""
+        return self._current_mode
+
+    def selectivity(self) -> float:
+        """Surviving fraction of the collection."""
+        return len(self) / self._store.cardinality
+
+    def as_bitmap(self) -> Bitmap:
+        """The candidate set as a bitmap over the collection."""
+        return Bitmap.from_oids(self._store.cardinality, self._oids)
+
+    # -- fragment access -------------------------------------------------------
+
+    def column_values(self, dimension: int) -> np.ndarray:
+        """The candidates' values of one dimension, charging the right cost.
+
+        In bitmap mode the whole fragment is read sequentially (that is the
+        physical reality of filtering through a bitmap); in positional mode
+        only the candidates' values are fetched, modelled as a sequential scan
+        of the materialised (already restricted) fragment.
+        """
+        if self._current_mode is CandidateMode.BITMAP:
+            fragment = self._store.fragment(dimension)
+            return fragment.tail[self._oids]
+        self._store.cost.charge_scan(len(self), DOUBLE_BYTES)
+        return self._store.matrix[self._oids, dimension]
+
+    # -- state updates -----------------------------------------------------------
+
+    def accumulate(self, contributions: np.ndarray, column_values: np.ndarray) -> None:
+        """Add one dimension's contributions and update the bookkeeping sums."""
+        self.partial_scores += contributions
+        if self.partial_value_sums is not None:
+            self.partial_value_sums += column_values
+        if self.remaining_value_sums is not None:
+            self.remaining_value_sums -= column_values
+
+    def prune(self, keep_mask: np.ndarray) -> int:
+        """Keep only the candidates where ``keep_mask`` is True.
+
+        Returns the number of pruned candidates and performs the
+        bitmap-to-positional switch when the auto policy's threshold is
+        crossed.
+        """
+        keep_mask = np.asarray(keep_mask, dtype=bool)
+        if keep_mask.shape[0] != len(self):
+            raise QueryError("the keep mask must be aligned with the candidate list")
+        pruned = int(len(self) - keep_mask.sum())
+        if pruned:
+            self._oids = self._oids[keep_mask]
+            self.partial_scores = self.partial_scores[keep_mask]
+            if self.partial_value_sums is not None:
+                self.partial_value_sums = self.partial_value_sums[keep_mask]
+            if self.remaining_value_sums is not None:
+                self.remaining_value_sums = self.remaining_value_sums[keep_mask]
+        self._maybe_switch_mode()
+        return pruned
+
+    def _maybe_switch_mode(self) -> None:
+        if (
+            self._mode_policy == "auto"
+            and self._current_mode is CandidateMode.BITMAP
+            and self.selectivity() <= self._switch_selectivity
+        ):
+            # Materialising the candidate list costs one gather of the
+            # surviving OIDs (charged as random accesses of OID-sized tuples).
+            self._store.cost.charge_random_access(len(self), DOUBLE_BYTES)
+            self._current_mode = CandidateMode.POSITIONAL

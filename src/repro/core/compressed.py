@@ -1,0 +1,213 @@
+"""BOND over 8-bit approximated fragments (Section 7.4, Figure 9, Table 4).
+
+The approximation idea of the VA-file composes with BOND: run the
+branch-and-bound filter on small (1 byte per coefficient) quantised fragments
+and refine the surviving candidates on the exact vectors.  Because every
+quantised value comes with a per-cell error interval, the filter accumulates
+*interval* partial scores — a lower and an upper bound per candidate — and
+prunes with the query-only bounds (Hq for histogram intersection, Eq for
+Euclidean distance), so no true top-k member can ever be discarded.
+
+The refinement step fetches the exact vectors of the survivors from the
+underlying :class:`~repro.storage.decomposed.DecomposedStore` and computes
+their exact scores; its cost is proportional to the number of candidates the
+filter left over, which is what Table 4 reports ("filter step" versus
+"refinement step").
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.ordering import DecreasingQueryOrdering, DimensionOrdering
+from repro.core.planner import FixedPeriodSchedule, PruningSchedule
+from repro.core.result import PruningTrace, SearchResult
+from repro.errors import QueryError
+from repro.metrics.base import Metric, MetricKind
+from repro.metrics.histogram import HistogramIntersection
+from repro.metrics.weighted import WeightedSquaredEuclidean
+from repro.storage.compressed import CompressedStore
+
+
+def contribution_interval(
+    metric: Metric,
+    lower_values: np.ndarray,
+    upper_values: np.ndarray,
+    query_value: float,
+    *,
+    dimension: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Bounds on one dimension's contribution given per-value intervals.
+
+    For histogram intersection ``min(h, q)`` is monotone in ``h``, so the
+    interval maps directly.  For (weighted) squared Euclidean the contribution
+    ``w (h - q)^2`` is not monotone: it is zero when the query lies inside the
+    interval and otherwise attains its extremes at the interval endpoints.
+    """
+    if isinstance(metric, HistogramIntersection):
+        return (
+            metric.contributions(lower_values, query_value, dimension=dimension),
+            metric.contributions(upper_values, query_value, dimension=dimension),
+        )
+    at_lower = metric.contributions(lower_values, query_value, dimension=dimension)
+    at_upper = metric.contributions(upper_values, query_value, dimension=dimension)
+    upper = np.maximum(at_lower, at_upper)
+    inside = (lower_values <= query_value) & (query_value <= upper_values)
+    lower = np.where(inside, 0.0, np.minimum(at_lower, at_upper))
+    return lower, upper
+
+
+class CompressedBondSearcher:
+    """Branch-and-bound filter over quantised fragments plus exact refinement."""
+
+    def __init__(
+        self,
+        store: CompressedStore,
+        metric: Metric | None = None,
+        *,
+        ordering: DimensionOrdering | None = None,
+        schedule: PruningSchedule | None = None,
+    ) -> None:
+        self._store = store
+        self._metric = metric if metric is not None else HistogramIntersection()
+        self._ordering = ordering if ordering is not None else DecreasingQueryOrdering()
+        self._schedule = schedule if schedule is not None else FixedPeriodSchedule(8)
+
+    @property
+    def store(self) -> CompressedStore:
+        """The compressed store the filter runs on."""
+        return self._store
+
+    @property
+    def metric(self) -> Metric:
+        """The similarity / distance metric in use."""
+        return self._metric
+
+    def search(self, query: np.ndarray, k: int, *, trace: PruningTrace | None = None) -> SearchResult:
+        """Return the exact k nearest neighbours via filter-and-refine."""
+        started = time.perf_counter()
+        query = self._metric.validate_query(query)
+        if query.shape[0] != self._store.dimensionality:
+            raise QueryError("query dimensionality does not match the store")
+        if k <= 0:
+            raise QueryError("k must be at least 1")
+        k = min(k, self._store.cardinality)
+        cost = self._store.cost
+        checkpoint = cost.checkpoint()
+        similarity = self._metric.kind is MetricKind.SIMILARITY
+
+        weights = self._metric.weights if isinstance(self._metric, WeightedSquaredEuclidean) else None
+        order = self._ordering.order(query, weights=weights)
+        if weights is not None:
+            order = order[weights[order] > 0.0]
+        total_dimensions = int(order.shape[0])
+
+        oids = np.arange(self._store.cardinality, dtype=np.int64)
+        score_lower = np.zeros(self._store.cardinality, dtype=np.float64)
+        score_upper = np.zeros(self._store.cardinality, dtype=np.float64)
+        trace = trace if trace is not None else PruningTrace()
+        trace.record(0, len(oids))
+
+        processed = 0
+        next_attempt = self._schedule.first_batch(total_dimensions)
+        # Once the candidate set has shrunk below this fraction the filter
+        # fetches only the candidates' codes instead of whole fragments.
+        positional_threshold = 0.05 * self._store.cardinality
+        while processed < total_dimensions and len(oids) > k:
+            dimension = int(order[processed])
+            if len(oids) <= positional_threshold:
+                value_lower, value_upper = self._store.bounded_fragment_for(dimension, oids)
+            else:
+                value_lower, value_upper = self._store.bounded_fragment(dimension)
+                value_lower, value_upper = value_lower[oids], value_upper[oids]
+            contribution_lower, contribution_upper = contribution_interval(
+                self._metric, value_lower, value_upper, query[dimension], dimension=dimension
+            )
+            cost.charge_arithmetic(2 * len(oids) * self._metric.arithmetic_ops_per_value())
+            score_lower += contribution_lower
+            score_upper += contribution_upper
+            processed += 1
+
+            if processed >= next_attempt or processed == total_dimensions:
+                before = len(oids)
+                keep = self._prune_mask(query, order, processed, score_lower, score_upper, k, weights)
+                oids = oids[keep]
+                score_lower = score_lower[keep]
+                score_upper = score_upper[keep]
+                trace.record(processed, len(oids))
+                next_attempt = processed + self._schedule.next_batch(
+                    dimensionality=total_dimensions,
+                    dimensions_processed=processed,
+                    candidates_before=before,
+                    candidates_after=len(oids),
+                )
+
+        oids_result, scores = self._refine(query, oids, order, k)
+        return SearchResult(
+            oids=oids_result,
+            scores=scores,
+            dimensions_processed=processed,
+            full_scan_dimensions=processed,
+            candidate_trace=trace,
+            cost=cost.since(checkpoint),
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    # -- internals --------------------------------------------------------------
+
+    def _prune_mask(
+        self,
+        query: np.ndarray,
+        order: np.ndarray,
+        processed: int,
+        score_lower: np.ndarray,
+        score_upper: np.ndarray,
+        k: int,
+        weights: np.ndarray | None,
+    ) -> np.ndarray:
+        """Query-only pruning over interval partial scores."""
+        cost = self._store.cost
+        count = score_lower.shape[0]
+        if count <= k:
+            return np.ones(count, dtype=bool)
+        remaining = order[processed:]
+        remaining_query = query[remaining]
+        cost.charge_heap(count)
+        cost.charge_comparisons(count)
+
+        if self._metric.kind is MetricKind.SIMILARITY:
+            remaining_mass = float(remaining_query.sum())
+            guaranteed = score_lower                     # remaining contributes at least 0
+            optimistic = score_upper + remaining_mass    # and at most T(q+)
+            kappa = float(np.partition(guaranteed, count - k)[count - k])
+            return optimistic >= kappa
+        if weights is None:
+            corner = float(np.sum(np.maximum(remaining_query, 1.0 - remaining_query) ** 2))
+        else:
+            remaining_weights = weights[remaining]
+            corner = float(
+                np.sum(remaining_weights * np.maximum(remaining_query, 1.0 - remaining_query) ** 2)
+            )
+        guaranteed = score_upper + corner                # worst case for the candidate
+        optimistic = score_lower                         # best case: remaining contributes 0
+        kappa = float(np.partition(guaranteed, k - 1)[k - 1])
+        return optimistic <= kappa
+
+    def _refine(
+        self,
+        query: np.ndarray,
+        oids: np.ndarray,
+        order: np.ndarray,
+        k: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact scores of the filter survivors from the exact store."""
+        if oids.shape[0] == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+        exact = self._store.exact
+        vectors = exact.gather_matrix(oids)
+        scores = self._metric.score(vectors, query)
+        exact.cost.charge_arithmetic(vectors.size * self._metric.arithmetic_ops_per_value())
+        best = self._metric.best_first(scores)[:k]
+        return oids[best], scores[best]

@@ -1,0 +1,133 @@
+"""BOND expressed over the BAT algebra — the Section 6.1 MIL program.
+
+The paper stresses that BOND needs neither user-defined types nor special
+index structures: it is expressible in a standard (column-oriented)
+relational algebra.  The MIL program of Section 6.1 is, for criterion Hq::
+
+    1.  for i in 1 .. m do
+            Di := [min](Hi, const Qi);
+        Smin := [+](D1, ..., Dm);
+    2.  sumQ := Q1 + .. + Qm;
+        sk := Smin.kfetch(k);
+        maxbound := sk + sumQ - 1;
+        C := Smin.uselect(maxbound, 1.0);
+    3.  for i in m+1 .. N do
+            Hi := C.reverse.join(Hi);
+
+:func:`bond_mil_search` runs exactly this program — iteratively, with the
+candidate BAT shrinking after every round — on the engine operators of
+:mod:`repro.engine.operators`.  It exists to demonstrate and test the
+relational formulation; the numpy-kernel
+:class:`~repro.core.bond.BondSearcher` is the execution path the experiments
+use.  Both return identical results on identical inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ordering import DecreasingQueryOrdering
+from repro.core.result import PruningTrace, SearchResult
+from repro.engine.bat import BAT
+from repro.engine.operators import kfetch, multijoin_map, reverse_join, uselect
+from repro.errors import QueryError
+from repro.metrics.histogram import HistogramIntersection
+from repro.storage.decomposed import DecomposedStore
+
+
+def bond_mil_search(
+    store: DecomposedStore,
+    query: np.ndarray,
+    k: int,
+    *,
+    period: int = 8,
+    trace: PruningTrace | None = None,
+) -> SearchResult:
+    """k-NN by histogram intersection, executed as the Section 6.1 MIL program.
+
+    Parameters
+    ----------
+    store:
+        The decomposed histogram collection.
+    query:
+        The query histogram (L1-normalised).
+    k:
+        Number of neighbours.
+    period:
+        Number of dimension fragments consumed between pruning rounds (the
+        paper's ``m``).
+    """
+    metric = HistogramIntersection()
+    query = metric.validate_query(query)
+    if query.shape[0] != store.dimensionality:
+        raise QueryError("query dimensionality does not match the store")
+    if k <= 0:
+        raise QueryError("k must be at least 1")
+    k = min(k, store.cardinality)
+    cost = store.cost
+    checkpoint = cost.checkpoint()
+
+    order = DecreasingQueryOrdering().order(query)
+    trace = trace if trace is not None else PruningTrace()
+    trace.record(0, store.cardinality)
+
+    # The candidate BAT C: tail holds the OIDs of the surviving histograms.
+    candidates = BAT.dense(np.arange(store.cardinality, dtype=np.int64), name="C")
+    # Partial similarity BAT, aligned with the candidate BAT.
+    partial = BAT.dense(np.zeros(store.cardinality), name="Smin")
+
+    processed = 0
+    total = store.dimensionality
+    while processed < total and len(candidates) > k:
+        batch = order[processed: min(processed + period, total)]
+
+        # Step 1: per-dimension [min] maps and the [+] multijoin, restricted
+        # to the candidate set via C.reverse.join(Hi) (step 3 of the paper's
+        # program, applied eagerly as the candidate set shrinks).
+        partial_batch = None
+        for dimension in batch:
+            fragment = store.fragment(int(dimension))
+            restricted = reverse_join(candidates, fragment, cost=cost, name=f"H{int(dimension)}|C")
+            minimum = multijoin_map(
+                np.minimum, restricted, float(query[int(dimension)]), cost=cost, name=f"D{int(dimension)}"
+            )
+            partial_batch = (
+                minimum
+                if partial_batch is None
+                else multijoin_map(np.add, partial_batch, minimum, cost=cost, name="Smin")
+            )
+        partial = multijoin_map(np.add, partial, partial_batch, cost=cost, name="Smin")
+        processed += len(batch)
+
+        # Step 2: kappa from kfetch, pruning bound from the query mass of the
+        # still-unseen dimensions, uselect of the candidates that survive.
+        remaining_query_mass = float(query[order[processed:]].sum())
+        kappa = kfetch(partial, k, largest=True, cost=cost)
+        lower_cutoff = kappa - remaining_query_mass
+        survivors = uselect(partial, lower_cutoff, np.inf, cost=cost, name="C'")
+
+        # The uselect result enumerates surviving *positions* within the
+        # candidate BAT; translate them back to OIDs and shrink both BATs.
+        surviving_positions = survivors.tail.astype(np.int64)
+        candidates = candidates.take_positions(surviving_positions, name="C")
+        partial = partial.take_positions(surviving_positions, name="Smin")
+        trace.record(processed, len(candidates))
+
+    # Finish the survivors' exact scores on the remaining dimensions.
+    scores = partial.tail.copy()
+    for dimension in order[processed:]:
+        fragment = store.fragment(int(dimension), charge=False)
+        restricted = reverse_join(candidates, fragment, cost=cost)
+        minimum = multijoin_map(np.minimum, restricted, float(query[int(dimension)]), cost=cost)
+        scores = scores + minimum.tail
+
+    ranking = np.argsort(-scores, kind="stable")[:k]
+    result_oids = candidates.tail.astype(np.int64)[ranking]
+    return SearchResult(
+        oids=result_oids,
+        scores=scores[ranking],
+        dimensions_processed=processed,
+        full_scan_dimensions=processed,
+        candidate_trace=trace,
+        cost=cost.since(checkpoint),
+    )

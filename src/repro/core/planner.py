@@ -1,0 +1,145 @@
+"""Pruning-period schedules (Section 5.2).
+
+A pruning attempt is not free — it computes bounds, runs ``kfetch`` over the
+candidates and rewrites the candidate structures — so BOND batches dimensions
+and only attempts to prune every ``m`` of them.  Small ``m`` prunes sooner but
+pays the overhead more often; large ``m`` wastes fragment reads on vectors
+that could already have been discarded.  The paper uses a fixed ``m`` (8 in
+the main experiments) and mentions, as an unstudied variant, adapting ``m`` to
+the observed pruning effect; :class:`GeometricSchedule` implements a simple
+version of that idea and the `abl-m` benchmark compares the options.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import QueryError
+
+
+class PruningSchedule(abc.ABC):
+    """Strategy deciding after how many dimensions to attempt pruning next."""
+
+    #: Name used in experiment reports.
+    name: str = "schedule"
+
+    @abc.abstractmethod
+    def first_batch(self, dimensionality: int) -> int:
+        """Number of dimensions to process before the first pruning attempt."""
+
+    @abc.abstractmethod
+    def next_batch(
+        self,
+        *,
+        dimensionality: int,
+        dimensions_processed: int,
+        candidates_before: int,
+        candidates_after: int,
+    ) -> int:
+        """Number of dimensions to process before the next attempt.
+
+        Called right after a pruning attempt with the candidate counts before
+        and after it, so adaptive schedules can react to the observed effect.
+        """
+
+
+class FixedPeriodSchedule(PruningSchedule):
+    """Prune after every ``period`` dimensions (the paper's choice, m = 8)."""
+
+    name = "fixed"
+
+    def __init__(self, period: int = 8) -> None:
+        if period < 1:
+            raise QueryError("the pruning period must be at least 1")
+        self._period = period
+
+    @property
+    def period(self) -> int:
+        """The fixed number of dimensions between pruning attempts."""
+        return self._period
+
+    def first_batch(self, dimensionality: int) -> int:
+        return min(self._period, dimensionality)
+
+    def next_batch(
+        self,
+        *,
+        dimensionality: int,
+        dimensions_processed: int,
+        candidates_before: int,
+        candidates_after: int,
+    ) -> int:
+        remaining = dimensionality - dimensions_processed
+        return min(self._period, remaining)
+
+
+class GeometricSchedule(PruningSchedule):
+    """Adaptive schedule: grow the batch when pruning stops paying off.
+
+    Starts with ``initial_period`` and multiplies the batch size by
+    ``growth_factor`` whenever a pruning attempt removed less than
+    ``minimum_effect`` (fraction) of the candidates.  This approximates the
+    "adapt m dynamically to the expected pruning effect" variant the paper
+    leaves open: early on, pruning is attempted frequently; once the candidate
+    set has collapsed to a near-final superset, the searcher stops paying the
+    per-attempt overhead and effectively degenerates to a scan over the
+    survivors — which Section 5.2 argues is the right thing to do.
+    """
+
+    name = "geometric"
+
+    def __init__(
+        self,
+        initial_period: int = 8,
+        *,
+        growth_factor: float = 2.0,
+        minimum_effect: float = 0.05,
+        maximum_period: int = 64,
+    ) -> None:
+        if initial_period < 1:
+            raise QueryError("the initial pruning period must be at least 1")
+        if growth_factor < 1.0:
+            raise QueryError("growth_factor must be at least 1")
+        if not (0.0 <= minimum_effect < 1.0):
+            raise QueryError("minimum_effect must be in [0, 1)")
+        if maximum_period < initial_period:
+            raise QueryError("maximum_period must be at least the initial period")
+        self._initial_period = initial_period
+        self._growth_factor = growth_factor
+        self._minimum_effect = minimum_effect
+        self._maximum_period = maximum_period
+        self._current_period = initial_period
+
+    def first_batch(self, dimensionality: int) -> int:
+        self._current_period = self._initial_period
+        return min(self._initial_period, dimensionality)
+
+    def next_batch(
+        self,
+        *,
+        dimensionality: int,
+        dimensions_processed: int,
+        candidates_before: int,
+        candidates_after: int,
+    ) -> int:
+        if candidates_before > 0:
+            pruned_fraction = (candidates_before - candidates_after) / candidates_before
+            if pruned_fraction < self._minimum_effect:
+                grown = int(round(self._current_period * self._growth_factor))
+                self._current_period = min(max(grown, self._current_period + 1), self._maximum_period)
+        remaining = dimensionality - dimensions_processed
+        return min(self._current_period, remaining)
+
+
+def recommend_period(dimensionality: int, *, target_attempts: int = 16) -> int:
+    """A rule-of-thumb pruning period for a given dimensionality.
+
+    Aims for roughly ``target_attempts`` pruning attempts over the whole
+    search (the paper's m = 8 on 166 dimensions corresponds to ~20 attempts),
+    never dropping below 2 dimensions per batch.
+    """
+    if dimensionality < 1:
+        raise QueryError("dimensionality must be positive")
+    if target_attempts < 1:
+        raise QueryError("target_attempts must be positive")
+    return max(2, dimensionality // target_attempts)

@@ -1,0 +1,142 @@
+"""Clustered synthetic collections (Section 7.5).
+
+The paper's synthetic datasets contain 100,000 vectors of dimensionality 128
+in the unit hypercube.  1,000 points serve as cluster centres; 95 % of the
+vectors belong to a random cluster, displaced from its centre by a Gaussian,
+and 5 % are uniform noise.  The coordinates of the cluster centres follow a
+Zipfian distribution controlled by a skew parameter theta: theta = 0 places
+the centres uniformly, larger theta concentrates them near the origin of each
+axis.  These collections have the property that makes nearest-neighbour
+search meaningful (Beyer et al.): points inside a cluster have close
+neighbours, the noise points do not.
+
+Figure 10 sweeps theta to show that BOND's pruning depends on data skew;
+Section 8.2 uses two such collections (64- and 128-dimensional) as the two
+feature sets of the multi-feature experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+@dataclass(frozen=True)
+class ClusteredConfig:
+    """Parameters of the clustered synthetic generator.
+
+    Attributes
+    ----------
+    cardinality:
+        Number of vectors (the paper uses 100,000).
+    dimensionality:
+        Number of dimensions (the paper uses 128, plus 64 in Section 8.2).
+    num_clusters:
+        Number of cluster centres (the paper uses 1,000).
+    skew:
+        Zipf-style skew parameter theta of the centre coordinates; 0 means
+        uniform centres.
+    cluster_fraction:
+        Fraction of vectors assigned to clusters (the paper uses 0.95).
+    cluster_stddev:
+        Standard deviation of the Gaussian displacement around a centre.
+    seed:
+        Random seed.
+    """
+
+    cardinality: int = 20_000
+    dimensionality: int = 128
+    num_clusters: int = 1_000
+    skew: float = 1.0
+    cluster_fraction: float = 0.95
+    cluster_stddev: float = 0.025
+    seed: int = 11
+
+    def validate(self) -> None:
+        """Raise :class:`DatasetError` on invalid parameter combinations."""
+        if self.cardinality <= 0:
+            raise DatasetError("cardinality must be positive")
+        if self.dimensionality <= 1:
+            raise DatasetError("dimensionality must be at least 2")
+        if self.num_clusters <= 0:
+            raise DatasetError("num_clusters must be positive")
+        if not (0.0 <= self.cluster_fraction <= 1.0):
+            raise DatasetError("cluster_fraction must be in [0, 1]")
+        if self.cluster_stddev < 0.0:
+            raise DatasetError("cluster_stddev must be non-negative")
+        if self.skew < 0.0:
+            raise DatasetError("skew must be non-negative")
+
+
+def _zipfian_coordinates(rng: np.random.Generator, shape: tuple[int, int], skew: float) -> np.ndarray:
+    """Coordinates in [0, 1] whose distribution is Zipf-skewed towards 0.
+
+    With ``skew == 0`` the coordinates are uniform.  Larger skew pushes the
+    probability mass towards small values, which is the shape the paper uses
+    for the cluster-centre coordinates (a power-law transform of a uniform
+    variate: ``u ** (1 + skew)`` concentrates near 0 while staying in the unit
+    interval).
+    """
+    uniform = rng.random(shape)
+    if skew == 0.0:
+        return uniform
+    return uniform ** (1.0 + skew)
+
+
+def make_clustered(config: ClusteredConfig | None = None, **overrides) -> np.ndarray:
+    """Generate a clustered synthetic collection in the unit hypercube.
+
+    Returns a ``cardinality x dimensionality`` float64 matrix with every value
+    in [0, 1].
+    """
+    if config is None:
+        config = ClusteredConfig(**overrides)
+    elif overrides:
+        raise DatasetError("pass either a config object or keyword overrides, not both")
+    config.validate()
+
+    rng = np.random.default_rng(config.seed)
+    centres = _zipfian_coordinates(rng, (config.num_clusters, config.dimensionality), config.skew)
+
+    num_clustered = int(round(config.cardinality * config.cluster_fraction))
+    num_noise = config.cardinality - num_clustered
+
+    assignments = rng.integers(0, config.num_clusters, size=num_clustered)
+    displacements = rng.normal(0.0, config.cluster_stddev, size=(num_clustered, config.dimensionality))
+    clustered = np.clip(centres[assignments] + displacements, 0.0, 1.0)
+
+    noise = rng.random((num_noise, config.dimensionality))
+    vectors = np.concatenate([clustered, noise], axis=0)
+
+    # Shuffle so cluster members and noise are interleaved (OID order must
+    # not encode cluster membership, otherwise pruning curves would be
+    # artificially smooth).
+    permutation = rng.permutation(config.cardinality)
+    return vectors[permutation]
+
+
+def make_multifeature_collections(
+    cardinality: int = 20_000,
+    *,
+    dimensionalities: tuple[int, int] = (64, 128),
+    skew: float = 1.0,
+    seed: int = 23,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate the two feature collections of the Section 8.2 experiment.
+
+    Both collections describe the same objects (same OID space) but live in
+    different feature spaces — e.g. colour and texture.  They are generated
+    with different seeds so the features are not trivially correlated.
+    """
+    if len(dimensionalities) != 2:
+        raise DatasetError("the multi-feature experiment uses exactly two collections")
+    first = make_clustered(
+        ClusteredConfig(cardinality=cardinality, dimensionality=dimensionalities[0], skew=skew, seed=seed)
+    )
+    second = make_clustered(
+        ClusteredConfig(cardinality=cardinality, dimensionality=dimensionalities[1], skew=skew, seed=seed + 1)
+    )
+    return first, second

@@ -1,0 +1,139 @@
+"""Miniature image -> HSV colour-histogram extraction pipeline.
+
+The Corel histograms of the paper were built by extracting the HSV values of
+every pixel and quantising them into 18 hues x 3 saturations x 3 values plus
+4 gray bins = 166 bins (following Smith & Chang), then L1-normalising.
+
+This module implements that extraction path on synthetic images so that the
+end-to-end application — raw pixels to histograms to k-NN search — can be
+exercised in examples and integration tests without the original collection.
+Images are represented as ``height x width x 3`` RGB arrays with values in
+[0, 1]; the synthetic renderer paints a handful of soft colour blobs over a
+background colour, which yields histograms with the heavy-few-bins shape real
+photographs have.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+#: The paper's quantisation grid: 18 hues, 3 saturations, 3 values, 4 grays.
+HUE_BINS = 18
+SATURATION_BINS = 3
+VALUE_BINS = 3
+GRAY_BINS = 4
+#: Saturation below which a pixel is considered gray (achromatic).
+GRAY_SATURATION_THRESHOLD = 0.07
+
+#: Total number of histogram bins: 18 * 3 * 3 + 4 = 166.
+TOTAL_BINS = HUE_BINS * SATURATION_BINS * VALUE_BINS + GRAY_BINS
+
+
+def rgb_to_hsv(image: np.ndarray) -> np.ndarray:
+    """Convert an RGB image (values in [0, 1]) to HSV, vectorised.
+
+    Hue is returned in [0, 1) (i.e. degrees / 360), saturation and value in
+    [0, 1].
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise DatasetError(f"expected an RGB image of shape (H, W, 3), got {image.shape}")
+    red, green, blue = image[..., 0], image[..., 1], image[..., 2]
+    maximum = image.max(axis=2)
+    minimum = image.min(axis=2)
+    chroma = maximum - minimum
+
+    hue = np.zeros_like(maximum)
+    nonzero = chroma > 0
+    red_is_max = nonzero & (maximum == red)
+    green_is_max = nonzero & (maximum == green) & ~red_is_max
+    blue_is_max = nonzero & ~red_is_max & ~green_is_max
+
+    hue[red_is_max] = ((green - blue)[red_is_max] / chroma[red_is_max]) % 6.0
+    hue[green_is_max] = (blue - red)[green_is_max] / chroma[green_is_max] + 2.0
+    hue[blue_is_max] = (red - green)[blue_is_max] / chroma[blue_is_max] + 4.0
+    hue = hue / 6.0
+
+    saturation = np.zeros_like(maximum)
+    positive = maximum > 0
+    saturation[positive] = chroma[positive] / maximum[positive]
+    return np.stack([hue, saturation, maximum], axis=2)
+
+
+def quantize_hsv(hsv: np.ndarray) -> np.ndarray:
+    """Quantise an HSV image into per-pixel bin indices of the 166-bin grid.
+
+    Pixels with saturation below :data:`GRAY_SATURATION_THRESHOLD` fall into
+    one of the 4 gray bins (split by value); all other pixels are quantised on
+    the 18 x 3 x 3 chromatic grid.
+    """
+    hsv = np.asarray(hsv, dtype=np.float64)
+    hue, saturation, value = hsv[..., 0], hsv[..., 1], hsv[..., 2]
+
+    hue_index = np.minimum((hue * HUE_BINS).astype(np.int64), HUE_BINS - 1)
+    saturation_index = np.minimum((saturation * SATURATION_BINS).astype(np.int64), SATURATION_BINS - 1)
+    value_index = np.minimum((value * VALUE_BINS).astype(np.int64), VALUE_BINS - 1)
+
+    chromatic_bin = (hue_index * SATURATION_BINS + saturation_index) * VALUE_BINS + value_index
+    gray_bin = HUE_BINS * SATURATION_BINS * VALUE_BINS + np.minimum(
+        (value * GRAY_BINS).astype(np.int64), GRAY_BINS - 1
+    )
+    return np.where(saturation < GRAY_SATURATION_THRESHOLD, gray_bin, chromatic_bin)
+
+
+def hsv_histogram(image: np.ndarray) -> np.ndarray:
+    """Compute the L1-normalised 166-bin HSV histogram of an RGB image."""
+    bins = quantize_hsv(rgb_to_hsv(image))
+    histogram = np.bincount(bins.ravel(), minlength=TOTAL_BINS).astype(np.float64)
+    total = histogram.sum()
+    if total == 0:
+        raise DatasetError("cannot build a histogram from an empty image")
+    return histogram / total
+
+
+def make_synthetic_images(
+    count: int,
+    *,
+    size: int = 32,
+    blobs: int = 4,
+    seed: int = 17,
+) -> np.ndarray:
+    """Render ``count`` synthetic RGB images of soft colour blobs.
+
+    Each image has a random background colour and ``blobs`` Gaussian colour
+    blobs at random positions; the resulting HSV histograms have a few heavy
+    bins, mimicking the Zipfian shape of real photograph histograms.
+    """
+    if count <= 0:
+        raise DatasetError("count must be positive")
+    if size < 4:
+        raise DatasetError("images must be at least 4x4 pixels")
+    if blobs < 0:
+        raise DatasetError("blobs must be non-negative")
+
+    rng = np.random.default_rng(seed)
+    ys, xs = np.mgrid[0:size, 0:size].astype(np.float64)
+    images = np.empty((count, size, size, 3), dtype=np.float64)
+
+    for index in range(count):
+        background = rng.random(3)
+        image = np.broadcast_to(background, (size, size, 3)).copy()
+        for _ in range(blobs):
+            centre = rng.uniform(0, size, size=2)
+            radius = rng.uniform(size * 0.1, size * 0.4)
+            colour = rng.random(3)
+            distance_sq = (ys - centre[0]) ** 2 + (xs - centre[1]) ** 2
+            alpha = np.exp(-distance_sq / (2.0 * radius * radius))[..., None]
+            image = (1.0 - alpha) * image + alpha * colour
+        images[index] = np.clip(image, 0.0, 1.0)
+    return images
+
+
+def histograms_from_images(images: np.ndarray) -> np.ndarray:
+    """Convert a stack of RGB images into a matrix of HSV histograms."""
+    images = np.asarray(images, dtype=np.float64)
+    if images.ndim != 4 or images.shape[3] != 3:
+        raise DatasetError(f"expected a stack of RGB images (n, H, W, 3), got {images.shape}")
+    return np.stack([hsv_histogram(image) for image in images], axis=0)

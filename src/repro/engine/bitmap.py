@@ -1,0 +1,166 @@
+"""Bitmap candidate index.
+
+Section 6.1 of the paper observes that in the early BOND iterations, when
+selectivity is still low, materialising the surviving candidates with
+positional joins copies most of the table and wastes resources.  Instead, the
+implementation first represents the candidate set as a bitmap over the
+histogram identifiers and only switches to materialised (positionally joined)
+fragments once the candidate set has shrunk far enough.  The same bitmap also
+supports combining k-NN search with ordinary relational predicates ("photos
+taken in 1992") and marking deleted tuples (Section 6.2).
+
+The bitmap here is a boolean numpy array wrapped with set-algebra helpers and
+an explicit population count cache.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import EngineError
+
+
+class Bitmap:
+    """A fixed-universe bitmap over OIDs ``0 .. universe_size - 1``."""
+
+    __slots__ = ("_bits", "_cardinality")
+
+    def __init__(self, universe_size: int, *, fill: bool = False) -> None:
+        if universe_size < 0:
+            raise EngineError("bitmap universe size must be non-negative")
+        self._bits = np.full(universe_size, fill, dtype=bool)
+        self._cardinality = int(universe_size) if fill else 0
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def full(cls, universe_size: int) -> "Bitmap":
+        """A bitmap with every OID set."""
+        return cls(universe_size, fill=True)
+
+    @classmethod
+    def from_oids(cls, universe_size: int, oids: Iterable[int]) -> "Bitmap":
+        """A bitmap with exactly the given OIDs set."""
+        bitmap = cls(universe_size)
+        oid_array = np.asarray(list(oids), dtype=np.int64)
+        if len(oid_array):
+            if oid_array.min() < 0 or oid_array.max() >= universe_size:
+                raise EngineError("OID outside bitmap universe")
+            bitmap._bits[oid_array] = True
+        bitmap._cardinality = int(bitmap._bits.sum())
+        return bitmap
+
+    @classmethod
+    def from_mask(cls, mask: np.ndarray) -> "Bitmap":
+        """Wrap an existing boolean mask (copied)."""
+        mask = np.asarray(mask, dtype=bool)
+        bitmap = cls(len(mask))
+        bitmap._bits = mask.copy()
+        bitmap._cardinality = int(mask.sum())
+        return bitmap
+
+    # -- basic queries -------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of set bits (the candidate-set size)."""
+        return self._cardinality
+
+    @property
+    def universe_size(self) -> int:
+        """Size of the OID universe the bitmap ranges over."""
+        return int(self._bits.shape[0])
+
+    @property
+    def mask(self) -> np.ndarray:
+        """The underlying boolean mask (do not mutate in place)."""
+        return self._bits
+
+    def contains(self, oid: int) -> bool:
+        """Whether ``oid`` is set."""
+        return bool(self._bits[oid])
+
+    def oids(self) -> np.ndarray:
+        """The set OIDs in ascending order."""
+        return np.nonzero(self._bits)[0].astype(np.int64)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(int(oid) for oid in self.oids())
+
+    def selectivity(self) -> float:
+        """Fraction of the universe that is set (0 for an empty universe)."""
+        if self.universe_size == 0:
+            return 0.0
+        return self._cardinality / self.universe_size
+
+    # -- set algebra ---------------------------------------------------------
+
+    def intersect(self, other: "Bitmap") -> "Bitmap":
+        """Return a new bitmap with bits set in both operands."""
+        self._require_same_universe(other)
+        return Bitmap.from_mask(self._bits & other._bits)
+
+    def union(self, other: "Bitmap") -> "Bitmap":
+        """Return a new bitmap with bits set in either operand."""
+        self._require_same_universe(other)
+        return Bitmap.from_mask(self._bits | other._bits)
+
+    def difference(self, other: "Bitmap") -> "Bitmap":
+        """Return a new bitmap with bits set in ``self`` but not in ``other``."""
+        self._require_same_universe(other)
+        return Bitmap.from_mask(self._bits & ~other._bits)
+
+    def complement(self) -> "Bitmap":
+        """Return a new bitmap with every bit flipped."""
+        return Bitmap.from_mask(~self._bits)
+
+    # -- mutation ------------------------------------------------------------
+
+    def set(self, oid: int) -> None:
+        """Set a single OID."""
+        if not self._bits[oid]:
+            self._bits[oid] = True
+            self._cardinality += 1
+
+    def clear(self, oid: int) -> None:
+        """Clear a single OID."""
+        if self._bits[oid]:
+            self._bits[oid] = False
+            self._cardinality -= 1
+
+    def keep_only(self, mask: np.ndarray) -> None:
+        """Restrict the bitmap in place to OIDs where ``mask`` is ``True``.
+
+        ``mask`` must either cover the whole universe, or cover exactly the
+        currently-set OIDs (in ascending OID order) — the latter is the shape
+        produced by evaluating a pruning predicate on the candidates only.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape[0] == self.universe_size:
+            self._bits &= mask
+        elif mask.shape[0] == self._cardinality:
+            survivors = self.oids()[mask]
+            self._bits[:] = False
+            self._bits[survivors] = True
+        else:
+            raise EngineError(
+                f"mask of length {mask.shape[0]} matches neither the universe "
+                f"({self.universe_size}) nor the candidate count ({self._cardinality})"
+            )
+        self._cardinality = int(self._bits.sum())
+
+    def copy(self) -> "Bitmap":
+        """Return an independent copy."""
+        return Bitmap.from_mask(self._bits)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _require_same_universe(self, other: "Bitmap") -> None:
+        if self.universe_size != other.universe_size:
+            raise EngineError(
+                f"bitmap universes differ: {self.universe_size} vs {other.universe_size}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Bitmap {self._cardinality}/{self.universe_size}>"

@@ -1,0 +1,185 @@
+"""Machine-independent cost accounting for engine operations.
+
+The headline claim of the paper is that BOND *avoids work*: after a few
+dimension fragments, most vectors are pruned, so later fragments are only
+joined against a tiny candidate set and the trailing fragments may never be
+read at all.  Wall-clock times on 2002 hardware cannot be reproduced, but the
+amount of work — bytes moved from the (simulated) storage layer, tuples
+scanned, arithmetic operations spent on distance computation — can be counted
+exactly.  Every engine operator and every searcher in :mod:`repro.core`
+charges its work to a :class:`CostModel`, and the experiment harness reports
+both wall-clock times and these counters.
+
+The byte accounting follows the paper's own bookkeeping: an OID is 4 bytes, a
+double is 8 bytes, and a compressed (VA-file style) coefficient is 1 byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Size in bytes of an object identifier, as assumed in footnote 4 of the paper.
+OID_BYTES = 4
+#: Size in bytes of a double-precision coefficient.
+DOUBLE_BYTES = 8
+#: Size in bytes of an 8-bit compressed coefficient.
+COMPRESSED_BYTES = 1
+
+
+@dataclass
+class CostAccount:
+    """A single bucket of accumulated costs.
+
+    Attributes
+    ----------
+    bytes_read:
+        Bytes transferred from the storage layer into the execution engine.
+    tuples_scanned:
+        Number of (head, tail) pairs touched by scans, selects and joins.
+    arithmetic_ops:
+        Scalar arithmetic operations spent in similarity computations
+        (one per min/subtract/multiply/add on a coefficient).
+    comparisons:
+        Scalar comparisons (pruning tests, heap operations, selections).
+    heap_operations:
+        Push/replace operations on the top-k heaps.
+    random_accesses:
+        Point lookups (positional fetches of single tuples), the expensive
+        access pattern that stream-merging multi-feature algorithms need.
+    sequential_accesses:
+        Full-column sequential reads.
+    """
+
+    bytes_read: int = 0
+    tuples_scanned: int = 0
+    arithmetic_ops: int = 0
+    comparisons: int = 0
+    heap_operations: int = 0
+    random_accesses: int = 0
+    sequential_accesses: int = 0
+
+    def merged_with(self, other: "CostAccount") -> "CostAccount":
+        """Return a new account holding the sum of ``self`` and ``other``."""
+        return CostAccount(
+            bytes_read=self.bytes_read + other.bytes_read,
+            tuples_scanned=self.tuples_scanned + other.tuples_scanned,
+            arithmetic_ops=self.arithmetic_ops + other.arithmetic_ops,
+            comparisons=self.comparisons + other.comparisons,
+            heap_operations=self.heap_operations + other.heap_operations,
+            random_accesses=self.random_accesses + other.random_accesses,
+            sequential_accesses=self.sequential_accesses + other.sequential_accesses,
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        """Return the counters as a plain dictionary (for reports)."""
+        return {
+            "bytes_read": self.bytes_read,
+            "tuples_scanned": self.tuples_scanned,
+            "arithmetic_ops": self.arithmetic_ops,
+            "comparisons": self.comparisons,
+            "heap_operations": self.heap_operations,
+            "random_accesses": self.random_accesses,
+            "sequential_accesses": self.sequential_accesses,
+        }
+
+    @property
+    def total_work(self) -> int:
+        """A single scalar summary: bytes plus all counted operations."""
+        return (
+            self.bytes_read
+            + self.tuples_scanned
+            + self.arithmetic_ops
+            + self.comparisons
+            + self.heap_operations
+        )
+
+
+@dataclass
+class CostReport:
+    """A labelled, immutable snapshot of a :class:`CostAccount`."""
+
+    label: str
+    account: CostAccount
+
+    def ratio_to(self, other: "CostReport") -> float:
+        """Return total work of ``other`` divided by total work of ``self``.
+
+        Values above 1 mean ``self`` did less work than ``other`` — e.g.
+        ``bond_report.ratio_to(scan_report) == 4.0`` reads as "BOND did a
+        quarter of the work of the sequential scan".
+        """
+        own = self.account.total_work
+        if own == 0:
+            return float("inf") if other.account.total_work > 0 else 1.0
+        return other.account.total_work / own
+
+
+class CostModel:
+    """Mutable collector of engine costs.
+
+    A :class:`CostModel` can be shared by a store, its engine operators and a
+    searcher; everything charges into the same account.  Use
+    :meth:`checkpoint` / :meth:`since` to isolate the cost of one query, or
+    :meth:`reset` between experiments.
+    """
+
+    def __init__(self) -> None:
+        self._account = CostAccount()
+
+    # -- charging -----------------------------------------------------------
+
+    def charge_scan(self, tuples: int, bytes_per_tuple: int = DOUBLE_BYTES) -> None:
+        """Charge a sequential scan over ``tuples`` values."""
+        self._account.tuples_scanned += tuples
+        self._account.bytes_read += tuples * bytes_per_tuple
+        self._account.sequential_accesses += 1
+
+    def charge_random_access(self, tuples: int = 1, bytes_per_tuple: int = DOUBLE_BYTES) -> None:
+        """Charge ``tuples`` point lookups."""
+        self._account.tuples_scanned += tuples
+        self._account.bytes_read += tuples * bytes_per_tuple
+        self._account.random_accesses += tuples
+
+    def charge_arithmetic(self, operations: int) -> None:
+        """Charge ``operations`` scalar arithmetic operations."""
+        self._account.arithmetic_ops += operations
+
+    def charge_comparisons(self, comparisons: int) -> None:
+        """Charge ``comparisons`` scalar comparisons."""
+        self._account.comparisons += comparisons
+
+    def charge_heap(self, operations: int) -> None:
+        """Charge ``operations`` heap push/replace operations."""
+        self._account.heap_operations += operations
+
+    # -- reading ------------------------------------------------------------
+
+    @property
+    def account(self) -> CostAccount:
+        """The live (mutable) account being charged into."""
+        return self._account
+
+    def checkpoint(self) -> CostAccount:
+        """Return an immutable copy of the current counters."""
+        return CostAccount(**self._account.as_dict())
+
+    def since(self, checkpoint: CostAccount) -> CostAccount:
+        """Return the costs accumulated after ``checkpoint`` was taken."""
+        current = self._account
+        return CostAccount(
+            bytes_read=current.bytes_read - checkpoint.bytes_read,
+            tuples_scanned=current.tuples_scanned - checkpoint.tuples_scanned,
+            arithmetic_ops=current.arithmetic_ops - checkpoint.arithmetic_ops,
+            comparisons=current.comparisons - checkpoint.comparisons,
+            heap_operations=current.heap_operations - checkpoint.heap_operations,
+            random_accesses=current.random_accesses - checkpoint.random_accesses,
+            sequential_accesses=current.sequential_accesses - checkpoint.sequential_accesses,
+        )
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self._account = CostAccount()
+
+    def report(self, label: str) -> CostReport:
+        """Return a labelled snapshot of the current counters."""
+        return CostReport(label=label, account=self.checkpoint())

@@ -1,0 +1,127 @@
+"""BAT property flags and propagation rules.
+
+Monet annotates every BAT with physical properties ("sorted", "keyed",
+"dense", ...) and propagates them through operators so the optimizer can pick
+cheap physical implementations — e.g. a positional lookup instead of a hash
+join when the head column is densely ascending.  Section 6 of the paper relies
+on exactly this mechanism: because the dimension fragments share the same
+dense head (the histogram identifier), the ``[+]`` multijoin map degenerates
+into an essentially free positional join.
+
+This module models the property set as an immutable dataclass plus the
+propagation rules used by :mod:`repro.engine.operators`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class Properties:
+    """Physical properties of a BAT.
+
+    Attributes
+    ----------
+    head_dense:
+        The head column is the sequence ``base, base+1, ..., base+n-1`` and is
+        therefore never materialised (a *virtual OID* column).
+    head_sorted:
+        The head column is non-decreasing.  Implied by ``head_dense``.
+    head_key:
+        Head values are unique.  Implied by ``head_dense``.
+    tail_sorted:
+        The tail column is non-decreasing.
+    tail_key:
+        Tail values are unique.
+    aligned_with:
+        Identifier of the alignment group this BAT belongs to.  Two BATs in
+        the same group have identical head columns, which makes positional
+        joins between them exact and free of comparisons.  ``None`` means the
+        BAT is not known to be aligned with anything.
+    """
+
+    head_dense: bool = False
+    head_sorted: bool = False
+    head_key: bool = False
+    tail_sorted: bool = False
+    tail_key: bool = False
+    aligned_with: int | None = None
+
+    def __post_init__(self) -> None:
+        # Denseness implies both orderedness and uniqueness of the head.
+        if self.head_dense and not (self.head_sorted and self.head_key):
+            object.__setattr__(self, "head_sorted", True)
+            object.__setattr__(self, "head_key", True)
+
+    def with_tail(self, *, sorted: bool | None = None, key: bool | None = None) -> "Properties":
+        """Return a copy with updated tail properties."""
+        updates = {}
+        if sorted is not None:
+            updates["tail_sorted"] = sorted
+        if key is not None:
+            updates["tail_key"] = key
+        return replace(self, **updates)
+
+    def without_alignment(self) -> "Properties":
+        """Return a copy that is no longer part of any alignment group."""
+        return replace(self, aligned_with=None)
+
+    @staticmethod
+    def dense_head(alignment: int | None = None) -> "Properties":
+        """Properties of a freshly created BAT with a virtual OID head."""
+        return Properties(
+            head_dense=True,
+            head_sorted=True,
+            head_key=True,
+            aligned_with=alignment,
+        )
+
+
+def propagate_map(left: Properties) -> Properties:
+    """Properties of the result of an element-wise map over the tail.
+
+    A map keeps the head untouched, so all head properties (and alignment)
+    survive; the tail properties are generally destroyed because an arbitrary
+    function has been applied.
+    """
+    return Properties(
+        head_dense=left.head_dense,
+        head_sorted=left.head_sorted,
+        head_key=left.head_key,
+        tail_sorted=False,
+        tail_key=False,
+        aligned_with=left.aligned_with,
+    )
+
+
+def propagate_select(left: Properties) -> Properties:
+    """Properties of the result of a selection re-numbered with dense OIDs.
+
+    ``uselect`` in Monet returns the qualifying *head* values in the tail and
+    a fresh densely ascending head; the result is therefore dense-headed but
+    belongs to a new alignment group (``None`` until assigned).
+    """
+    return Properties(
+        head_dense=True,
+        head_sorted=True,
+        head_key=True,
+        tail_sorted=left.head_sorted,
+        tail_key=left.head_key,
+        aligned_with=None,
+    )
+
+
+def propagate_positional_join(left: Properties, right: Properties) -> Properties:
+    """Properties of ``left JOIN right`` executed positionally.
+
+    The head of the result comes from ``left`` and the tail from ``right``.
+    """
+    return Properties(
+        head_dense=left.head_dense,
+        head_sorted=left.head_sorted,
+        head_key=left.head_key,
+        tail_sorted=False,
+        tail_key=right.tail_key and left.head_key,
+        aligned_with=left.aligned_with,
+    )

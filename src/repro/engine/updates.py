@@ -1,0 +1,114 @@
+"""Differential update files and delete bitmaps (Section 6.2).
+
+Large feature-vector collections are mostly static; updates are dominated by
+appends of newly ingested images plus occasional deletions.  The paper argues
+(following Copeland & Khoshafian) that vertically fragmented collections
+handle this well when updates are buffered in differential files and applied
+in batch, and that the candidate bitmap of Section 6.1 doubles as the deleted
+bitmap until the next reorganisation.
+
+:class:`DeltaLog` models that mechanism: appends and deletes accumulate in a
+log; :meth:`DeltaLog.apply` merges them into the base fragments during a
+"periodic reorganisation".  The decomposed store exposes this through
+``DecomposedStore.append`` / ``delete`` / ``reorganize``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import StorageError
+
+
+class DeltaOperation(Enum):
+    """Kind of a buffered update."""
+
+    APPEND = "append"
+    DELETE = "delete"
+
+
+@dataclass
+class DeltaEntry:
+    """A single buffered update."""
+
+    operation: DeltaOperation
+    #: For APPEND: the appended vectors (rows). For DELETE: the deleted OIDs.
+    payload: np.ndarray
+
+
+@dataclass
+class DeltaLog:
+    """An ordered log of buffered appends and deletes against a vector matrix."""
+
+    dimensionality: int
+    entries: list[DeltaEntry] = field(default_factory=list)
+
+    def record_append(self, vectors: np.ndarray) -> None:
+        """Buffer the append of one or more vectors (rows)."""
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if vectors.shape[1] != self.dimensionality:
+            raise StorageError(
+                f"appended vectors have {vectors.shape[1]} dimensions, store has {self.dimensionality}"
+            )
+        self.entries.append(DeltaEntry(DeltaOperation.APPEND, vectors))
+
+    def record_delete(self, oids: Sequence[int] | np.ndarray) -> None:
+        """Buffer the deletion of the vectors with the given OIDs."""
+        oid_array = np.asarray(list(np.atleast_1d(oids)), dtype=np.int64)
+        self.entries.append(DeltaEntry(DeltaOperation.DELETE, oid_array))
+
+    @property
+    def pending_appends(self) -> int:
+        """Number of buffered appended vectors."""
+        return sum(
+            entry.payload.shape[0]
+            for entry in self.entries
+            if entry.operation is DeltaOperation.APPEND
+        )
+
+    @property
+    def pending_deletes(self) -> int:
+        """Number of buffered deleted OIDs (possibly counting duplicates)."""
+        return sum(
+            entry.payload.shape[0]
+            for entry in self.entries
+            if entry.operation is DeltaOperation.DELETE
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def apply(self, base: np.ndarray) -> np.ndarray:
+        """Merge the log into ``base`` and return the reorganised matrix.
+
+        Appends are concatenated in order; deletes remove rows by their OID in
+        the coordinate system that was current when the delete was issued
+        (i.e. deletes can target previously appended rows).  The log is
+        cleared on success.
+        """
+        current = np.asarray(base, dtype=np.float64)
+        if current.ndim != 2 or current.shape[1] != self.dimensionality:
+            raise StorageError("base matrix does not match the delta log dimensionality")
+        alive = np.ones(current.shape[0], dtype=bool)
+        rows = [current]
+        total_rows = current.shape[0]
+
+        for entry in self.entries:
+            if entry.operation is DeltaOperation.APPEND:
+                rows.append(entry.payload)
+                alive = np.concatenate([alive, np.ones(entry.payload.shape[0], dtype=bool)])
+                total_rows += entry.payload.shape[0]
+            else:
+                oids = entry.payload
+                if len(oids) and (oids.min() < 0 or oids.max() >= total_rows):
+                    raise StorageError("delete targets an OID that does not exist")
+                alive[oids] = False
+
+        merged = np.concatenate(rows, axis=0) if len(rows) > 1 else current
+        result = merged[alive]
+        self.entries.clear()
+        return result

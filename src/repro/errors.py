@@ -1,0 +1,49 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch anything originating from this package with a single except clause,
+while still being able to distinguish configuration problems from data
+problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` package."""
+
+
+class EngineError(ReproError):
+    """Raised when a column-store engine operation is used incorrectly."""
+
+
+class PropertyViolation(EngineError):
+    """Raised when a BAT property (dense, sorted, key) is violated."""
+
+
+class AlignmentError(EngineError):
+    """Raised when a positional (aligned) operation receives misaligned BATs."""
+
+
+class StorageError(ReproError):
+    """Raised for invalid physical-design / store operations."""
+
+
+class MetricError(ReproError):
+    """Raised when a similarity metric receives invalid input."""
+
+
+class BoundError(ReproError):
+    """Raised when a pruning bound is asked for an inconsistent state."""
+
+
+class QueryError(ReproError):
+    """Raised for invalid query specifications (bad k, bad weights, ...)."""
+
+
+class DatasetError(ReproError):
+    """Raised by the synthetic dataset generators on invalid parameters."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness on invalid configurations."""

@@ -1,0 +1,31 @@
+"""Experiment harness: one module per table / figure of the paper.
+
+Every module exposes a ``run(scale="small", ...)`` function returning an
+:class:`~repro.experiments.base.ExperimentReport` whose rows mirror the
+series or table rows of the corresponding paper artefact.  ``scale="small"``
+uses collection sizes that finish in seconds (the benchmark default);
+``scale="paper"`` uses the published sizes (59,619 / 100,000 vectors).
+
+==========  =====================================================
+Experiment  Paper artefact
+==========  =====================================================
+``fig2``    Figure 2 — dataset statistics
+``fig4``    Figure 4 — pruning of Hq vs Hh (histogram intersection)
+``fig5``    Figure 5 — pruning of Eq vs Ev (Euclidean)
+``fig6``    Figure 6 — effect of k on Hq pruning
+``fig7``    Figure 7 — dimension orderings
+``fig8``    Figure 8 — dimensionality sweep (Ev)
+``tab3``    Table 3 — response times, BOND vs sequential scan
+``fig9``    Figure 9 — Hq on exact vs compressed fragments
+``tab4``    Table 4 — compressed BOND vs VA-file
+``fig10``   Figure 10 — data-skew sweep (Ev)
+``fig11``   Figure 11 — weight-skew sweep (weighted Euclidean)
+``sec82``   Section 8.2 — multi-feature: synchronized vs merging
+``abl_sam`` Motivation — R-tree breakdown with dimensionality
+``abl_m``   Section 5.2 — choice of the pruning period m
+==========  =====================================================
+"""
+
+from repro.experiments.base import ExperimentReport, ExperimentScale, resolve_scale
+
+__all__ = ["ExperimentReport", "ExperimentScale", "resolve_scale"]

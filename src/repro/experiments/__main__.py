@@ -1,0 +1,90 @@
+"""Command-line runner for the experiment harness.
+
+Regenerate individual paper artefacts (or all of them) without going through
+pytest::
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig4 tab3
+    python -m repro.experiments --all --scale medium
+    python -m repro.experiments tab3 --scale paper --output results/
+
+Each experiment prints its table; ``--output`` additionally writes one text
+file per experiment id.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import pathlib
+import sys
+
+from repro.experiments.base import ExperimentReport
+
+#: Experiment id -> module implementing it (all expose ``run(scale)``).
+EXPERIMENT_MODULES: dict[str, str] = {
+    "fig2": "repro.experiments.fig2_dataset_stats",
+    "fig4": "repro.experiments.fig4_pruning_hist",
+    "fig5": "repro.experiments.fig5_pruning_eucl",
+    "fig6": "repro.experiments.fig6_effect_of_k",
+    "fig7": "repro.experiments.fig7_orderings",
+    "fig8": "repro.experiments.fig8_dimensionality",
+    "tab3": "repro.experiments.tab3_response_time",
+    "fig9": "repro.experiments.fig9_compression",
+    "tab4": "repro.experiments.tab4_vafile",
+    "fig10": "repro.experiments.fig10_data_skew",
+    "fig11": "repro.experiments.fig11_weight_skew",
+    "sec82": "repro.experiments.sec82_multifeature",
+    "abl-sam": "repro.experiments.abl_sam_dimensionality",
+    "abl-m": "repro.experiments.abl_pruning_period",
+}
+
+
+def run_experiment(experiment_id: str, scale: str) -> ExperimentReport:
+    """Import and run one experiment by id."""
+    module = importlib.import_module(EXPERIMENT_MODULES[experiment_id])
+    return module.run(scale)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="*", help="experiment ids (see --list)")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--list", action="store_true", help="list the available experiment ids")
+    parser.add_argument(
+        "--scale", default="small", help="small (default), medium, or paper collection sizes"
+    )
+    parser.add_argument("--output", default=None, help="directory to write one .txt report per experiment")
+    arguments = parser.parse_args(argv)
+
+    if arguments.list:
+        for experiment_id, module in EXPERIMENT_MODULES.items():
+            print(f"{experiment_id:8s} {module}")
+        return 0
+
+    chosen = list(EXPERIMENT_MODULES) if arguments.all else arguments.experiments
+    if not chosen:
+        parser.error("give one or more experiment ids, or --all / --list")
+    unknown = [experiment_id for experiment_id in chosen if experiment_id not in EXPERIMENT_MODULES]
+    if unknown:
+        parser.error(f"unknown experiment id(s): {', '.join(unknown)} (use --list)")
+
+    output_directory = pathlib.Path(arguments.output) if arguments.output else None
+    if output_directory is not None:
+        output_directory.mkdir(parents=True, exist_ok=True)
+
+    for experiment_id in chosen:
+        report = run_experiment(experiment_id, arguments.scale)
+        text = report.format_table()
+        print(text)
+        print()
+        if output_directory is not None:
+            (output_directory / f"{experiment_id}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Section 8.2 — multi-feature queries: synchronized BOND vs stream merging.
+
+Two synthetic clustered feature collections (64- and 128-dimensional) describe
+the same 100,000 objects; queries combine one component per collection with
+an aggregate function.  The paper reports that synchronized dimension-wise
+search is on average ~20 % faster than stream merging when the aggregate is
+the average and ~70 % faster when it is the fuzzy min — and notes that the
+stream-merging baseline was given the *optimal* per-stream retrieval depth,
+which is unknowable in practice, so the real advantage is larger.
+"""
+
+from __future__ import annotations
+
+from repro.core.multifeature import (
+    FeatureComponent,
+    MultiFeatureBondSearcher,
+    StreamMergingSearcher,
+)
+from repro.datasets.clustered import make_multifeature_collections
+from repro.experiments.base import ExperimentReport, ExperimentScale, geometric_mean, resolve_scale
+from repro.metrics.aggregates import AverageAggregate, FuzzyMinAggregate, ScoreAggregate
+from repro.metrics.euclidean import SquaredEuclidean
+from repro.storage.decomposed import DecomposedStore
+from repro.workload.queries import sample_queries
+
+
+def _components(first, second) -> list[FeatureComponent]:
+    return [
+        FeatureComponent("color", DecomposedStore(first), SquaredEuclidean()),
+        FeatureComponent("texture", DecomposedStore(second), SquaredEuclidean()),
+    ]
+
+
+def run(scale: str | ExperimentScale = "small", *, k: int = 10) -> ExperimentReport:
+    """Regenerate the Section 8.2 comparison for the average and min aggregates."""
+    scale = resolve_scale(scale)
+    first, second = make_multifeature_collections(
+        scale.clustered_cardinality, dimensionalities=(64, 128), skew=1.0
+    )
+    first_queries = sample_queries(first, scale.num_queries, seed=7)
+    second_queries = sample_queries(second, scale.num_queries, seed=7)
+
+    aggregates: dict[str, ScoreAggregate] = {
+        "average": AverageAggregate(),
+        "fuzzy-min": FuzzyMinAggregate(),
+    }
+
+    report = ExperimentReport(
+        experiment_id="sec82",
+        title="Multi-feature queries: synchronized BOND vs stream merging",
+    )
+    for label, aggregate in aggregates.items():
+        synchronized = MultiFeatureBondSearcher(_components(first, second), aggregate)
+        merging = StreamMergingSearcher(_components(first, second), aggregate)
+        sync_work, merge_work, sync_time, merge_time, matches = [], [], [], [], True
+        for query_first, query_second in zip(first_queries, second_queries):
+            sync_result = synchronized.search([query_first, query_second], k)
+            merge_result = merging.search([query_first, query_second], k)
+            sync_work.append(float(sync_result.cost.total_work))
+            merge_work.append(float(merge_result.cost.total_work))
+            sync_time.append(sync_result.elapsed_seconds)
+            merge_time.append(merge_result.elapsed_seconds)
+            top_sync = sync_result.scores[0] if sync_result.k else float("nan")
+            top_merge = merge_result.scores[0] if merge_result.k else float("nan")
+            matches = matches and abs(top_sync - top_merge) < 1e-6
+        work_ratio = geometric_mean(
+            [merge / sync for merge, sync in zip(merge_work, sync_work) if sync > 0]
+        )
+        report.add_row(
+            aggregate=label,
+            synchronized_avg_ms=1000.0 * sum(sync_time) / len(sync_time),
+            merging_avg_ms=1000.0 * sum(merge_time) / len(merge_time),
+            work_ratio_merging_over_sync=work_ratio,
+            synchronized_faster_pct=100.0 * (1.0 - 1.0 / work_ratio),
+            top1_matches=matches,
+        )
+
+    report.add_note(
+        "paper: synchronized search ~20% faster for the average aggregate and ~70% faster for min, "
+        "with the merging baseline given the optimal per-stream depth"
+    )
+    report.add_note(f"scale={scale.name}, |X|={first.shape[0]}, k={k}")
+    return report
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    print(run().format_table())

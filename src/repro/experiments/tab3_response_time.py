@@ -1,0 +1,86 @@
+"""Table 3 — response time of BOND against sequential scan.
+
+The paper reports, over 100 queries on the 166-dimensional histograms, the
+minimum / maximum / average / median response times in milliseconds of BOND
+with criteria Hq, Hh and Ev, against the sequential-scan baselines SSH
+(histogram intersection) and SSE (Euclidean).  Hq beats SSH by up to an order
+of magnitude; Ev beats SSE by a smaller factor because its bounds are more
+expensive to evaluate.
+
+Absolute milliseconds obviously differ from 2002 hardware, so the report adds
+machine-independent work ratios (bytes read and total cost-model work,
+baseline / BOND) next to the timings.
+"""
+
+from __future__ import annotations
+
+from repro.bounds.euclidean import EvBound
+from repro.bounds.histogram import HhBound, HqBound
+from repro.core.bond import BondSearcher
+from repro.core.sequential import SequentialScan
+from repro.experiments.base import ExperimentReport, ExperimentScale, geometric_mean, resolve_scale
+from repro.experiments.workloads import corel_setup
+from repro.instrumentation.timing import TimingStatistics
+from repro.metrics.euclidean import SquaredEuclidean
+from repro.metrics.histogram import HistogramIntersection
+from repro.workload.ground_truth import result_scores_match
+
+
+def run(scale: str | ExperimentScale = "small", *, k: int = 10) -> ExperimentReport:
+    """Regenerate Table 3 (plus work-ratio columns)."""
+    scale = resolve_scale(scale)
+    _, store, row_store, workload = corel_setup(scale)
+    histogram_metric = HistogramIntersection()
+    euclidean_metric = SquaredEuclidean()
+
+    methods = {
+        "BOND-Hq": BondSearcher(store, histogram_metric, HqBound()),
+        "BOND-Hh": BondSearcher(store, histogram_metric, HhBound()),
+        "BOND-Ev": BondSearcher(store, euclidean_metric, EvBound()),
+        "SSH": SequentialScan(row_store, histogram_metric),
+        "SSE": SequentialScan(row_store, euclidean_metric),
+    }
+    baselines = {"BOND-Hq": "SSH", "BOND-Hh": "SSH", "BOND-Ev": "SSE"}
+
+    timings: dict[str, list[float]] = {name: [] for name in methods}
+    work: dict[str, list[float]] = {name: [] for name in methods}
+    bytes_read: dict[str, list[float]] = {name: [] for name in methods}
+    results_match = True
+    for query in workload:
+        per_query = {}
+        for name, searcher in methods.items():
+            result = searcher.search(query, k)
+            timings[name].append(result.elapsed_seconds)
+            work[name].append(float(result.cost.total_work))
+            bytes_read[name].append(float(result.cost.bytes_read))
+            per_query[name] = result
+        results_match = results_match and result_scores_match(per_query["BOND-Hq"], per_query["SSH"])
+        results_match = results_match and result_scores_match(per_query["BOND-Ev"], per_query["SSE"])
+
+    report = ExperimentReport(
+        experiment_id="tab3", title="Response time: BOND vs sequential scan"
+    )
+    for name in methods:
+        statistics = TimingStatistics.from_samples(timings[name])
+        row: dict[str, object] = {"method": name, **{f"{key}_ms": value for key, value in statistics.as_row().items()}}
+        baseline = baselines.get(name)
+        if baseline is not None:
+            row["bytes_ratio_vs_scan"] = geometric_mean(
+                [scan / bond for scan, bond in zip(bytes_read[baseline], bytes_read[name]) if bond > 0]
+            )
+            row["work_ratio_vs_scan"] = geometric_mean(
+                [scan / bond for scan, bond in zip(work[baseline], work[name]) if bond > 0]
+            )
+        report.add_row(**row)
+
+    report.add_note(f"all BOND results identical to the scans: {results_match}")
+    report.add_note(
+        "paper: Hq is the best histogram-intersection criterion (up to ~10x over SSH); "
+        "Ev beats SSE by a smaller factor because its bounds cost more CPU"
+    )
+    report.add_note(f"scale={scale.name}, |X|={store.cardinality}, k={k}")
+    return report
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    print(run().format_table())

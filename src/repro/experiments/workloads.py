@@ -1,0 +1,75 @@
+"""Datasets and query workloads shared by the experiment modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.clustered import ClusteredConfig, make_clustered
+from repro.datasets.corel import CorelLikeConfig, make_corel_like
+from repro.experiments.base import ExperimentScale
+from repro.storage.decomposed import DecomposedStore
+from repro.storage.rowstore import RowStore
+from repro.workload.queries import QueryWorkload, sample_queries
+
+#: Dimensionality of the main Corel-like collection.
+COREL_DIMENSIONALITY = 166
+#: Dimensionality of the clustered synthetic collection of Section 7.5.
+CLUSTERED_DIMENSIONALITY = 128
+
+
+def corel_collection(
+    scale: ExperimentScale, *, dimensionality: int = COREL_DIMENSIONALITY, seed: int = 42
+) -> np.ndarray:
+    """The Corel-like histogram collection at the requested scale."""
+    return make_corel_like(
+        CorelLikeConfig(
+            cardinality=scale.corel_cardinality,
+            dimensionality=dimensionality,
+            seed=seed,
+        )
+    )
+
+
+def clustered_collection(
+    scale: ExperimentScale,
+    *,
+    dimensionality: int = CLUSTERED_DIMENSIONALITY,
+    skew: float = 1.0,
+    seed: int = 11,
+) -> np.ndarray:
+    """The clustered synthetic collection (Section 7.5) at the requested scale."""
+    return make_clustered(
+        ClusteredConfig(
+            cardinality=scale.clustered_cardinality,
+            dimensionality=dimensionality,
+            skew=skew,
+            seed=seed,
+        )
+    )
+
+
+def corel_setup(
+    scale: ExperimentScale,
+    *,
+    dimensionality: int = COREL_DIMENSIONALITY,
+    seed: int = 42,
+    query_seed: int = 7,
+) -> tuple[np.ndarray, DecomposedStore, RowStore, QueryWorkload]:
+    """Collection, decomposed store, row store and query workload in one call."""
+    collection = corel_collection(scale, dimensionality=dimensionality, seed=seed)
+    queries = sample_queries(collection, scale.num_queries, seed=query_seed)
+    return collection, DecomposedStore(collection), RowStore(collection), queries
+
+
+def clustered_setup(
+    scale: ExperimentScale,
+    *,
+    dimensionality: int = CLUSTERED_DIMENSIONALITY,
+    skew: float = 1.0,
+    seed: int = 11,
+    query_seed: int = 7,
+) -> tuple[np.ndarray, DecomposedStore, RowStore, QueryWorkload]:
+    """Clustered collection, stores and query workload in one call."""
+    collection = clustered_collection(scale, dimensionality=dimensionality, skew=skew, seed=seed)
+    queries = sample_queries(collection, scale.num_queries, seed=query_seed)
+    return collection, DecomposedStore(collection), RowStore(collection), queries

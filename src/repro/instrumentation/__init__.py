@@ -1,0 +1,11 @@
+"""Measurement helpers: pruning curves, timing statistics, cost summaries."""
+
+from repro.instrumentation.pruning import PruningCurveCollector, average_pruning_curve
+from repro.instrumentation.timing import TimingStatistics, time_callable
+
+__all__ = [
+    "PruningCurveCollector",
+    "TimingStatistics",
+    "average_pruning_curve",
+    "time_callable",
+]

@@ -1,0 +1,89 @@
+"""Aggregation of pruning curves across a query workload.
+
+Figures 4-11 of the paper plot, against the number of processed dimensions,
+how many vectors are still candidates (equivalently how many have been
+pruned), reporting best / average / worst over 100 queries.  The collector
+here resamples each query's pruning trace onto a common dimension grid and
+produces exactly those three series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.result import PruningTrace
+from repro.errors import ExperimentError
+
+
+@dataclass
+class PruningCurveCollector:
+    """Collects per-query pruning traces and aggregates them onto a grid.
+
+    Attributes
+    ----------
+    dimensionality:
+        Total number of dimensions of the experiment (the x-axis end point).
+    collection_size:
+        Number of vectors in the collection (the y-axis start point).
+    grid_step:
+        Spacing of the x-axis grid the traces are resampled onto.
+    """
+
+    dimensionality: int
+    collection_size: int
+    grid_step: int = 8
+    _curves: list[np.ndarray] = field(default_factory=list)
+
+    def grid(self) -> np.ndarray:
+        """The common x-axis: 0, step, 2*step, ..., dimensionality."""
+        points = list(range(0, self.dimensionality + 1, self.grid_step))
+        if points[-1] != self.dimensionality:
+            points.append(self.dimensionality)
+        return np.asarray(points, dtype=np.int64)
+
+    def add(self, trace: PruningTrace) -> None:
+        """Resample one query's trace onto the grid and store it."""
+        dimensions, remaining = trace.as_arrays()
+        if dimensions.shape[0] == 0:
+            raise ExperimentError("cannot aggregate an empty pruning trace")
+        grid = self.grid()
+        resampled = np.empty(grid.shape[0], dtype=np.int64)
+        for index, point in enumerate(grid):
+            covered = dimensions <= point
+            if np.any(covered):
+                resampled[index] = remaining[np.nonzero(covered)[0][-1]]
+            else:
+                resampled[index] = self.collection_size
+        self._curves.append(resampled)
+
+    @property
+    def num_queries(self) -> int:
+        """Number of traces collected so far."""
+        return len(self._curves)
+
+    def remaining_candidates(self) -> dict[str, np.ndarray]:
+        """Best / average / worst candidates-remaining series over the grid."""
+        if not self._curves:
+            raise ExperimentError("no pruning traces collected")
+        stacked = np.stack(self._curves, axis=0)
+        return {
+            "best": stacked.min(axis=0),
+            "average": stacked.mean(axis=0),
+            "worst": stacked.max(axis=0),
+        }
+
+    def pruned_vectors(self) -> dict[str, np.ndarray]:
+        """Best / average / worst vectors-pruned series (the paper's y-axis)."""
+        remaining = self.remaining_candidates()
+        return {
+            "best": self.collection_size - remaining["best"],
+            "average": self.collection_size - remaining["average"],
+            "worst": self.collection_size - remaining["worst"],
+        }
+
+
+def average_pruning_curve(collector: PruningCurveCollector) -> tuple[np.ndarray, np.ndarray]:
+    """Convenience accessor: (grid, average pruned vectors)."""
+    return collector.grid(), collector.pruned_vectors()["average"]

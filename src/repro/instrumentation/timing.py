@@ -1,0 +1,70 @@
+"""Wall-clock timing statistics in the shape of the paper's Tables 3 and 4."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, TypeVar
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+ResultType = TypeVar("ResultType")
+
+
+@dataclass
+class TimingStatistics:
+    """Min / max / average / median over a batch of per-query timings.
+
+    Times are stored in seconds; the milliseconds accessors exist because the
+    paper reports milliseconds.
+    """
+
+    samples_seconds: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.samples_seconds = np.asarray(self.samples_seconds, dtype=np.float64)
+        if self.samples_seconds.ndim != 1 or self.samples_seconds.shape[0] == 0:
+            raise ExperimentError("timing statistics need at least one sample")
+
+    @property
+    def minimum_ms(self) -> float:
+        """Fastest query, in milliseconds."""
+        return float(self.samples_seconds.min() * 1000.0)
+
+    @property
+    def maximum_ms(self) -> float:
+        """Slowest query, in milliseconds."""
+        return float(self.samples_seconds.max() * 1000.0)
+
+    @property
+    def average_ms(self) -> float:
+        """Mean query time, in milliseconds."""
+        return float(self.samples_seconds.mean() * 1000.0)
+
+    @property
+    def median_ms(self) -> float:
+        """Median query time, in milliseconds."""
+        return float(np.median(self.samples_seconds) * 1000.0)
+
+    def as_row(self) -> dict[str, float]:
+        """The four columns of Table 3 / Table 4 as a dictionary."""
+        return {
+            "min": self.minimum_ms,
+            "max": self.maximum_ms,
+            "average": self.average_ms,
+            "median": self.median_ms,
+        }
+
+    @classmethod
+    def from_samples(cls, samples_seconds: Iterable[float]) -> "TimingStatistics":
+        """Build statistics from an iterable of per-query durations (seconds)."""
+        return cls(np.asarray(list(samples_seconds), dtype=np.float64))
+
+
+def time_callable(function: Callable[[], ResultType]) -> tuple[ResultType, float]:
+    """Run ``function`` once and return its result and duration in seconds."""
+    started = time.perf_counter()
+    result = function()
+    return result, time.perf_counter() - started

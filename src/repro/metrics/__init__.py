@@ -1,0 +1,49 @@
+"""Similarity metrics and score aggregators.
+
+BOND works for any *associative, monotonic* aggregate over per-dimension
+contributions (Section 4).  The two metrics the paper derives bounds for are:
+
+* **histogram intersection** (Definition 1) — a similarity, larger is better,
+  defined on L1-normalised histograms;
+* **(squared) Euclidean distance** (Definition 2) — a distance, smaller is
+  better, defined on vectors in the unit hyper-box, with the monotone
+  similarity transform of Equation 3;
+
+plus the **weighted squared Euclidean distance** (Definition 3, Appendix A)
+used for weighted and subspace queries.
+
+The metric objects expose both whole-vector scoring (used by the sequential
+baselines and for ground truth) and per-dimension contributions (used by BOND
+to accumulate partial scores fragment by fragment), and declare whether the
+best results are the *largest* or *smallest* aggregate values.
+
+:mod:`repro.metrics.aggregates` provides the arithmetic and fuzzy-logic
+combiners (average, weighted average, min, max) used by multi-feature queries
+(Section 8.2).
+"""
+
+from repro.metrics.base import Metric, MetricKind
+from repro.metrics.histogram import HistogramIntersection
+from repro.metrics.euclidean import EuclideanSimilarity, SquaredEuclidean
+from repro.metrics.weighted import WeightedSquaredEuclidean
+from repro.metrics.aggregates import (
+    AverageAggregate,
+    FuzzyMaxAggregate,
+    FuzzyMinAggregate,
+    ScoreAggregate,
+    WeightedAverageAggregate,
+)
+
+__all__ = [
+    "AverageAggregate",
+    "EuclideanSimilarity",
+    "FuzzyMaxAggregate",
+    "FuzzyMinAggregate",
+    "HistogramIntersection",
+    "Metric",
+    "MetricKind",
+    "ScoreAggregate",
+    "SquaredEuclidean",
+    "WeightedAverageAggregate",
+    "WeightedSquaredEuclidean",
+]

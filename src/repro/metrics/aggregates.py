@@ -1,0 +1,116 @@
+"""Score aggregates for multi-feature queries (Section 8.2).
+
+A multi-feature query compares an object against several query components,
+each evaluated on its own feature collection (e.g. "similar to image A in
+colour and to image B in texture"), and combines the per-component
+similarities with an aggregate function.  The paper considers arithmetic
+aggregates (average, weighted average, as in Güntzer et al.) and fuzzy-logic
+aggregates (min, max, as in Fagin's work).
+
+Each aggregate here combines per-component *similarity* scores (larger is
+better) and also combines per-component lower/upper bounds into global
+lower/upper bounds, which is what the synchronized multi-feature BOND needs
+for pruning.  Monotonicity in every argument is the property that makes the
+bound combination sound.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import QueryError
+
+
+class ScoreAggregate(abc.ABC):
+    """Combine per-component similarity scores into a global score."""
+
+    name: str = "aggregate"
+
+    @abc.abstractmethod
+    def combine(self, component_scores: Sequence[np.ndarray]) -> np.ndarray:
+        """Combine per-component score arrays (one per component, aligned)."""
+
+    def combine_bounds(
+        self,
+        lower_bounds: Sequence[np.ndarray],
+        upper_bounds: Sequence[np.ndarray],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Combine per-component bound arrays into global (lower, upper) bounds.
+
+        For an aggregate monotone increasing in every argument, the global
+        lower bound is the aggregate of the component lower bounds and the
+        global upper bound is the aggregate of the component upper bounds.
+        """
+        return self.combine(lower_bounds), self.combine(upper_bounds)
+
+    @staticmethod
+    def _validate(component_scores: Sequence[np.ndarray]) -> list[np.ndarray]:
+        if len(component_scores) == 0:
+            raise QueryError("an aggregate needs at least one component")
+        arrays = [np.asarray(scores, dtype=np.float64) for scores in component_scores]
+        length = arrays[0].shape[0]
+        for array in arrays[1:]:
+            if array.shape[0] != length:
+                raise QueryError("component score arrays must be aligned (same length)")
+        return arrays
+
+
+class AverageAggregate(ScoreAggregate):
+    """Plain arithmetic mean of the component similarities."""
+
+    name = "average"
+
+    def combine(self, component_scores: Sequence[np.ndarray]) -> np.ndarray:
+        arrays = self._validate(component_scores)
+        return np.mean(np.stack(arrays, axis=0), axis=0)
+
+
+class WeightedAverageAggregate(ScoreAggregate):
+    """Weighted arithmetic mean with non-negative component weights."""
+
+    name = "weighted_average"
+
+    def __init__(self, weights: Sequence[float]) -> None:
+        weight_array = np.asarray(list(weights), dtype=np.float64)
+        if weight_array.ndim != 1 or len(weight_array) == 0:
+            raise QueryError("weights must be a non-empty 1-D sequence")
+        if np.any(weight_array < 0.0) or not np.any(weight_array > 0.0):
+            raise QueryError("weights must be non-negative with at least one positive entry")
+        self._weights = weight_array / weight_array.sum()
+
+    @property
+    def weights(self) -> np.ndarray:
+        """The normalised component weights (summing to one)."""
+        return self._weights
+
+    def combine(self, component_scores: Sequence[np.ndarray]) -> np.ndarray:
+        arrays = self._validate(component_scores)
+        if len(arrays) != len(self._weights):
+            raise QueryError(
+                f"aggregate has {len(self._weights)} weights but received {len(arrays)} components"
+            )
+        stacked = np.stack(arrays, axis=0)
+        return np.einsum("c,cn->n", self._weights, stacked)
+
+
+class FuzzyMinAggregate(ScoreAggregate):
+    """Fuzzy conjunction: the global similarity is the worst component."""
+
+    name = "fuzzy_min"
+
+    def combine(self, component_scores: Sequence[np.ndarray]) -> np.ndarray:
+        arrays = self._validate(component_scores)
+        return np.min(np.stack(arrays, axis=0), axis=0)
+
+
+class FuzzyMaxAggregate(ScoreAggregate):
+    """Fuzzy disjunction: the global similarity is the best component."""
+
+    name = "fuzzy_max"
+
+    def combine(self, component_scores: Sequence[np.ndarray]) -> np.ndarray:
+        arrays = self._validate(component_scores)
+        return np.max(np.stack(arrays, axis=0), axis=0)

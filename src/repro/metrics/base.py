@@ -1,0 +1,97 @@
+"""Metric protocol: monotone aggregates over per-dimension contributions.
+
+Section 3.1 of the paper requires the aggregate ``S`` to be associative and
+monotonic (and, for the dimension-ordering optimisation of Section 5.1,
+commutative).  The :class:`Metric` base class captures that contract:
+
+* :meth:`Metric.contributions` returns, for a column of coefficients and one
+  query coefficient, the per-vector contribution of that dimension to the
+  aggregate; BOND sums these column by column to build partial scores
+  ``S(x⁻, q⁻)``;
+* :meth:`Metric.score` evaluates the full aggregate on complete vectors (used
+  by the sequential baselines and for ground truth);
+* :attr:`Metric.kind` says whether the k *largest* (similarity) or k
+  *smallest* (distance) aggregate values are the best, which flips the
+  direction of the pruning test (Algorithm 2, step 4 and its remark).
+"""
+
+from __future__ import annotations
+
+import abc
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import MetricError
+
+
+class MetricKind(Enum):
+    """Whether larger or smaller aggregate values are better."""
+
+    SIMILARITY = "similarity"  # best results have the LARGEST aggregate
+    DISTANCE = "distance"      # best results have the SMALLEST aggregate
+
+    @property
+    def larger_is_better(self) -> bool:
+        """True for similarities, False for distances."""
+        return self is MetricKind.SIMILARITY
+
+
+class Metric(abc.ABC):
+    """A similarity or distance metric decomposable over dimensions."""
+
+    #: Human-readable name used in reports.
+    name: str = "metric"
+
+    @property
+    @abc.abstractmethod
+    def kind(self) -> MetricKind:
+        """Whether the k best results are the largest or smallest scores."""
+
+    @abc.abstractmethod
+    def contributions(
+        self, column: np.ndarray, query_value: float, *, dimension: int | None = None
+    ) -> np.ndarray:
+        """Per-vector contribution of one dimension to the aggregate.
+
+        Parameters
+        ----------
+        column:
+            The coefficients of one dimension for every (candidate) vector.
+        query_value:
+            The query's coefficient in that dimension.
+        dimension:
+            Index of the dimension in the original space.  Unweighted metrics
+            ignore it; the weighted metric needs it to select the weight.
+        """
+
+    @abc.abstractmethod
+    def score(self, vectors: np.ndarray, query: np.ndarray) -> np.ndarray:
+        """Full aggregate between every row of ``vectors`` and ``query``."""
+
+    def arithmetic_ops_per_value(self) -> int:
+        """Scalar operations charged per coefficient in the cost model."""
+        return 1
+
+    def validate_query(self, query: np.ndarray) -> np.ndarray:
+        """Validate and normalise a query vector; subclasses may override."""
+        query = np.asarray(query, dtype=np.float64)
+        if query.ndim != 1:
+            raise MetricError(f"query must be a 1-D vector, got shape {query.shape}")
+        return query
+
+    def best_first(self, scores: np.ndarray) -> np.ndarray:
+        """Indices that sort ``scores`` from best to worst for this metric."""
+        order = np.argsort(scores, kind="stable")
+        if self.kind.larger_is_better:
+            return order[::-1]
+        return order
+
+    def better(self, left: float, right: float) -> bool:
+        """Whether score ``left`` is strictly better than score ``right``."""
+        if self.kind.larger_is_better:
+            return left > right
+        return left < right
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} kind={self.kind.value}>"

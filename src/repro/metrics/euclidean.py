@@ -1,0 +1,111 @@
+"""Squared Euclidean distance (Definition 2) and its similarity form (Eq. 3).
+
+The paper works with the *squared* distance ``delta(v, q) = sum_i (v_i - q_i)^2``
+because it avoids the square root and is monotonically related to the true
+distance; for presentation it also defines the similarity
+``Sim(v, q) = 1 - sqrt(delta(v, q) / N)`` on vectors in the unit hyper-box.
+BOND's bounds (Section 4.3) are derived for the squared distance; the
+similarity wrapper is provided for applications that want a [0, 1]-ish score.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MetricError
+from repro.metrics.base import Metric, MetricKind
+
+
+class SquaredEuclidean(Metric):
+    """Squared Euclidean distance over vectors in the unit hyper-box."""
+
+    name = "squared_euclidean"
+
+    def __init__(self, *, require_unit_box: bool = True) -> None:
+        self._require_unit_box = require_unit_box
+
+    @property
+    def kind(self) -> MetricKind:
+        """A distance: smaller is better."""
+        return MetricKind.DISTANCE
+
+    def contributions(
+        self, column: np.ndarray, query_value: float, *, dimension: int | None = None
+    ) -> np.ndarray:
+        """Per-vector contribution ``(v_i - q_i)^2`` of one dimension."""
+        difference = np.asarray(column, dtype=np.float64) - float(query_value)
+        return difference * difference
+
+    def score(self, vectors: np.ndarray, query: np.ndarray) -> np.ndarray:
+        """Squared distance between every row of ``vectors`` and ``query``."""
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        query = self.validate_query(query)
+        if vectors.shape[1] != query.shape[0]:
+            raise MetricError(
+                f"dimensionality mismatch: vectors have {vectors.shape[1]}, query has {query.shape[0]}"
+            )
+        difference = vectors - query[None, :]
+        return np.einsum("ij,ij->i", difference, difference)
+
+    def validate_query(self, query: np.ndarray) -> np.ndarray:
+        """Check the query lies in the unit hyper-box (needed by the Eq bound)."""
+        query = super().validate_query(query)
+        if self._require_unit_box and (np.any(query < 0.0) or np.any(query > 1.0)):
+            raise MetricError(
+                "squared Euclidean queries must lie in the unit hyper-box [0, 1]^N; "
+                "rescale the data or construct the metric with require_unit_box=False"
+            )
+        return query
+
+    def arithmetic_ops_per_value(self) -> int:
+        """One subtract, one multiply, one add per coefficient."""
+        return 3
+
+
+class EuclideanSimilarity(Metric):
+    """The similarity form ``1 - sqrt(delta / N)`` of Equation 3.
+
+    The transform is monotone in the squared distance, so it returns exactly
+    the same ranking; it exists so applications can report scores where 1
+    means identical.  BOND itself should be run with
+    :class:`SquaredEuclidean` (the paper's footnote 2 makes the same choice).
+    """
+
+    name = "euclidean_similarity"
+
+    def __init__(self) -> None:
+        self._squared = SquaredEuclidean()
+
+    @property
+    def kind(self) -> MetricKind:
+        """A similarity: larger is better."""
+        return MetricKind.SIMILARITY
+
+    def contributions(
+        self, column: np.ndarray, query_value: float, *, dimension: int | None = None
+    ) -> np.ndarray:
+        """Per-dimension contributions are those of the squared distance.
+
+        The final similarity is a monotone transform of their sum, so BOND
+        callers should aggregate squared-distance contributions and apply
+        :meth:`finalize` at the end; this method exists to satisfy the metric
+        protocol for code paths that only need rankings.
+        """
+        return self._squared.contributions(column, query_value)
+
+    def score(self, vectors: np.ndarray, query: np.ndarray) -> np.ndarray:
+        """Similarity of Equation 3 for every row of ``vectors``."""
+        query = self._squared.validate_query(query)
+        squared = self._squared.score(vectors, query)
+        return self.finalize(squared, dimensionality=query.shape[0])
+
+    @staticmethod
+    def finalize(squared_distances: np.ndarray, *, dimensionality: int) -> np.ndarray:
+        """Convert squared distances to the similarity of Equation 3."""
+        if dimensionality <= 0:
+            raise MetricError("dimensionality must be positive")
+        return 1.0 - np.sqrt(np.asarray(squared_distances, dtype=np.float64) / dimensionality)
+
+    def arithmetic_ops_per_value(self) -> int:
+        """Same inner-loop cost as the squared distance."""
+        return 3

@@ -1,0 +1,120 @@
+"""Weighted squared Euclidean distance (Definition 3, Appendix A).
+
+Each dimension gets a non-negative weight ``w_i`` reflecting its importance in
+the query; the distance is ``delta_w(v, q) = sum_i w_i (v_i - q_i)^2``.  When
+the weights sum to N the similarity of Equation 3 applies unchanged.  Subspace
+queries (Section 8.1) are the special case where all weights are 0 or a common
+positive value.
+
+Geometrically the weights stretch or shrink each axis by ``sqrt(w_i)``
+(Figure 13), which is how the weighted pruning bounds of Appendix A are
+derived.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MetricError, QueryError
+from repro.metrics.base import Metric, MetricKind
+
+
+class WeightedSquaredEuclidean(Metric):
+    """Weighted squared Euclidean distance with per-dimension weights."""
+
+    name = "weighted_squared_euclidean"
+
+    def __init__(self, weights: np.ndarray, *, normalize_to_dimensionality: bool = False) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1:
+            raise QueryError(f"weights must be a 1-D vector, got shape {weights.shape}")
+        if np.any(weights < 0.0):
+            raise QueryError("weights must be non-negative")
+        if not np.any(weights > 0.0):
+            raise QueryError("at least one weight must be positive")
+        if normalize_to_dimensionality:
+            weights = weights * (weights.shape[0] / weights.sum())
+        self._weights = weights
+
+    @property
+    def kind(self) -> MetricKind:
+        """A distance: smaller is better."""
+        return MetricKind.DISTANCE
+
+    @property
+    def weights(self) -> np.ndarray:
+        """The per-dimension weight vector."""
+        return self._weights
+
+    @property
+    def dimensionality(self) -> int:
+        """Number of dimensions the weight vector covers."""
+        return int(self._weights.shape[0])
+
+    def active_dimensions(self) -> np.ndarray:
+        """Indices of dimensions with a strictly positive weight.
+
+        Subspace queries never need to access the other fragments at all —
+        one of the advantages of the decomposed design (Section 8.1).
+        """
+        return np.nonzero(self._weights > 0.0)[0].astype(np.int64)
+
+    def weight_of(self, dimension: int) -> float:
+        """The weight of one dimension."""
+        return float(self._weights[dimension])
+
+    def contributions(
+        self, column: np.ndarray, query_value: float, *, dimension: int | None = None
+    ) -> np.ndarray:
+        """Per-vector contribution ``w_i (v_i - q_i)^2`` of one dimension.
+
+        ``dimension`` selects the weight; it is required because the weight
+        differs per dimension (unlike the unweighted metrics).
+        """
+        if dimension is None:
+            raise MetricError("WeightedSquaredEuclidean.contributions needs the dimension index")
+        difference = np.asarray(column, dtype=np.float64) - float(query_value)
+        return self._weights[dimension] * difference * difference
+
+    def score(self, vectors: np.ndarray, query: np.ndarray) -> np.ndarray:
+        """Weighted squared distance between every row of ``vectors`` and ``query``."""
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        query = self.validate_query(query)
+        if vectors.shape[1] != self.dimensionality:
+            raise MetricError(
+                f"vectors have {vectors.shape[1]} dimensions, weights cover {self.dimensionality}"
+            )
+        difference = vectors - query[None, :]
+        return np.einsum("ij,j,ij->i", difference, self._weights, difference)
+
+    def validate_query(self, query: np.ndarray) -> np.ndarray:
+        """Check the query matches the weight vector and lies in the unit box."""
+        query = super().validate_query(query)
+        if query.shape[0] != self.dimensionality:
+            raise MetricError(
+                f"query has {query.shape[0]} dimensions, weights cover {self.dimensionality}"
+            )
+        if np.any(query < 0.0) or np.any(query > 1.0):
+            raise MetricError("weighted Euclidean queries must lie in the unit hyper-box")
+        return query
+
+    def arithmetic_ops_per_value(self) -> int:
+        """Subtract, square, scale, add per coefficient."""
+        return 4
+
+    @classmethod
+    def for_subspace(cls, dimensionality: int, dimensions: np.ndarray | list[int]) -> "WeightedSquaredEuclidean":
+        """Build the metric for a subspace query over the given dimensions.
+
+        All selected dimensions get weight 1, the rest weight 0 (Section 8.1:
+        subspace search is weighted search with equal positive weights on the
+        relevant dimensions and zero elsewhere).
+        """
+        dimension_array = np.asarray(dimensions, dtype=np.int64)
+        if len(dimension_array) == 0:
+            raise QueryError("a subspace query needs at least one dimension")
+        if dimension_array.min() < 0 or dimension_array.max() >= dimensionality:
+            raise QueryError("subspace dimension outside the collection dimensionality")
+        weights = np.zeros(dimensionality, dtype=np.float64)
+        weights[dimension_array] = 1.0
+        return cls(weights)

@@ -1,0 +1,195 @@
+"""8-bit approximated dimension fragments (Section 7.4, Figure 9, Table 4).
+
+The paper shows that BOND composes with the approximation idea of the VA-file:
+each double coefficient is replaced by an 8-bit approximation per dimension,
+the branch-and-bound filter runs on the small approximate fragments, and a
+refinement step on the exact vectors of the surviving candidates produces the
+final answer.  Because the quantisation error is bounded per dimension, the
+filter can use *error-adjusted* partial scores that never prune a true
+top-k member.
+
+:class:`CompressedFragment` quantises one dimension to ``2**bits`` uniform
+cells between the observed minimum and maximum; it can reconstruct both an
+approximate value and per-value lower/upper bounds on the original value.
+:class:`CompressedStore` holds one compressed fragment per dimension next to
+the exact :class:`~repro.storage.decomposed.DecomposedStore` used for
+refinement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.bat import BAT
+from repro.engine.cost import CostModel, COMPRESSED_BYTES, DOUBLE_BYTES
+from repro.errors import StorageError
+from repro.storage.decomposed import DecomposedStore
+
+
+@dataclass
+class CompressedFragment:
+    """One dimension's coefficients quantised to ``2**bits`` uniform cells."""
+
+    codes: np.ndarray
+    minimum: float
+    maximum: float
+    bits: int
+
+    @classmethod
+    def from_values(cls, values: np.ndarray, *, bits: int = 8) -> "CompressedFragment":
+        """Quantise ``values`` into ``2**bits`` cells spanning their range."""
+        if bits < 1 or bits > 16:
+            raise StorageError("compressed fragments support 1..16 bits per value")
+        values = np.asarray(values, dtype=np.float64)
+        minimum = float(values.min())
+        maximum = float(values.max())
+        levels = (1 << bits) - 1
+        if maximum > minimum:
+            scaled = (values - minimum) / (maximum - minimum) * levels
+        else:
+            scaled = np.zeros_like(values)
+        dtype = np.uint8 if bits <= 8 else np.uint16
+        codes = np.clip(np.rint(scaled), 0, levels).astype(dtype)
+        return cls(codes=codes, minimum=minimum, maximum=maximum, bits=bits)
+
+    def __len__(self) -> int:
+        return int(self.codes.shape[0])
+
+    @property
+    def cell_width(self) -> float:
+        """Width of one quantisation cell in the original value space."""
+        levels = (1 << self.bits) - 1
+        if self.maximum == self.minimum:
+            return 0.0
+        return (self.maximum - self.minimum) / levels
+
+    def reconstruct(self) -> np.ndarray:
+        """Approximate values (cell midpoints are not needed; codes map back linearly)."""
+        return self.minimum + self.codes.astype(np.float64) * self.cell_width
+
+    def value_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-value (lower, upper) bounds on the original coefficients.
+
+        Rounding to the nearest level means the true value lies within half a
+        cell of the reconstruction.
+        """
+        approx = self.reconstruct()
+        half = self.cell_width / 2.0
+        return approx - half, approx + half
+
+    def storage_bytes(self) -> int:
+        """Bytes of the code array plus the two range doubles."""
+        return len(self) * self.codes.itemsize + 2 * DOUBLE_BYTES
+
+
+class CompressedStore:
+    """Approximate (quantised) dimension fragments over an exact store.
+
+    Parameters
+    ----------
+    exact:
+        The exact decomposed store; retained for the refinement step.
+    bits:
+        Bits per coefficient in the approximation (the paper uses 8).
+    cost:
+        Cost model for approximate-fragment reads.  Defaults to the exact
+        store's model so filter and refinement costs accumulate together.
+    """
+
+    def __init__(
+        self,
+        exact: DecomposedStore,
+        *,
+        bits: int = 8,
+        cost: CostModel | None = None,
+    ) -> None:
+        self._exact = exact
+        self._bits = bits
+        self._cost = cost if cost is not None else exact.cost
+        self._fragments = [
+            CompressedFragment.from_values(exact.matrix[:, dim], bits=bits)
+            for dim in range(exact.dimensionality)
+        ]
+
+    @property
+    def exact(self) -> DecomposedStore:
+        """The exact store used for refinement."""
+        return self._exact
+
+    @property
+    def bits(self) -> int:
+        """Bits per approximated coefficient."""
+        return self._bits
+
+    @property
+    def cardinality(self) -> int:
+        """Number of vectors."""
+        return self._exact.cardinality
+
+    @property
+    def dimensionality(self) -> int:
+        """Number of dimensions."""
+        return self._exact.dimensionality
+
+    @property
+    def cost(self) -> CostModel:
+        """The cost model approximate reads are charged to."""
+        return self._cost
+
+    def fragment(self, dimension: int) -> CompressedFragment:
+        """Return the compressed fragment of ``dimension`` (charging its read)."""
+        if dimension < 0 or dimension >= self.dimensionality:
+            raise StorageError(
+                f"dimension {dimension} outside dimensionality {self.dimensionality}"
+            )
+        fragment = self._fragments[dimension]
+        self._cost.charge_scan(len(fragment), COMPRESSED_BYTES)
+        return fragment
+
+    def approximate_fragment_bat(self, dimension: int) -> BAT:
+        """The reconstructed (approximate) values of one dimension as a BAT."""
+        fragment = self.fragment(dimension)
+        return BAT.dense(fragment.reconstruct(), name=f"{self._exact.name}.c{dimension}")
+
+    def bounded_fragment(self, dimension: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-vector (lower, upper) bounds of one dimension's true values."""
+        return self.fragment(dimension).value_bounds()
+
+    def bounded_fragment_for(
+        self, dimension: int, oids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Bounds of one dimension restricted to the given candidate OIDs.
+
+        Charges only the candidates' codes (positional fetches into the
+        compressed fragment), which is the access pattern of BOND once the
+        candidate set has shrunk — and the reason BOND-on-approximations beats
+        a full VA-file scan (Table 4).
+        """
+        if dimension < 0 or dimension >= self.dimensionality:
+            raise StorageError(
+                f"dimension {dimension} outside dimensionality {self.dimensionality}"
+            )
+        oids = np.asarray(oids, dtype=np.int64)
+        fragment = self._fragments[dimension]
+        self._cost.charge_random_access(len(oids), COMPRESSED_BYTES)
+        lower, upper = fragment.value_bounds()
+        return lower[oids], upper[oids]
+
+    def max_quantization_error(self, dimension: int) -> float:
+        """Half a cell width: the largest possible per-value reconstruction error."""
+        return self._fragments[dimension].cell_width / 2.0
+
+    def storage_bytes(self) -> int:
+        """Bytes of all compressed fragments (excluding the exact store)."""
+        return sum(fragment.storage_bytes() for fragment in self._fragments)
+
+    def compression_ratio(self) -> float:
+        """Exact store bytes divided by compressed bytes (≈ 8 for 8-bit codes)."""
+        return self._exact.storage_bytes() / self.storage_bytes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CompressedStore |{self.cardinality}| x {self.dimensionality} @ {self._bits} bits>"
+        )

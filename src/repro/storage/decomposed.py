@@ -1,0 +1,265 @@
+"""The vertically decomposed (DSM) store that BOND runs on.
+
+A :class:`DecomposedStore` fragments an ``|X| x N`` matrix of feature vectors
+into N dimension fragments, each a :class:`~repro.engine.bat.BAT` with a
+virtual dense head holding the coefficients of one dimension for every vector
+(Figure 3a of the paper).  The store hands out fragments one at a time —
+that independent per-dimension access is exactly what BOND exploits — and
+charges fragment reads to a shared :class:`~repro.engine.cost.CostModel`.
+
+Updates follow Section 6.2: appends and deletes are buffered in a
+:class:`~repro.engine.updates.DeltaLog` and merged at ``reorganize()`` time;
+a delete bitmap masks deleted vectors from queries in the meantime.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.engine.bat import BAT
+from repro.engine.bitmap import Bitmap
+from repro.engine.cost import CostModel, DOUBLE_BYTES
+from repro.engine.operators import semijoin
+from repro.engine.updates import DeltaLog
+from repro.errors import StorageError
+
+
+class DecomposedStore:
+    """Vertically fragmented storage of a feature-vector collection.
+
+    Parameters
+    ----------
+    vectors:
+        The ``|X| x N`` matrix of feature vectors (rows are vectors).
+    cost:
+        Cost model charged by fragment reads.  A private model is created
+        when omitted.
+    name:
+        Label used in fragment names and reprs.
+    precompute_row_sums:
+        Whether to materialise the per-vector total ``T(v)`` (needed by the
+        ``Ev`` bound of Section 4.3, which the paper materialises as an extra
+        table).  Costs one extra column of doubles.
+    """
+
+    def __init__(
+        self,
+        vectors: np.ndarray,
+        *,
+        cost: CostModel | None = None,
+        name: str = "collection",
+        precompute_row_sums: bool = True,
+    ) -> None:
+        matrix = np.asarray(vectors, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise StorageError(f"expected a 2-D vector matrix, got shape {matrix.shape}")
+        if matrix.shape[0] == 0 or matrix.shape[1] == 0:
+            raise StorageError("the collection must contain at least one vector and one dimension")
+        self._matrix = matrix
+        self._cost = cost if cost is not None else CostModel()
+        self.name = name
+        self._alignment_token = id(self)
+        self._fragments = [
+            BAT.dense(matrix[:, dim], alignment=self._alignment_token, name=f"{name}.d{dim}")
+            for dim in range(matrix.shape[1])
+        ]
+        self._row_sums: BAT | None = None
+        if precompute_row_sums:
+            self._row_sums = BAT.dense(
+                matrix.sum(axis=1), alignment=self._alignment_token, name=f"{name}.rowsum"
+            )
+        self._delta = DeltaLog(dimensionality=matrix.shape[1])
+        self._deleted = Bitmap(matrix.shape[0])
+
+    # -- shape ---------------------------------------------------------------
+
+    @property
+    def cardinality(self) -> int:
+        """Number of vectors in the (reorganised) collection."""
+        return int(self._matrix.shape[0])
+
+    @property
+    def dimensionality(self) -> int:
+        """Number of dimensions per vector."""
+        return int(self._matrix.shape[1])
+
+    def __len__(self) -> int:
+        return self.cardinality
+
+    @property
+    def cost(self) -> CostModel:
+        """The cost model fragment reads are charged to."""
+        return self._cost
+
+    # -- fragment access ------------------------------------------------------
+
+    def fragment(self, dimension: int, *, charge: bool = True) -> BAT:
+        """Return the dimension fragment for ``dimension``.
+
+        ``charge=True`` (the default) charges a full sequential read of the
+        fragment to the cost model — this is the access BOND performs in its
+        early, bitmap-based iterations.
+        """
+        self._check_dimension(dimension)
+        fragment = self._fragments[dimension]
+        if charge:
+            self._cost.charge_scan(len(fragment), DOUBLE_BYTES)
+        return fragment
+
+    def fragment_for_candidates(self, dimension: int, candidates: Bitmap) -> BAT:
+        """Return the fragment restricted to a candidate bitmap.
+
+        Only the surviving values are charged to the cost model when the
+        candidate set is already materialised (post switch-over); the full
+        fragment scan cost is charged by :func:`semijoin` itself when a
+        bitmap filter has to inspect every position.
+        """
+        self._check_dimension(dimension)
+        return semijoin(self._fragments[dimension], candidates, cost=self._cost)
+
+    def gather(self, dimension: int, oids: np.ndarray | Sequence[int]) -> np.ndarray:
+        """Return fragment values for the given OIDs (positional gathers)."""
+        self._check_dimension(dimension)
+        oid_array = np.asarray(oids, dtype=np.int64)
+        self._cost.charge_random_access(len(oid_array), DOUBLE_BYTES)
+        return self._matrix[oid_array, dimension]
+
+    def gather_matrix(self, oids: np.ndarray | Sequence[int], dimensions: Sequence[int] | None = None) -> np.ndarray:
+        """Return the sub-matrix of the given OIDs restricted to ``dimensions``.
+
+        Used by refinement steps that need the exact vectors of a small
+        candidate set.
+        """
+        oid_array = np.asarray(oids, dtype=np.int64)
+        if dimensions is None:
+            selected = self._matrix[oid_array]
+        else:
+            selected = self._matrix[np.ix_(oid_array, np.asarray(dimensions, dtype=np.int64))]
+        self._cost.charge_random_access(selected.size, DOUBLE_BYTES)
+        return selected
+
+    def iter_fragments(self, order: Sequence[int] | None = None) -> Iterator[tuple[int, BAT]]:
+        """Iterate ``(dimension, fragment)`` pairs in the given order."""
+        dimensions = range(self.dimensionality) if order is None else order
+        for dimension in dimensions:
+            yield dimension, self.fragment(dimension)
+
+    def row_sums(self) -> BAT:
+        """The materialised ``T(v)`` column (per-vector total).
+
+        Raises :class:`StorageError` if the store was created with
+        ``precompute_row_sums=False`` — the Ev bound then cannot be used
+        without first calling :meth:`materialize_row_sums`.
+        """
+        if self._row_sums is None:
+            raise StorageError(
+                "row sums were not materialised; create the store with "
+                "precompute_row_sums=True or call materialize_row_sums()"
+            )
+        self._cost.charge_scan(len(self._row_sums), DOUBLE_BYTES)
+        return self._row_sums
+
+    def materialize_row_sums(self) -> BAT:
+        """Materialise (and return) the ``T(v)`` column if not already present."""
+        if self._row_sums is None:
+            self._row_sums = BAT.dense(
+                self._matrix.sum(axis=1),
+                alignment=self._alignment_token,
+                name=f"{self.name}.rowsum",
+            )
+        return self._row_sums
+
+    # -- whole-collection access (used by baselines / ground truth) -----------
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The underlying matrix (no cost charged; intended for ground truth)."""
+        return self._matrix
+
+    def vector(self, oid: int) -> np.ndarray:
+        """Return one full vector by OID (charged as N random accesses)."""
+        if oid < 0 or oid >= self.cardinality:
+            raise StorageError(f"OID {oid} outside collection of size {self.cardinality}")
+        self._cost.charge_random_access(self.dimensionality, DOUBLE_BYTES)
+        return self._matrix[oid]
+
+    # -- candidate helpers -----------------------------------------------------
+
+    def full_candidates(self) -> Bitmap:
+        """A bitmap of all live (non-deleted) vectors."""
+        bitmap = Bitmap.full(self.cardinality)
+        if len(self._deleted):
+            bitmap = bitmap.difference(self._deleted)
+        return bitmap
+
+    # -- storage accounting ----------------------------------------------------
+
+    def storage_bytes(self) -> int:
+        """Total bytes of the fragments plus the optional row-sum column."""
+        total = sum(fragment.storage_bytes() for fragment in self._fragments)
+        if self._row_sums is not None:
+            total += self._row_sums.storage_bytes()
+        return total
+
+    def storage_overhead_ratio(self) -> float:
+        """Storage relative to the plain row-major matrix of doubles.
+
+        The paper claims "practically no storage overhead"; with virtual OIDs
+        the only overhead is the optional ``T(v)`` column, i.e. a factor of
+        ``(N + 1) / N``.
+        """
+        base = self.cardinality * self.dimensionality * DOUBLE_BYTES
+        return self.storage_bytes() / base
+
+    # -- updates (Section 6.2) ---------------------------------------------------
+
+    @property
+    def deleted(self) -> Bitmap:
+        """Bitmap of OIDs deleted since the last reorganisation."""
+        return self._deleted
+
+    @property
+    def pending_updates(self) -> int:
+        """Number of buffered delta entries."""
+        return len(self._delta)
+
+    def append(self, vectors: np.ndarray) -> None:
+        """Buffer the append of one or more vectors (visible after reorganize)."""
+        self._delta.record_append(vectors)
+
+    def delete(self, oids: Sequence[int] | np.ndarray) -> None:
+        """Mark vectors as deleted.
+
+        Deletions take effect immediately for queries (via the delete bitmap)
+        and are merged into the fragments at the next :meth:`reorganize`.
+        """
+        oid_array = np.asarray(list(np.atleast_1d(oids)), dtype=np.int64)
+        if len(oid_array) and (oid_array.min() < 0 or oid_array.max() >= self.cardinality):
+            raise StorageError("delete targets an OID outside the current collection")
+        self._delta.record_delete(oid_array)
+        for oid in oid_array:
+            self._deleted.set(int(oid))
+
+    def reorganize(self) -> None:
+        """Apply buffered appends and deletes and rebuild the fragments."""
+        new_matrix = self._delta.apply(self._matrix)
+        had_row_sums = self._row_sums is not None
+        self.__init__(
+            new_matrix,
+            cost=self._cost,
+            name=self.name,
+            precompute_row_sums=had_row_sums,
+        )
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _check_dimension(self, dimension: int) -> None:
+        if dimension < 0 or dimension >= self.dimensionality:
+            raise StorageError(
+                f"dimension {dimension} outside collection dimensionality {self.dimensionality}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DecomposedStore {self.name!r} |{self.cardinality}| x {self.dimensionality}>"

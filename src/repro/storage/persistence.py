@@ -1,0 +1,150 @@
+"""On-disk persistence of decomposed collections.
+
+The paper's physical design is literally "one table per dimension"; this
+module gives that a concrete on-disk shape so a collection can be ingested
+once and queried across process restarts:
+
+* every dimension fragment is stored as its own little-endian float64 binary
+  file (``dim_00000.col`` ...) — reading one dimension never touches the
+  others, which is the whole point of the layout;
+* the optional row-sum column (needed by the Ev bound) is a separate file;
+* a JSON manifest records the shape, dtype and layout version.
+
+The format is deliberately simple (raw columns + manifest) rather than a
+custom container: it keeps the one-fragment-one-file property visible and
+makes the storage layout auditable with nothing but ``ls`` and ``numpy``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.engine.cost import CostModel
+from repro.errors import StorageError
+from repro.storage.decomposed import DecomposedStore
+
+#: Version tag written into every manifest; bump on layout changes.
+LAYOUT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+ROW_SUM_NAME = "row_sums.col"
+
+
+def fragment_file_name(dimension: int) -> str:
+    """File name of one dimension fragment."""
+    return f"dim_{dimension:05d}.col"
+
+
+def save_decomposed(store: DecomposedStore, directory: str | pathlib.Path, *, overwrite: bool = False) -> pathlib.Path:
+    """Write a decomposed store to ``directory`` (one file per fragment).
+
+    Parameters
+    ----------
+    store:
+        The collection to persist.  Pending (unreorganised) updates are not
+        written; call :meth:`DecomposedStore.reorganize` first if needed.
+    directory:
+        Target directory; created if missing.
+    overwrite:
+        Allow writing into a directory that already contains a manifest.
+    """
+    if store.pending_updates:
+        raise StorageError(
+            "the store has buffered updates; call reorganize() before saving so the "
+            "on-disk fragments reflect the logical collection"
+        )
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    manifest_path = path / MANIFEST_NAME
+    if manifest_path.exists() and not overwrite:
+        raise StorageError(f"{path} already contains a persisted collection (pass overwrite=True)")
+
+    matrix = store.matrix
+    for dimension in range(store.dimensionality):
+        column = np.ascontiguousarray(matrix[:, dimension], dtype="<f8")
+        column.tofile(path / fragment_file_name(dimension))
+
+    has_row_sums = True
+    try:
+        row_sums = store.row_sums().tail
+    except StorageError:
+        has_row_sums = False
+    if has_row_sums:
+        np.ascontiguousarray(row_sums, dtype="<f8").tofile(path / ROW_SUM_NAME)
+
+    manifest = {
+        "layout_version": LAYOUT_VERSION,
+        "name": store.name,
+        "cardinality": store.cardinality,
+        "dimensionality": store.dimensionality,
+        "dtype": "<f8",
+        "has_row_sums": has_row_sums,
+    }
+    manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
+    return path
+
+
+def load_manifest(directory: str | pathlib.Path) -> dict:
+    """Read and validate the manifest of a persisted collection."""
+    path = pathlib.Path(directory)
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise StorageError(f"{path} does not contain a persisted collection (missing {MANIFEST_NAME})")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("layout_version") != LAYOUT_VERSION:
+        raise StorageError(
+            f"unsupported layout version {manifest.get('layout_version')!r} (expected {LAYOUT_VERSION})"
+        )
+    for key in ("cardinality", "dimensionality", "dtype"):
+        if key not in manifest:
+            raise StorageError(f"manifest is missing the required key {key!r}")
+    return manifest
+
+
+def load_decomposed(
+    directory: str | pathlib.Path,
+    *,
+    cost: CostModel | None = None,
+    dimensions: list[int] | None = None,
+) -> DecomposedStore:
+    """Load a persisted collection back into a :class:`DecomposedStore`.
+
+    ``dimensions`` restricts the load to a subset of fragments (the on-disk
+    analogue of a subspace query: unneeded fragment files are never opened);
+    the returned store then has that reduced dimensionality.
+    """
+    path = pathlib.Path(directory)
+    manifest = load_manifest(path)
+    cardinality = int(manifest["cardinality"])
+    dimensionality = int(manifest["dimensionality"])
+    wanted = list(range(dimensionality)) if dimensions is None else list(dimensions)
+    if any(dimension < 0 or dimension >= dimensionality for dimension in wanted):
+        raise StorageError("requested dimension outside the persisted dimensionality")
+
+    matrix = np.empty((cardinality, len(wanted)), dtype=np.float64)
+    for position, dimension in enumerate(wanted):
+        fragment_path = path / fragment_file_name(dimension)
+        if not fragment_path.exists():
+            raise StorageError(f"missing fragment file {fragment_path.name}")
+        column = np.fromfile(fragment_path, dtype=manifest["dtype"])
+        if column.shape[0] != cardinality:
+            raise StorageError(
+                f"fragment {fragment_path.name} has {column.shape[0]} values, expected {cardinality}"
+            )
+        matrix[:, position] = column
+
+    return DecomposedStore(
+        matrix,
+        cost=cost,
+        name=str(manifest.get("name", path.name)),
+        precompute_row_sums=bool(manifest.get("has_row_sums", True)),
+    )
+
+
+def persisted_size_bytes(directory: str | pathlib.Path) -> int:
+    """Total bytes of all fragment files (excluding the manifest)."""
+    path = pathlib.Path(directory)
+    load_manifest(path)
+    return sum(file.stat().st_size for file in path.glob("*.col"))

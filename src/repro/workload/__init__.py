@@ -1,0 +1,12 @@
+"""Query workloads, ground truth and quality checking."""
+
+from repro.workload.queries import QueryWorkload, sample_queries
+from repro.workload.ground_truth import exact_top_k, recall, result_scores_match
+
+__all__ = [
+    "QueryWorkload",
+    "exact_top_k",
+    "recall",
+    "result_scores_match",
+    "sample_queries",
+]

@@ -1,0 +1,40 @@
+"""Exact ground truth and result-quality checks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.result import SearchResult
+from repro.errors import ExperimentError
+from repro.metrics.base import Metric
+
+
+def exact_top_k(vectors: np.ndarray, query: np.ndarray, k: int, metric: Metric) -> SearchResult:
+    """Brute-force exact top-k (used as ground truth in tests and experiments)."""
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if vectors.ndim != 2 or vectors.shape[0] == 0:
+        raise ExperimentError("the collection must be a non-empty 2-D matrix")
+    if k <= 0:
+        raise ExperimentError("k must be positive")
+    k = min(k, vectors.shape[0])
+    scores = metric.score(vectors, metric.validate_query(query))
+    order = metric.best_first(scores)[:k]
+    return SearchResult(oids=order.astype(np.int64), scores=scores[order])
+
+
+def recall(result: SearchResult, reference: SearchResult) -> float:
+    """Set recall of ``result`` against the reference top-k."""
+    return result.recall_against(reference)
+
+
+def result_scores_match(result: SearchResult, reference: SearchResult, *, tolerance: float = 1e-9) -> bool:
+    """Whether two results return the same score multiset (tie-robust equality).
+
+    Exact searchers can legitimately break ties differently, so OID equality
+    is too strict; equality of the sorted score lists is the right check.
+    """
+    if result.k != reference.k:
+        return False
+    return bool(
+        np.allclose(np.sort(result.scores), np.sort(reference.scores), atol=tolerance, rtol=0.0)
+    )

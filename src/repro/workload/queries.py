@@ -1,0 +1,87 @@
+"""Query workload construction.
+
+The paper's experiments run batches of queries "randomly selected from the
+collection" (100 of them in most experiments).  :class:`QueryWorkload` bundles
+the query vectors with their provenance (the OIDs they were sampled from, if
+any) so experiments can report per-query and aggregate figures consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+
+@dataclass
+class QueryWorkload:
+    """A batch of query vectors.
+
+    Attributes
+    ----------
+    queries:
+        ``num_queries x dimensionality`` matrix of query vectors.
+    source_oids:
+        For queries sampled from the collection, the OID each query came
+        from; ``None`` for ad-hoc queries.
+    """
+
+    queries: np.ndarray
+    source_oids: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.queries = np.atleast_2d(np.asarray(self.queries, dtype=np.float64))
+        if self.source_oids is not None:
+            self.source_oids = np.asarray(self.source_oids, dtype=np.int64)
+            if self.source_oids.shape[0] != self.queries.shape[0]:
+                raise ExperimentError("source_oids must be aligned with the queries")
+
+    def __len__(self) -> int:
+        return int(self.queries.shape[0])
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    @property
+    def dimensionality(self) -> int:
+        """Dimensionality of the query vectors."""
+        return int(self.queries.shape[1])
+
+
+def sample_queries(
+    collection: np.ndarray,
+    num_queries: int,
+    *,
+    seed: int = 7,
+    perturb: float = 0.0,
+) -> QueryWorkload:
+    """Sample a query workload from a collection (with optional perturbation).
+
+    ``perturb`` adds zero-mean uniform noise of the given amplitude and
+    re-clips to the data domain, for experiments that want near-miss queries
+    rather than exact members (the paper notes that member queries make k=1
+    trivially easy).
+    """
+    collection = np.asarray(collection, dtype=np.float64)
+    if collection.ndim != 2 or collection.shape[0] == 0:
+        raise ExperimentError("the collection must be a non-empty 2-D matrix")
+    if num_queries <= 0:
+        raise ExperimentError("num_queries must be positive")
+    if num_queries > collection.shape[0]:
+        raise ExperimentError("cannot sample more queries than there are vectors")
+    if perturb < 0:
+        raise ExperimentError("perturb must be non-negative")
+
+    rng = np.random.default_rng(seed)
+    oids = rng.choice(collection.shape[0], size=num_queries, replace=False).astype(np.int64)
+    queries = collection[oids].copy()
+    if perturb > 0:
+        queries = queries + rng.uniform(-perturb, perturb, size=queries.shape)
+        queries = np.clip(queries, 0.0, 1.0)
+        row_sums = collection[oids].sum(axis=1)
+        if np.allclose(row_sums, 1.0):
+            # Keep histogram queries on the simplex.
+            queries = queries / queries.sum(axis=1, keepdims=True)
+    return QueryWorkload(queries=queries, source_oids=oids)

@@ -1,0 +1,143 @@
+"""Unit tests for the BAT data structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.bat import BAT, default_tuple_bytes
+from repro.engine.properties import Properties
+from repro.errors import AlignmentError, EngineError, PropertyViolation
+
+
+class TestConstruction:
+    def test_dense_bat_has_virtual_head(self):
+        bat = BAT.dense(np.array([1.0, 2.0, 3.0]))
+        assert bat.head_is_virtual
+        assert bat.head_base == 0
+        assert len(bat) == 3
+
+    def test_dense_bat_head_materialises_on_demand(self):
+        bat = BAT.dense(np.array([5.0, 6.0]), head_base=10)
+        assert np.array_equal(bat.head, np.array([10, 11]))
+
+    def test_explicit_head_preserved(self):
+        bat = BAT(np.array([1.0, 2.0]), head=np.array([7, 3]))
+        assert not bat.head_is_virtual
+        assert np.array_equal(bat.head, np.array([7, 3]))
+
+    def test_explicit_dense_head_detected(self):
+        bat = BAT(np.array([1.0, 2.0, 3.0]), head=np.array([4, 5, 6]))
+        assert bat.properties.head_dense
+
+    def test_two_dimensional_tail_rejected(self):
+        with pytest.raises(EngineError):
+            BAT(np.zeros((2, 2)))
+
+    def test_mismatched_head_length_rejected(self):
+        with pytest.raises(EngineError):
+            BAT(np.array([1.0, 2.0]), head=np.array([0]))
+
+    def test_virtual_head_requires_dense_property(self):
+        with pytest.raises(PropertyViolation):
+            BAT(np.array([1.0]), properties=Properties(head_dense=False))
+
+    def test_empty_bat(self):
+        bat = BAT.empty()
+        assert len(bat) == 0
+        assert bat.head_is_virtual
+
+    def test_dtype_exposed(self):
+        bat = BAT.dense(np.array([1, 2, 3], dtype=np.int32))
+        assert bat.dtype == np.int32
+
+
+class TestFetch:
+    def test_fetch_by_oid_with_virtual_head(self):
+        bat = BAT.dense(np.array([10.0, 20.0, 30.0]), head_base=5)
+        assert bat.fetch(6) == 20.0
+
+    def test_fetch_outside_range_raises(self):
+        bat = BAT.dense(np.array([10.0]))
+        with pytest.raises(EngineError):
+            bat.fetch(3)
+
+    def test_fetch_with_explicit_head(self):
+        bat = BAT(np.array([10.0, 20.0]), head=np.array([9, 4]))
+        assert bat.fetch(4) == 20.0
+
+    def test_fetch_missing_explicit_oid_raises(self):
+        bat = BAT(np.array([10.0]), head=np.array([9]))
+        with pytest.raises(EngineError):
+            bat.fetch(1)
+
+
+class TestSlicingAndTake:
+    def test_take_positions_returns_dense_head(self):
+        bat = BAT.dense(np.array([1.0, 2.0, 3.0, 4.0]))
+        taken = bat.take_positions(np.array([3, 1]))
+        assert taken.head_is_virtual
+        assert np.array_equal(taken.tail, np.array([4.0, 2.0]))
+
+    def test_slice_tuples_shifts_head_base(self):
+        bat = BAT.dense(np.array([1.0, 2.0, 3.0, 4.0]), head_base=100)
+        sliced = bat.slice_tuples(1, 3)
+        assert sliced.head_base == 101
+        assert np.array_equal(sliced.tail, np.array([2.0, 3.0]))
+
+    def test_slice_with_explicit_head(self):
+        bat = BAT(np.array([1.0, 2.0, 3.0]), head=np.array([5, 9, 2]))
+        sliced = bat.slice_tuples(1, 3)
+        assert np.array_equal(sliced.head, np.array([9, 2]))
+
+
+class TestAlignment:
+    def test_same_alignment_group_is_aligned(self):
+        left = BAT.dense(np.array([1.0, 2.0]), alignment=7)
+        right = BAT.dense(np.array([3.0, 4.0]), alignment=7)
+        assert left.is_aligned_with(right)
+
+    def test_virtual_heads_same_base_are_aligned(self):
+        left = BAT.dense(np.array([1.0, 2.0]))
+        right = BAT.dense(np.array([3.0, 4.0]))
+        assert left.is_aligned_with(right)
+
+    def test_different_length_not_aligned(self):
+        left = BAT.dense(np.array([1.0, 2.0]))
+        right = BAT.dense(np.array([3.0]))
+        assert not left.is_aligned_with(right)
+
+    def test_different_base_not_aligned(self):
+        left = BAT.dense(np.array([1.0, 2.0]), head_base=0)
+        right = BAT.dense(np.array([3.0, 4.0]), head_base=5)
+        assert not left.is_aligned_with(right)
+
+    def test_require_alignment_raises(self):
+        left = BAT.dense(np.array([1.0, 2.0]))
+        right = BAT.dense(np.array([3.0]))
+        with pytest.raises(AlignmentError):
+            left.require_alignment(right)
+
+
+class TestStorageAccounting:
+    def test_virtual_head_costs_nothing(self):
+        bat = BAT.dense(np.zeros(10, dtype=np.float64))
+        assert bat.storage_bytes() == 10 * 8
+
+    def test_materialised_head_costs_oid_bytes(self):
+        bat = BAT(np.zeros(10, dtype=np.float64), head=np.arange(10) * 2)
+        assert bat.storage_bytes() == 10 * 8 + 10 * 4
+
+    def test_default_tuple_bytes_virtual(self):
+        bat = BAT.dense(np.zeros(4, dtype=np.float64))
+        assert default_tuple_bytes(bat) == 8
+
+    def test_default_tuple_bytes_materialised(self):
+        bat = BAT(np.zeros(4, dtype=np.float64), head=np.array([1, 3, 5, 7]))
+        assert default_tuple_bytes(bat) == 12
+
+
+class TestIteration:
+    def test_to_pairs(self):
+        bat = BAT.dense(np.array([7.0, 8.0]), head_base=3)
+        assert list(bat.to_pairs()) == [(3, 7.0), (4, 8.0)]

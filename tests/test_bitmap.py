@@ -1,0 +1,116 @@
+"""Unit tests for the bitmap candidate index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.bitmap import Bitmap
+from repro.errors import EngineError
+
+
+class TestConstruction:
+    def test_empty_bitmap(self):
+        bitmap = Bitmap(10)
+        assert len(bitmap) == 0
+        assert bitmap.universe_size == 10
+
+    def test_full_bitmap(self):
+        bitmap = Bitmap.full(5)
+        assert len(bitmap) == 5
+        assert bitmap.selectivity() == 1.0
+
+    def test_from_oids(self):
+        bitmap = Bitmap.from_oids(10, [2, 4, 4, 7])
+        assert len(bitmap) == 3
+        assert np.array_equal(bitmap.oids(), np.array([2, 4, 7]))
+
+    def test_from_oids_out_of_range(self):
+        with pytest.raises(EngineError):
+            Bitmap.from_oids(5, [7])
+
+    def test_from_mask_copies(self):
+        mask = np.array([True, False, True])
+        bitmap = Bitmap.from_mask(mask)
+        mask[0] = False
+        assert bitmap.contains(0)
+
+    def test_negative_universe_rejected(self):
+        with pytest.raises(EngineError):
+            Bitmap(-1)
+
+    def test_empty_universe_selectivity(self):
+        assert Bitmap(0).selectivity() == 0.0
+
+
+class TestQueries:
+    def test_contains(self):
+        bitmap = Bitmap.from_oids(10, [3])
+        assert bitmap.contains(3)
+        assert not bitmap.contains(4)
+
+    def test_iteration_yields_sorted_oids(self):
+        bitmap = Bitmap.from_oids(10, [9, 1, 5])
+        assert list(bitmap) == [1, 5, 9]
+
+    def test_selectivity(self):
+        bitmap = Bitmap.from_oids(10, [0, 1])
+        assert bitmap.selectivity() == pytest.approx(0.2)
+
+
+class TestSetAlgebra:
+    def test_intersect(self):
+        left = Bitmap.from_oids(8, [1, 2, 3])
+        right = Bitmap.from_oids(8, [2, 3, 4])
+        assert list(left.intersect(right)) == [2, 3]
+
+    def test_union(self):
+        left = Bitmap.from_oids(8, [1, 2])
+        right = Bitmap.from_oids(8, [2, 4])
+        assert list(left.union(right)) == [1, 2, 4]
+
+    def test_difference(self):
+        left = Bitmap.from_oids(8, [1, 2, 3])
+        right = Bitmap.from_oids(8, [2])
+        assert list(left.difference(right)) == [1, 3]
+
+    def test_complement(self):
+        bitmap = Bitmap.from_oids(4, [0, 2])
+        assert list(bitmap.complement()) == [1, 3]
+
+    def test_universe_mismatch_rejected(self):
+        with pytest.raises(EngineError):
+            Bitmap(4).union(Bitmap(5))
+
+
+class TestMutation:
+    def test_set_and_clear_update_cardinality(self):
+        bitmap = Bitmap(5)
+        bitmap.set(2)
+        bitmap.set(2)
+        assert len(bitmap) == 1
+        bitmap.clear(2)
+        bitmap.clear(2)
+        assert len(bitmap) == 0
+
+    def test_keep_only_universe_mask(self):
+        bitmap = Bitmap.from_oids(6, [0, 2, 4])
+        bitmap.keep_only(np.array([True, True, False, True, True, True]))
+        assert list(bitmap) == [0, 4]
+
+    def test_keep_only_candidate_mask(self):
+        bitmap = Bitmap.from_oids(6, [0, 2, 4])
+        # Mask aligned with the current candidates (ascending OID order).
+        bitmap.keep_only(np.array([True, False, True]))
+        assert list(bitmap) == [0, 4]
+
+    def test_keep_only_bad_mask_length(self):
+        bitmap = Bitmap.from_oids(6, [0, 2, 4])
+        with pytest.raises(EngineError):
+            bitmap.keep_only(np.array([True, False]))
+
+    def test_copy_is_independent(self):
+        bitmap = Bitmap.from_oids(4, [1])
+        duplicate = bitmap.copy()
+        duplicate.set(2)
+        assert not bitmap.contains(2)

@@ -1,0 +1,122 @@
+"""Unit tests for the cost model and the BAT property propagation rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.cost import CostAccount, CostModel, CostReport, DOUBLE_BYTES
+from repro.engine.properties import (
+    Properties,
+    propagate_map,
+    propagate_positional_join,
+    propagate_select,
+)
+
+
+class TestCostModel:
+    def test_charge_scan(self):
+        cost = CostModel()
+        cost.charge_scan(10)
+        assert cost.account.tuples_scanned == 10
+        assert cost.account.bytes_read == 10 * DOUBLE_BYTES
+        assert cost.account.sequential_accesses == 1
+
+    def test_charge_random_access(self):
+        cost = CostModel()
+        cost.charge_random_access(3, 4)
+        assert cost.account.random_accesses == 3
+        assert cost.account.bytes_read == 12
+
+    def test_arithmetic_and_comparisons(self):
+        cost = CostModel()
+        cost.charge_arithmetic(5)
+        cost.charge_comparisons(7)
+        cost.charge_heap(2)
+        account = cost.account
+        assert (account.arithmetic_ops, account.comparisons, account.heap_operations) == (5, 7, 2)
+
+    def test_checkpoint_and_since(self):
+        cost = CostModel()
+        cost.charge_scan(10)
+        checkpoint = cost.checkpoint()
+        cost.charge_scan(5)
+        delta = cost.since(checkpoint)
+        assert delta.tuples_scanned == 5
+        assert cost.account.tuples_scanned == 15
+
+    def test_reset(self):
+        cost = CostModel()
+        cost.charge_scan(10)
+        cost.reset()
+        assert cost.account.total_work == 0
+
+    def test_merged_with(self):
+        first = CostAccount(bytes_read=1, tuples_scanned=2)
+        second = CostAccount(bytes_read=10, arithmetic_ops=3)
+        merged = first.merged_with(second)
+        assert merged.bytes_read == 11
+        assert merged.tuples_scanned == 2
+        assert merged.arithmetic_ops == 3
+
+    def test_as_dict_round_trip(self):
+        account = CostAccount(bytes_read=3, comparisons=4)
+        assert CostAccount(**account.as_dict()) == account
+
+    def test_total_work_sums_counters(self):
+        account = CostAccount(bytes_read=1, tuples_scanned=2, arithmetic_ops=3, comparisons=4, heap_operations=5)
+        assert account.total_work == 15
+
+    def test_report_ratio(self):
+        cost = CostModel()
+        cost.charge_arithmetic(10)
+        small = cost.report("small")
+        cost.reset()
+        cost.charge_arithmetic(40)
+        large = cost.report("large")
+        assert small.ratio_to(large) == pytest.approx(4.0)
+
+    def test_report_ratio_zero_self(self):
+        empty = CostReport("empty", CostAccount())
+        busy = CostReport("busy", CostAccount(arithmetic_ops=5))
+        assert empty.ratio_to(busy) == float("inf")
+        assert empty.ratio_to(CostReport("also-empty", CostAccount())) == 1.0
+
+
+class TestProperties:
+    def test_dense_implies_sorted_and_key(self):
+        properties = Properties(head_dense=True)
+        assert properties.head_sorted and properties.head_key
+
+    def test_dense_head_factory(self):
+        properties = Properties.dense_head(alignment=4)
+        assert properties.head_dense
+        assert properties.aligned_with == 4
+
+    def test_with_tail(self):
+        properties = Properties.dense_head().with_tail(sorted=True)
+        assert properties.tail_sorted
+        assert not properties.tail_key
+
+    def test_without_alignment(self):
+        properties = Properties.dense_head(alignment=9).without_alignment()
+        assert properties.aligned_with is None
+
+    def test_propagate_map_keeps_head_drops_tail(self):
+        source = Properties.dense_head(alignment=1).with_tail(sorted=True, key=True)
+        mapped = propagate_map(source)
+        assert mapped.head_dense and mapped.aligned_with == 1
+        assert not mapped.tail_sorted and not mapped.tail_key
+
+    def test_propagate_select_produces_dense_head(self):
+        selected = propagate_select(Properties.dense_head())
+        assert selected.head_dense
+        assert selected.aligned_with is None
+        assert selected.tail_sorted  # the qualifying OIDs inherit the head order
+
+    def test_propagate_positional_join(self):
+        left = Properties.dense_head(alignment=2)
+        right = Properties.dense_head().with_tail(key=True)
+        joined = propagate_positional_join(left, right)
+        assert joined.head_dense
+        assert joined.aligned_with == 2
+        assert joined.tail_key

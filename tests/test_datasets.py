@@ -1,0 +1,170 @@
+"""Unit tests for the synthetic dataset generators and statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.clustered import ClusteredConfig, make_clustered, make_multifeature_collections
+from repro.datasets.corel import CorelLikeConfig, make_corel_like, make_corel_like_queries
+from repro.datasets.statistics import describe_dataset
+from repro.datasets.weights import make_skewed_weights, make_subspace_weights, weight_skew_sweep
+from repro.errors import DatasetError
+
+
+class TestCorelLike:
+    def test_rows_are_normalized_histograms(self):
+        histograms = make_corel_like(cardinality=300, dimensionality=40, seed=1)
+        assert histograms.shape == (300, 40)
+        assert np.all(histograms >= 0)
+        assert np.allclose(histograms.sum(axis=1), 1.0)
+
+    def test_reproducible_with_same_seed(self):
+        first = make_corel_like(cardinality=50, dimensionality=20, seed=5)
+        second = make_corel_like(cardinality=50, dimensionality=20, seed=5)
+        assert np.array_equal(first, second)
+
+    def test_different_seeds_differ(self):
+        first = make_corel_like(cardinality=50, dimensionality=20, seed=5)
+        second = make_corel_like(cardinality=50, dimensionality=20, seed=6)
+        assert not np.array_equal(first, second)
+
+    def test_values_are_zipf_skewed(self):
+        histograms = make_corel_like(cardinality=400, dimensionality=64, seed=2)
+        statistics = describe_dataset(histograms)
+        # A handful of bins should carry most of the mass of each histogram.
+        assert statistics.top_decile_mass_fraction > 0.5
+        assert statistics.gini_coefficient > 0.5
+
+    def test_heavy_bins_vary_between_histograms(self):
+        histograms = make_corel_like(cardinality=200, dimensionality=64, seed=3)
+        heaviest = np.argmax(histograms, axis=1)
+        assert len(np.unique(heaviest)) > 5
+
+    def test_config_and_overrides_are_exclusive(self):
+        with pytest.raises(DatasetError):
+            make_corel_like(CorelLikeConfig(), cardinality=10)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(DatasetError):
+            make_corel_like(cardinality=0)
+        with pytest.raises(DatasetError):
+            make_corel_like(dimensionality=1)
+        with pytest.raises(DatasetError):
+            make_corel_like(background_mass=1.5)
+        with pytest.raises(DatasetError):
+            make_corel_like(dominant_bins=999, dimensionality=10)
+
+    def test_query_sampling(self):
+        histograms = make_corel_like(cardinality=100, dimensionality=16, seed=4)
+        oids = make_corel_like_queries(histograms, 10)
+        assert oids.shape == (10,)
+        assert len(np.unique(oids)) == 10
+
+    def test_query_sampling_too_many(self):
+        histograms = make_corel_like(cardinality=10, dimensionality=16, seed=4)
+        with pytest.raises(DatasetError):
+            make_corel_like_queries(histograms, 11)
+
+
+class TestClustered:
+    def test_values_in_unit_hypercube(self):
+        vectors = make_clustered(cardinality=500, dimensionality=16, seed=1)
+        assert vectors.shape == (500, 16)
+        assert vectors.min() >= 0.0 and vectors.max() <= 1.0
+
+    def test_reproducible(self):
+        first = make_clustered(cardinality=100, dimensionality=8, seed=9)
+        second = make_clustered(cardinality=100, dimensionality=8, seed=9)
+        assert np.array_equal(first, second)
+
+    def test_skew_moves_mass_towards_zero(self):
+        uniform = make_clustered(cardinality=2000, dimensionality=8, skew=0.0, seed=2)
+        skewed = make_clustered(cardinality=2000, dimensionality=8, skew=3.0, seed=2)
+        assert skewed.mean() < uniform.mean()
+
+    def test_clustered_data_has_close_neighbours(self):
+        vectors = make_clustered(
+            ClusteredConfig(cardinality=1000, dimensionality=16, num_clusters=20, cluster_stddev=0.01, seed=3)
+        )
+        query = vectors[0]
+        distances = np.sort(np.sum((vectors[1:] - query) ** 2, axis=1))
+        # Meaningful NN-search: the nearest neighbour is much closer than the median.
+        assert distances[0] < 0.25 * np.median(distances)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(DatasetError):
+            make_clustered(cardinality=0)
+        with pytest.raises(DatasetError):
+            make_clustered(cluster_fraction=1.5)
+        with pytest.raises(DatasetError):
+            make_clustered(skew=-1.0)
+
+    def test_multifeature_collections_share_cardinality(self):
+        first, second = make_multifeature_collections(300, dimensionalities=(8, 12))
+        assert first.shape == (300, 8)
+        assert second.shape == (300, 12)
+
+    def test_multifeature_requires_two(self):
+        with pytest.raises(DatasetError):
+            make_multifeature_collections(100, dimensionalities=(8,))
+
+
+class TestWeights:
+    def test_skewed_weights_concentrate_mass(self):
+        weights = make_skewed_weights(100, heavy_fraction=0.1, heavy_mass=0.9)
+        assert weights.shape == (100,)
+        top = np.sort(weights)[::-1][:10].sum()
+        assert top / weights.sum() == pytest.approx(0.9, abs=0.02)
+
+    def test_weights_normalised_to_dimensionality(self):
+        weights = make_skewed_weights(64)
+        assert weights.sum() == pytest.approx(64.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DatasetError):
+            make_skewed_weights(0)
+        with pytest.raises(DatasetError):
+            make_skewed_weights(10, heavy_fraction=0.0)
+        with pytest.raises(DatasetError):
+            make_skewed_weights(10, heavy_fraction=0.5, heavy_mass=0.1)
+
+    def test_subspace_weights(self):
+        weights = make_subspace_weights(10, [2, 5])
+        assert weights[2] == weights[5] == pytest.approx(5.0)
+        assert weights.sum() == pytest.approx(10.0)
+        assert weights[0] == 0.0
+
+    def test_subspace_weights_invalid(self):
+        with pytest.raises(DatasetError):
+            make_subspace_weights(10, [])
+        with pytest.raises(DatasetError):
+            make_subspace_weights(10, [12])
+
+    def test_weight_skew_sweep_labels(self):
+        sweep = weight_skew_sweep(40)
+        assert "uniform" in sweep
+        assert all(weights.shape == (40,) for weights in sweep.values())
+
+
+class TestStatistics:
+    def test_describe_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            describe_dataset(np.zeros((0, 3)))
+
+    def test_uniform_data_has_low_gini(self):
+        data = np.full((100, 20), 0.05)
+        statistics = describe_dataset(data)
+        assert statistics.gini_coefficient == pytest.approx(0.0, abs=1e-9)
+        assert statistics.top_decile_mass_fraction == pytest.approx(0.1, abs=0.01)
+
+    def test_summary_rows_present(self, corel_histograms):
+        statistics = describe_dataset(corel_histograms)
+        labels = [label for label, _ in statistics.summary_rows()]
+        assert "cardinality" in labels
+        assert statistics.per_dimension_mean.shape == (corel_histograms.shape[1],)
+
+    def test_sorted_profile_is_decreasing(self, corel_histograms):
+        statistics = describe_dataset(corel_histograms)
+        profile = statistics.sorted_value_profile
+        assert np.all(np.diff(profile) <= 1e-12)

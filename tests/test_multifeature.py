@@ -1,0 +1,155 @@
+"""Tests for multi-feature queries: synchronized BOND and stream merging."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.multifeature import (
+    FeatureComponent,
+    MultiFeatureBondSearcher,
+    StreamMergingSearcher,
+)
+from repro.datasets.clustered import make_multifeature_collections
+from repro.errors import QueryError
+from repro.metrics.aggregates import (
+    AverageAggregate,
+    FuzzyMinAggregate,
+    WeightedAverageAggregate,
+)
+from repro.metrics.euclidean import SquaredEuclidean
+from repro.metrics.histogram import HistogramIntersection
+from repro.storage.decomposed import DecomposedStore
+
+
+@pytest.fixture(scope="module")
+def feature_collections():
+    return make_multifeature_collections(600, dimensionalities=(12, 20), skew=1.0, seed=7)
+
+
+def build_components(collections, metrics=None):
+    first, second = collections
+    metrics = metrics or (SquaredEuclidean(), SquaredEuclidean())
+    return [
+        FeatureComponent("color", DecomposedStore(first), metrics[0]),
+        FeatureComponent("texture", DecomposedStore(second), metrics[1]),
+    ]
+
+
+def brute_force_global(collections, queries, aggregate, k):
+    first, second = collections
+    similarity_first = 1.0 - np.sqrt(SquaredEuclidean().score(first, queries[0]) / first.shape[1])
+    similarity_second = 1.0 - np.sqrt(SquaredEuclidean().score(second, queries[1]) / second.shape[1])
+    global_scores = aggregate.combine([similarity_first, similarity_second])
+    order = np.argsort(-global_scores, kind="stable")[:k]
+    return global_scores[order]
+
+
+class TestFeatureComponent:
+    def test_similarity_conversion_distance(self, feature_collections):
+        first, _ = feature_collections
+        component = FeatureComponent("color", DecomposedStore(first), SquaredEuclidean())
+        similarity = component.to_similarity(np.array([0.0]))
+        assert similarity[0] == pytest.approx(1.0)
+
+    def test_similarity_conversion_identity_for_similarities(self, corel_histograms):
+        component = FeatureComponent("hist", DecomposedStore(corel_histograms), HistogramIntersection())
+        assert component.to_similarity(np.array([0.7]))[0] == pytest.approx(0.7)
+
+    def test_similarity_interval_flips_for_distances(self, feature_collections):
+        first, _ = feature_collections
+        component = FeatureComponent("color", DecomposedStore(first), SquaredEuclidean())
+        lower, upper = component.similarity_interval(np.array([0.0]), np.array([1.0]))
+        assert lower[0] <= upper[0]
+
+
+class TestSynchronizedSearch:
+    @pytest.mark.parametrize(
+        "aggregate_factory", [AverageAggregate, FuzzyMinAggregate, lambda: WeightedAverageAggregate([2.0, 1.0])]
+    )
+    def test_matches_brute_force(self, feature_collections, aggregate_factory):
+        aggregate = aggregate_factory()
+        searcher = MultiFeatureBondSearcher(build_components(feature_collections), aggregate)
+        first, second = feature_collections
+        queries = [first[5], second[5]]
+        result = searcher.search(queries, 10)
+        expected = brute_force_global(feature_collections, queries, aggregate, 10)
+        assert np.allclose(np.sort(result.scores)[::-1], expected)
+
+    def test_rejects_mismatched_cardinalities(self, feature_collections):
+        first, second = feature_collections
+        components = [
+            FeatureComponent("a", DecomposedStore(first), SquaredEuclidean()),
+            FeatureComponent("b", DecomposedStore(second[:-5]), SquaredEuclidean()),
+        ]
+        with pytest.raises(QueryError):
+            MultiFeatureBondSearcher(components, AverageAggregate())
+
+    def test_rejects_wrong_number_of_queries(self, feature_collections):
+        searcher = MultiFeatureBondSearcher(build_components(feature_collections), AverageAggregate())
+        first, _ = feature_collections
+        with pytest.raises(QueryError):
+            searcher.search([first[0]], 5)
+
+    def test_rejects_empty_components(self):
+        with pytest.raises(QueryError):
+            MultiFeatureBondSearcher([], AverageAggregate())
+
+    def test_mixed_metrics(self, feature_collections, corel_histograms):
+        first, _ = feature_collections
+        histograms = corel_histograms[: first.shape[0]]
+        components = [
+            FeatureComponent("color", DecomposedStore(histograms), HistogramIntersection()),
+            FeatureComponent("texture", DecomposedStore(first), SquaredEuclidean()),
+        ]
+        searcher = MultiFeatureBondSearcher(components, AverageAggregate())
+        result = searcher.search([histograms[3], first[3]], 5)
+        # The query object itself has histogram similarity 1 and distance 0,
+        # so it must be the best possible answer.
+        assert result.oids[0] == 3
+
+    def test_prunes_candidates(self, feature_collections):
+        searcher = MultiFeatureBondSearcher(build_components(feature_collections), AverageAggregate())
+        first, second = feature_collections
+        result = searcher.search([first[5], second[5]], 5)
+        _, remaining = result.candidate_trace.as_arrays()
+        assert remaining[-1] < first.shape[0]
+
+
+class TestStreamMerging:
+    def test_matches_brute_force(self, feature_collections):
+        aggregate = AverageAggregate()
+        searcher = StreamMergingSearcher(build_components(feature_collections), aggregate)
+        first, second = feature_collections
+        queries = [first[9], second[9]]
+        result = searcher.search(queries, 10)
+        expected = brute_force_global(feature_collections, queries, aggregate, 10)
+        assert np.allclose(np.sort(result.scores)[::-1], expected)
+
+    def test_min_aggregate(self, feature_collections):
+        aggregate = FuzzyMinAggregate()
+        searcher = StreamMergingSearcher(build_components(feature_collections), aggregate)
+        first, second = feature_collections
+        queries = [first[2], second[2]]
+        result = searcher.search(queries, 5)
+        expected = brute_force_global(feature_collections, queries, aggregate, 5)
+        assert np.allclose(np.sort(result.scores)[::-1], expected)
+
+    def test_synchronized_does_less_work_for_min(self, feature_collections):
+        first, second = feature_collections
+        queries = [first[11], second[11]]
+        synchronized = MultiFeatureBondSearcher(build_components(feature_collections), FuzzyMinAggregate())
+        merging = StreamMergingSearcher(build_components(feature_collections), FuzzyMinAggregate())
+        synchronized_result = synchronized.search(queries, 10)
+        merging_result = merging.search(queries, 10)
+        assert synchronized_result.cost.total_work < merging_result.cost.total_work
+
+    def test_random_accesses_charged(self, feature_collections):
+        searcher = StreamMergingSearcher(build_components(feature_collections), AverageAggregate())
+        first, second = feature_collections
+        result = searcher.search([first[4], second[4]], 5)
+        assert result.cost.random_accesses > 0
+
+    def test_rejects_empty_components(self):
+        with pytest.raises(QueryError):
+            StreamMergingSearcher([], AverageAggregate())

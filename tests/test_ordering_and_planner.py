@@ -1,0 +1,150 @@
+"""Unit tests for dimension orderings and pruning schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ordering import (
+    DataSkewOrdering,
+    DecreasingQueryOrdering,
+    IncreasingQueryOrdering,
+    OriginalOrdering,
+    RandomOrdering,
+)
+from repro.core.planner import FixedPeriodSchedule, GeometricSchedule, recommend_period
+from repro.errors import QueryError
+
+
+class TestOrderings:
+    def test_decreasing_sorts_by_query_value(self):
+        order = DecreasingQueryOrdering().order(np.array([0.1, 0.7, 0.2]))
+        assert list(order) == [1, 2, 0]
+
+    def test_decreasing_is_a_permutation(self, corel_histograms):
+        order = DecreasingQueryOrdering().order(corel_histograms[0])
+        assert sorted(order) == list(range(corel_histograms.shape[1]))
+
+    def test_decreasing_with_weights_uses_w_q_squared(self):
+        query = np.array([0.9, 0.1])
+        weights = np.array([0.01, 100.0])
+        order = DecreasingQueryOrdering().order(query, weights=weights)
+        assert list(order) == [1, 0]
+
+    def test_increasing_is_reverse_of_decreasing_for_distinct_values(self):
+        query = np.array([0.3, 0.9, 0.1, 0.5])
+        decreasing = DecreasingQueryOrdering().order(query)
+        increasing = IncreasingQueryOrdering().order(query)
+        assert list(increasing) == list(decreasing[::-1])
+
+    def test_random_is_permutation_and_reproducible(self):
+        query = np.linspace(0, 1, 20)
+        first = RandomOrdering(seed=3).order(query)
+        second = RandomOrdering(seed=3).order(query)
+        assert np.array_equal(first, second)
+        assert sorted(first) == list(range(20))
+
+    def test_original_keeps_storage_order(self):
+        order = OriginalOrdering().order(np.array([0.5, 0.1, 0.9]))
+        assert list(order) == [0, 1, 2]
+
+    def test_data_skew_falls_back_without_statistics(self):
+        query = np.array([0.1, 0.7, 0.2])
+        assert list(DataSkewOrdering().order(query)) == list(DecreasingQueryOrdering().order(query))
+
+    def test_data_skew_uses_dimension_means(self):
+        query = np.array([0.5, 0.5])
+        means = np.array([0.5, 0.0])  # dimension 1 is where the query is unusual
+        order = DataSkewOrdering().order(query, dimension_means=means)
+        assert list(order) == [1, 0]
+
+    def test_data_skew_shape_mismatch(self):
+        with pytest.raises(QueryError):
+            DataSkewOrdering().order(np.array([0.5, 0.5]), dimension_means=np.array([0.5]))
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QueryError):
+            DecreasingQueryOrdering().order(np.array([]))
+
+    def test_stable_tie_break(self):
+        order = DecreasingQueryOrdering().order(np.array([0.5, 0.5, 0.5]))
+        assert list(order) == [0, 1, 2]
+
+
+class TestFixedSchedule:
+    def test_first_and_next_batches(self):
+        schedule = FixedPeriodSchedule(8)
+        assert schedule.first_batch(166) == 8
+        assert schedule.next_batch(
+            dimensionality=166, dimensions_processed=8, candidates_before=100, candidates_after=50
+        ) == 8
+
+    def test_clamps_to_remaining_dimensions(self):
+        schedule = FixedPeriodSchedule(8)
+        assert schedule.first_batch(5) == 5
+        assert schedule.next_batch(
+            dimensionality=10, dimensions_processed=8, candidates_before=10, candidates_after=10
+        ) == 2
+
+    def test_invalid_period(self):
+        with pytest.raises(QueryError):
+            FixedPeriodSchedule(0)
+
+    def test_period_property(self):
+        assert FixedPeriodSchedule(16).period == 16
+
+
+class TestGeometricSchedule:
+    def test_grows_when_pruning_stalls(self):
+        schedule = GeometricSchedule(initial_period=4, growth_factor=2.0, minimum_effect=0.1)
+        schedule.first_batch(128)
+        grown = schedule.next_batch(
+            dimensionality=128, dimensions_processed=4, candidates_before=100, candidates_after=99
+        )
+        assert grown == 8
+
+    def test_does_not_grow_while_pruning_works(self):
+        schedule = GeometricSchedule(initial_period=4, growth_factor=2.0, minimum_effect=0.1)
+        schedule.first_batch(128)
+        steady = schedule.next_batch(
+            dimensionality=128, dimensions_processed=4, candidates_before=100, candidates_after=40
+        )
+        assert steady == 4
+
+    def test_respects_maximum_period(self):
+        schedule = GeometricSchedule(initial_period=16, growth_factor=10.0, maximum_period=32)
+        schedule.first_batch(256)
+        grown = schedule.next_batch(
+            dimensionality=256, dimensions_processed=16, candidates_before=10, candidates_after=10
+        )
+        assert grown == 32
+
+    def test_first_batch_resets_state(self):
+        schedule = GeometricSchedule(initial_period=4)
+        schedule.first_batch(64)
+        schedule.next_batch(dimensionality=64, dimensions_processed=4, candidates_before=10, candidates_after=10)
+        assert schedule.first_batch(64) == 4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(QueryError):
+            GeometricSchedule(initial_period=0)
+        with pytest.raises(QueryError):
+            GeometricSchedule(growth_factor=0.5)
+        with pytest.raises(QueryError):
+            GeometricSchedule(minimum_effect=1.5)
+        with pytest.raises(QueryError):
+            GeometricSchedule(initial_period=16, maximum_period=8)
+
+
+class TestRecommendPeriod:
+    def test_matches_paper_setting_for_166_dimensions(self):
+        assert recommend_period(166, target_attempts=20) == 8
+
+    def test_never_below_two(self):
+        assert recommend_period(4) == 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(QueryError):
+            recommend_period(0)
+        with pytest.raises(QueryError):
+            recommend_period(10, target_attempts=0)

@@ -1,0 +1,126 @@
+"""Unit tests for the row store and the compressed (quantised) store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.cost import CostModel
+from repro.errors import StorageError
+from repro.storage.compressed import CompressedFragment, CompressedStore
+from repro.storage.decomposed import DecomposedStore
+from repro.storage.rowstore import RowStore
+
+
+class TestRowStore:
+    def test_shape(self, corel_histograms):
+        store = RowStore(corel_histograms)
+        assert store.cardinality == corel_histograms.shape[0]
+        assert store.dimensionality == corel_histograms.shape[1]
+
+    def test_rejects_empty(self):
+        with pytest.raises(StorageError):
+            RowStore(np.zeros((0, 2)))
+
+    def test_scan_charges_full_table(self, corel_histograms):
+        cost = CostModel()
+        store = RowStore(corel_histograms, cost=cost)
+        store.scan()
+        assert cost.account.bytes_read == corel_histograms.size * 8
+
+    def test_scan_rows_covers_everything_once(self, corel_histograms):
+        store = RowStore(corel_histograms)
+        seen = 0
+        for oids, rows in store.scan_rows(batch_size=100):
+            assert rows.shape[0] == oids.shape[0]
+            seen += rows.shape[0]
+        assert seen == store.cardinality
+
+    def test_scan_rows_bad_batch_size(self, corel_rowstore):
+        with pytest.raises(StorageError):
+            list(corel_rowstore.scan_rows(batch_size=0))
+
+    def test_fetch_rows(self, corel_rowstore, corel_histograms):
+        rows = corel_rowstore.fetch_rows(np.array([2, 5]))
+        assert np.allclose(rows, corel_histograms[[2, 5]])
+
+    def test_fetch_rows_out_of_range(self, corel_rowstore):
+        with pytest.raises(StorageError):
+            corel_rowstore.fetch_rows(np.array([10**6]))
+
+    def test_storage_bytes(self, corel_histograms):
+        store = RowStore(corel_histograms)
+        assert store.storage_bytes() == corel_histograms.size * 8
+
+
+class TestCompressedFragment:
+    def test_round_trip_error_bounded_by_half_cell(self):
+        rng = np.random.default_rng(1)
+        values = rng.random(500)
+        fragment = CompressedFragment.from_values(values, bits=8)
+        reconstructed = fragment.reconstruct()
+        assert np.max(np.abs(reconstructed - values)) <= fragment.cell_width / 2 + 1e-12
+
+    def test_value_bounds_contain_truth(self):
+        rng = np.random.default_rng(2)
+        values = rng.random(500)
+        fragment = CompressedFragment.from_values(values, bits=6)
+        lower, upper = fragment.value_bounds()
+        assert np.all(lower <= values + 1e-12)
+        assert np.all(upper >= values - 1e-12)
+
+    def test_constant_column(self):
+        fragment = CompressedFragment.from_values(np.full(10, 0.3))
+        assert fragment.cell_width == 0.0
+        assert np.allclose(fragment.reconstruct(), 0.3)
+
+    def test_invalid_bits(self):
+        with pytest.raises(StorageError):
+            CompressedFragment.from_values(np.array([1.0]), bits=0)
+
+    def test_more_bits_reduce_error(self):
+        rng = np.random.default_rng(3)
+        values = rng.random(200)
+        coarse = CompressedFragment.from_values(values, bits=4)
+        fine = CompressedFragment.from_values(values, bits=12)
+        assert fine.cell_width < coarse.cell_width
+
+    def test_storage_bytes(self):
+        fragment = CompressedFragment.from_values(np.zeros(100), bits=8)
+        assert fragment.storage_bytes() == 100 + 16
+
+
+class TestCompressedStore:
+    def test_compression_ratio_near_eight(self, corel_histograms):
+        store = CompressedStore(DecomposedStore(corel_histograms), bits=8)
+        assert store.compression_ratio() == pytest.approx(8.0, rel=0.1)
+
+    def test_bounded_fragment_contains_truth(self, corel_histograms):
+        exact = DecomposedStore(corel_histograms)
+        store = CompressedStore(exact, bits=8)
+        lower, upper = store.bounded_fragment(3)
+        assert np.all(lower <= corel_histograms[:, 3] + 1e-12)
+        assert np.all(upper >= corel_histograms[:, 3] - 1e-12)
+
+    def test_fragment_out_of_range(self, corel_histograms):
+        store = CompressedStore(DecomposedStore(corel_histograms))
+        with pytest.raises(StorageError):
+            store.fragment(10**4)
+
+    def test_fragment_read_charges_one_byte_per_value(self, corel_histograms):
+        cost = CostModel()
+        exact = DecomposedStore(corel_histograms, cost=CostModel())
+        store = CompressedStore(exact, bits=8, cost=cost)
+        store.fragment(0)
+        assert cost.account.bytes_read == corel_histograms.shape[0]
+
+    def test_approximate_fragment_bat(self, corel_histograms):
+        store = CompressedStore(DecomposedStore(corel_histograms))
+        bat = store.approximate_fragment_bat(0)
+        assert len(bat) == corel_histograms.shape[0]
+
+    def test_max_quantization_error(self, corel_histograms):
+        store = CompressedStore(DecomposedStore(corel_histograms), bits=8)
+        column = corel_histograms[:, 0]
+        expected = (column.max() - column.min()) / 255 / 2
+        assert store.max_quantization_error(0) == pytest.approx(expected)

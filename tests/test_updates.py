@@ -1,0 +1,101 @@
+"""Unit tests for differential updates (delta log) and store reorganisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.updates import DeltaLog, DeltaOperation
+from repro.errors import StorageError
+from repro.storage.decomposed import DecomposedStore
+
+
+class TestDeltaLog:
+    def test_record_append_counts(self):
+        log = DeltaLog(dimensionality=3)
+        log.record_append(np.ones((2, 3)))
+        log.record_append(np.zeros(3))
+        assert log.pending_appends == 3
+        assert len(log) == 2
+
+    def test_record_append_wrong_dimensionality(self):
+        log = DeltaLog(dimensionality=3)
+        with pytest.raises(StorageError):
+            log.record_append(np.ones((1, 4)))
+
+    def test_record_delete_counts(self):
+        log = DeltaLog(dimensionality=2)
+        log.record_delete([1, 2])
+        assert log.pending_deletes == 2
+        assert log.entries[0].operation is DeltaOperation.DELETE
+
+    def test_apply_appends_and_deletes_in_order(self):
+        log = DeltaLog(dimensionality=2)
+        base = np.array([[0.0, 0.0], [1.0, 1.0]])
+        log.record_append(np.array([[2.0, 2.0]]))
+        log.record_delete([0])
+        merged = log.apply(base)
+        assert merged.shape == (2, 2)
+        assert np.allclose(merged, [[1.0, 1.0], [2.0, 2.0]])
+        assert len(log) == 0
+
+    def test_delete_of_appended_row(self):
+        log = DeltaLog(dimensionality=1)
+        base = np.array([[5.0]])
+        log.record_append(np.array([[6.0]]))
+        log.record_delete([1])
+        merged = log.apply(base)
+        assert np.allclose(merged, [[5.0]])
+
+    def test_delete_out_of_range(self):
+        log = DeltaLog(dimensionality=1)
+        log.record_delete([3])
+        with pytest.raises(StorageError):
+            log.apply(np.array([[1.0]]))
+
+    def test_apply_wrong_base(self):
+        log = DeltaLog(dimensionality=2)
+        with pytest.raises(StorageError):
+            log.apply(np.zeros((2, 3)))
+
+
+class TestStoreUpdates:
+    def test_append_visible_after_reorganize(self, corel_histograms):
+        store = DecomposedStore(corel_histograms[:50])
+        store.append(corel_histograms[50:52])
+        assert store.cardinality == 50
+        store.reorganize()
+        assert store.cardinality == 52
+
+    def test_delete_masks_immediately_and_shrinks_after_reorganize(self, corel_histograms):
+        store = DecomposedStore(corel_histograms[:50])
+        store.delete([0, 1])
+        assert len(store.full_candidates()) == 48
+        store.reorganize()
+        assert store.cardinality == 48
+        assert len(store.full_candidates()) == 48
+
+    def test_delete_out_of_range_rejected(self, corel_histograms):
+        store = DecomposedStore(corel_histograms[:10])
+        with pytest.raises(StorageError):
+            store.delete([99])
+
+    def test_pending_updates_counter(self, corel_histograms):
+        store = DecomposedStore(corel_histograms[:10])
+        store.append(corel_histograms[10])
+        store.delete([2])
+        assert store.pending_updates == 2
+        store.reorganize()
+        assert store.pending_updates == 0
+
+    def test_reorganize_preserves_search_results(self, corel_histograms):
+        from repro.core.bond import BondSearcher
+        from repro.metrics.histogram import HistogramIntersection
+
+        store = DecomposedStore(corel_histograms[:200])
+        store.append(corel_histograms[200:210])
+        store.reorganize()
+        searcher = BondSearcher(store, HistogramIntersection())
+        result = searcher.search(corel_histograms[205], k=1)
+        # The appended histogram must be findable and be its own nearest neighbour.
+        assert result.scores[0] == pytest.approx(1.0)

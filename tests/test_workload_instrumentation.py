@@ -1,0 +1,138 @@
+"""Tests for query workloads, ground truth helpers and instrumentation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.result import PruningTrace, SearchResult
+from repro.errors import ExperimentError
+from repro.instrumentation.pruning import PruningCurveCollector, average_pruning_curve
+from repro.instrumentation.timing import TimingStatistics, time_callable
+from repro.metrics.histogram import HistogramIntersection
+from repro.workload.ground_truth import exact_top_k, recall, result_scores_match
+from repro.workload.queries import QueryWorkload, sample_queries
+
+
+class TestQueryWorkload:
+    def test_sampled_from_collection(self, corel_histograms):
+        workload = sample_queries(corel_histograms, 10, seed=1)
+        assert len(workload) == 10
+        assert workload.dimensionality == corel_histograms.shape[1]
+        for query, oid in zip(workload, workload.source_oids):
+            assert np.allclose(query, corel_histograms[oid])
+
+    def test_sampling_reproducible(self, corel_histograms):
+        first = sample_queries(corel_histograms, 5, seed=3)
+        second = sample_queries(corel_histograms, 5, seed=3)
+        assert np.array_equal(first.source_oids, second.source_oids)
+
+    def test_perturbed_histogram_queries_stay_on_simplex(self, corel_histograms):
+        workload = sample_queries(corel_histograms, 5, seed=1, perturb=0.01)
+        assert np.allclose(workload.queries.sum(axis=1), 1.0)
+
+    def test_too_many_queries_rejected(self, corel_histograms):
+        with pytest.raises(ExperimentError):
+            sample_queries(corel_histograms, corel_histograms.shape[0] + 1)
+
+    def test_invalid_parameters(self, corel_histograms):
+        with pytest.raises(ExperimentError):
+            sample_queries(corel_histograms, 0)
+        with pytest.raises(ExperimentError):
+            sample_queries(corel_histograms, 3, perturb=-0.1)
+        with pytest.raises(ExperimentError):
+            sample_queries(np.zeros(5), 1)
+
+    def test_misaligned_source_oids_rejected(self):
+        with pytest.raises(ExperimentError):
+            QueryWorkload(queries=np.zeros((3, 4)), source_oids=np.array([1]))
+
+
+class TestGroundTruth:
+    def test_exact_top_k(self, corel_histograms):
+        result = exact_top_k(corel_histograms, corel_histograms[4], 3, HistogramIntersection())
+        assert result.oids[0] == 4
+        assert result.scores[0] == pytest.approx(1.0)
+
+    def test_exact_top_k_invalid(self, corel_histograms):
+        with pytest.raises(ExperimentError):
+            exact_top_k(corel_histograms, corel_histograms[0], 0, HistogramIntersection())
+
+    def test_recall_and_score_match(self):
+        first = SearchResult(oids=np.array([1, 2]), scores=np.array([0.9, 0.8]))
+        second = SearchResult(oids=np.array([2, 3]), scores=np.array([0.9, 0.8]))
+        assert recall(first, second) == 0.5
+        assert result_scores_match(first, second)
+        third = SearchResult(oids=np.array([2]), scores=np.array([0.9]))
+        assert not result_scores_match(first, third)
+
+
+class TestPruningCurveCollector:
+    def make_trace(self, points):
+        trace = PruningTrace()
+        for dimensions, remaining in points:
+            trace.record(dimensions, remaining)
+        return trace
+
+    def test_grid_includes_endpoint(self):
+        collector = PruningCurveCollector(dimensionality=20, collection_size=100, grid_step=8)
+        assert list(collector.grid()) == [0, 8, 16, 20]
+
+    def test_resampling_carries_last_value_forward(self):
+        collector = PruningCurveCollector(dimensionality=16, collection_size=100, grid_step=4)
+        collector.add(self.make_trace([(0, 100), (6, 40), (12, 10)]))
+        remaining = collector.remaining_candidates()["average"]
+        assert list(remaining) == [100, 100, 40, 10, 10]
+
+    def test_best_average_worst(self):
+        collector = PruningCurveCollector(dimensionality=8, collection_size=100, grid_step=8)
+        collector.add(self.make_trace([(0, 100), (8, 20)]))
+        collector.add(self.make_trace([(0, 100), (8, 60)]))
+        series = collector.remaining_candidates()
+        assert series["best"][-1] == 20
+        assert series["worst"][-1] == 60
+        assert series["average"][-1] == pytest.approx(40)
+        pruned = collector.pruned_vectors()
+        assert pruned["best"][-1] == 80
+        assert pruned["worst"][-1] == 40
+
+    def test_average_curve_helper(self):
+        collector = PruningCurveCollector(dimensionality=8, collection_size=50, grid_step=4)
+        collector.add(self.make_trace([(0, 50), (8, 5)]))
+        grid, pruned = average_pruning_curve(collector)
+        assert grid[-1] == 8
+        assert pruned[-1] == 45
+
+    def test_empty_collector_rejected(self):
+        collector = PruningCurveCollector(dimensionality=8, collection_size=50)
+        with pytest.raises(ExperimentError):
+            collector.remaining_candidates()
+
+    def test_empty_trace_rejected(self):
+        collector = PruningCurveCollector(dimensionality=8, collection_size=50)
+        with pytest.raises(ExperimentError):
+            collector.add(PruningTrace())
+
+    def test_num_queries(self):
+        collector = PruningCurveCollector(dimensionality=8, collection_size=50)
+        collector.add(self.make_trace([(0, 50)]))
+        assert collector.num_queries == 1
+
+
+class TestTiming:
+    def test_statistics_in_milliseconds(self):
+        statistics = TimingStatistics.from_samples([0.001, 0.002, 0.003, 0.010])
+        assert statistics.minimum_ms == pytest.approx(1.0)
+        assert statistics.maximum_ms == pytest.approx(10.0)
+        assert statistics.average_ms == pytest.approx(4.0)
+        assert statistics.median_ms == pytest.approx(2.5)
+        assert set(statistics.as_row()) == {"min", "max", "average", "median"}
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ExperimentError):
+            TimingStatistics.from_samples([])
+
+    def test_time_callable(self):
+        value, elapsed = time_callable(lambda: 41 + 1)
+        assert value == 42
+        assert elapsed >= 0.0
