@@ -1,0 +1,221 @@
+#!/usr/bin/env python
+"""Benchmark the BOND query engines: seed vs. fused vs. batched.
+
+Times k-NN search over the default Corel-like synthetic dataset (the paper's
+166-dimensional histogram workload) through four paths:
+
+* ``seed``   — the frozen per-dimension seed implementation
+  (:mod:`benchmarks.seed_baseline`), the fixed reference every PR is
+  measured against;
+* ``loop``   — the live per-dimension engine on the current storage layer
+  (``BondSearcher(engine="loop")``);
+* ``fused``  — the block-scan kernel engine (``engine="fused"``);
+* ``batched``— ``BondSearcher.search_batch`` answering the whole query set
+  with shared fragment reads.
+
+The sequential-scan baseline (SSH) and its batched variant are measured as
+context.  Every engine's top-k (OIDs *and* scores) is verified to be
+identical to the seed path before any number is reported, and the results are
+written to ``BENCH_knn.json`` at the repository root so the performance
+trajectory is tracked across PRs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py            # default scale
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --quick    # CI smoke run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from seed_baseline import SeedBondSearcher  # noqa: E402
+
+from repro.core.bond import BondSearcher  # noqa: E402
+from repro.core.sequential import SequentialScan  # noqa: E402
+from repro.datasets.corel import make_corel_like  # noqa: E402
+from repro.storage.decomposed import DecomposedStore  # noqa: E402
+from repro.storage.rowstore import RowStore  # noqa: E402
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_knn.json"
+
+
+def _time_per_query(run, num_queries: int, repeats: int) -> float:
+    """Best-of-``repeats`` seconds per query for a callable answering all queries."""
+    run()  # warm-up: page in data, populate caches, size scratch buffers
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return best / num_queries
+
+
+def _results_identical(reference, candidate) -> bool:
+    """Bitwise equality of two result lists (OIDs and scores)."""
+    return all(
+        np.array_equal(a.oids, b.oids) and np.array_equal(a.scores, b.scores)
+        for a, b in zip(reference, candidate)
+    )
+
+
+def run_benchmark(
+    *,
+    cardinality: int,
+    dimensionality: int,
+    num_queries: int,
+    k: int,
+    repeats: int,
+    seed: int,
+) -> dict:
+    print(
+        f"dataset: {cardinality} x {dimensionality} Corel-like histograms, "
+        f"{num_queries} queries, k={k}, best of {repeats}"
+    )
+    data = make_corel_like(cardinality=cardinality, dimensionality=dimensionality)
+    rng = np.random.default_rng(seed)
+    queries = data[rng.choice(cardinality, size=num_queries, replace=False)]
+
+    store = DecomposedStore(data)
+    row_store = RowStore(data)
+    seed_searcher = SeedBondSearcher(data)
+    loop_searcher = BondSearcher(store, engine="loop")
+    fused_searcher = BondSearcher(store, engine="fused")
+    scan = SequentialScan(row_store)
+
+    # -- correctness first: every BOND engine must return the seed's exact
+    # top-k; the sequential scan sums in row order (different rounding), so
+    # its batched variant is checked against the single-query scan instead.
+    reference = [seed_searcher.search(query, k) for query in queries]
+    scan_reference = [scan.search(query, k) for query in queries]
+    identical = {
+        "loop": _results_identical(
+            reference, [loop_searcher.search(query, k) for query in queries]
+        ),
+        "fused": _results_identical(
+            reference, [fused_searcher.search(query, k) for query in queries]
+        ),
+        "batched": _results_identical(reference, list(fused_searcher.search_batch(queries, k))),
+        "scan_batched_vs_scan": _results_identical(
+            scan_reference, list(scan.search_batch(queries, k))
+        ),
+    }
+    for name, ok in identical.items():
+        marker = "ok" if ok else "MISMATCH"
+        print(f"  top-k identity [{name}]: {marker}")
+
+    # -- timing.
+    timings = {
+        "seed_per_dimension": _time_per_query(
+            lambda: [seed_searcher.search(query, k) for query in queries], num_queries, repeats
+        ),
+        "loop": _time_per_query(
+            lambda: [loop_searcher.search(query, k) for query in queries], num_queries, repeats
+        ),
+        "fused": _time_per_query(
+            lambda: [fused_searcher.search(query, k) for query in queries], num_queries, repeats
+        ),
+        "batched": _time_per_query(
+            lambda: fused_searcher.search_batch(queries, k), num_queries, repeats
+        ),
+        "sequential_scan": _time_per_query(
+            lambda: [scan.search(query, k) for query in queries], num_queries, repeats
+        ),
+        "sequential_scan_batched": _time_per_query(
+            lambda: scan.search_batch(queries, k), num_queries, repeats
+        ),
+    }
+
+    seed_seconds = timings["seed_per_dimension"]
+    engines = {
+        name: {
+            "seconds_per_query": seconds,
+            "queries_per_second": 1.0 / seconds,
+            "speedup_vs_seed": seed_seconds / seconds,
+        }
+        for name, seconds in timings.items()
+    }
+
+    print()
+    print(f"  {'engine':<24} {'qps':>10} {'speedup vs seed':>16}")
+    for name, row in engines.items():
+        print(
+            f"  {name:<24} {row['queries_per_second']:>10.1f} "
+            f"{row['speedup_vs_seed']:>15.2f}x"
+        )
+
+    batched_speedup = engines["batched"]["speedup_vs_seed"]
+    return {
+        "benchmark": "BENCH_knn",
+        "config": {
+            "cardinality": cardinality,
+            "dimensionality": dimensionality,
+            "num_queries": num_queries,
+            "k": k,
+            "repeats": repeats,
+            "seed": seed,
+            "metric": "histogram_intersection",
+            "bound": "Hq",
+        },
+        "engines": engines,
+        "identical_topk_vs_seed": identical,
+        "batched_speedup_vs_seed": batched_speedup,
+        "meets_3x_target": bool(batched_speedup >= 3.0 and all(identical.values())),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small CI smoke configuration")
+    # Default scale mirrors the paper's Corel workload: 59,619 histograms
+    # with 166 bins (Section 7.1).
+    parser.add_argument("--cardinality", type=int, default=59_619)
+    parser.add_argument("--dimensionality", type=int, default=166)
+    parser.add_argument("--queries", type=int, default=32)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--output", type=pathlib.Path, default=None)
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.cardinality = min(args.cardinality, 4_000)
+        args.queries = min(args.queries, 8)
+        args.repeats = min(args.repeats, 2)
+    if args.output is None:
+        # A quick smoke run must not overwrite the tracked full-scale numbers.
+        args.output = REPO_ROOT / "BENCH_knn.quick.json" if args.quick else DEFAULT_OUTPUT
+
+    report = run_benchmark(
+        cardinality=args.cardinality,
+        dimensionality=args.dimensionality,
+        num_queries=args.queries,
+        k=args.k,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+    if not all(report["identical_topk_vs_seed"].values()):
+        print("ERROR: an engine diverged from the seed top-k", file=sys.stderr)
+        return 1
+    print(
+        f"batched speedup vs seed: {report['batched_speedup_vs_seed']:.2f}x "
+        f"(target >= 3x: {'met' if report['meets_3x_target'] else 'NOT met'})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

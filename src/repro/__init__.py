@@ -29,6 +29,7 @@ from repro.bounds import (
     WeightedEuclideanBound,
 )
 from repro.core import (
+    BatchSearchResult,
     BondSearcher,
     CompressedBondSearcher,
     DataSkewOrdering,
@@ -78,6 +79,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AverageAggregate",
+    "BatchSearchResult",
     "BondSearcher",
     "CompressedBondSearcher",
     "CompressedStore",

@@ -30,6 +30,126 @@ import numpy as np
 from repro.errors import BoundError
 
 
+def _suffix_sums(values: np.ndarray) -> np.ndarray:
+    """``out[j] = sum(values[j:])`` with a trailing 0 (length N + 1)."""
+    return np.concatenate([np.cumsum(values[::-1])[::-1], [0.0]])
+
+
+class OrderStatistics:
+    """Suffix aggregates of a query along its processing order.
+
+    A blocked BOND run attempts to prune once per pruning period; each attempt
+    needs query-side aggregates over the *remaining* dimensions (their mass,
+    their minimum, corner distances, weight sums).  Recomputing those by
+    fancy-indexing ``query[order[m:]]`` costs O(N - m) per attempt; this class
+    precomputes each suffix once per (query, order) — lazily, on the first
+    attempt that needs it, so a bound only pays for the statistics it actually
+    consults — and every later attempt reads a single scalar.  Both the
+    blocked and the per-dimension engine consult the same statistics, which
+    keeps their pruning decisions bit-for-bit identical.
+    """
+
+    def __init__(
+        self, query: np.ndarray, order: np.ndarray, weights: np.ndarray | None = None
+    ) -> None:
+        self._ordered_query = np.asarray(query, dtype=np.float64)[order]
+        self._ordered_weights = (
+            np.asarray(weights, dtype=np.float64)[order] if weights is not None else None
+        )
+        self._cache: dict[str, np.ndarray] = {}
+
+    @property
+    def has_weights(self) -> bool:
+        """Whether weighted suffix statistics are available."""
+        return self._ordered_weights is not None
+
+    def _cached(self, key: str, build) -> np.ndarray:
+        array = self._cache.get(key)
+        if array is None:
+            array = build()
+            self._cache[key] = array
+        return array
+
+    @property
+    def suffix_query_mass(self) -> np.ndarray:
+        """``out[m] = T(q⁺)`` after m processed dimensions."""
+        return self._cached("query_mass", lambda: _suffix_sums(self._ordered_query))
+
+    @property
+    def suffix_query_square_mass(self) -> np.ndarray:
+        """``out[m] = sum q_i²`` over the remaining dimensions."""
+        return self._cached(
+            "query_square", lambda: _suffix_sums(self._ordered_query * self._ordered_query)
+        )
+
+    @property
+    def suffix_query_min(self) -> np.ndarray:
+        """``out[m] = min q⁺`` (``inf`` once nothing remains)."""
+        return self._cached(
+            "query_min",
+            lambda: np.concatenate(
+                [np.minimum.accumulate(self._ordered_query[::-1])[::-1], [np.inf]]
+            ),
+        )
+
+    def _corner(self) -> np.ndarray:
+        return self._cached(
+            "corner_terms",
+            lambda: np.maximum(self._ordered_query, 1.0 - self._ordered_query) ** 2,
+        )
+
+    @property
+    def suffix_corner_mass(self) -> np.ndarray:
+        """``out[m] = sum max(q_i, 1-q_i)²`` over the remaining dimensions."""
+        return self._cached("corner_mass", lambda: _suffix_sums(self._corner()))
+
+    @property
+    def suffix_weighted_corner_mass(self) -> np.ndarray | None:
+        """Weighted corner suffix, or ``None`` without weights."""
+        if self._ordered_weights is None:
+            return None
+        return self._cached(
+            "weighted_corner", lambda: _suffix_sums(self._ordered_weights * self._corner())
+        )
+
+    @property
+    def suffix_inverse_weight_mass(self) -> np.ndarray | None:
+        """``sum 1/w_i`` over remaining positive-weight dimensions, or ``None``."""
+        if self._ordered_weights is None:
+            return None
+
+        def build() -> np.ndarray:
+            positive = self._ordered_weights > 0.0
+            inverse = np.divide(1.0, np.where(positive, self._ordered_weights, 1.0))
+            return _suffix_sums(np.where(positive, inverse, 0.0))
+
+        return self._cached("inverse_weight", build)
+
+    @property
+    def suffix_weight_max(self) -> np.ndarray | None:
+        """``max w⁺`` per prefix length (0 once nothing remains), or ``None``."""
+        if self._ordered_weights is None:
+            return None
+        return self._cached(
+            "weight_max",
+            lambda: np.concatenate(
+                [np.maximum.accumulate(self._ordered_weights[::-1])[::-1], [0.0]]
+            ),
+        )
+
+    @property
+    def suffix_has_nonpositive_weight(self) -> np.ndarray | None:
+        """Whether any remaining dimension has weight <= 0, or ``None``."""
+        if self._ordered_weights is None:
+            return None
+        return self._cached(
+            "has_nonpositive",
+            lambda: np.concatenate(
+                [np.logical_or.accumulate((self._ordered_weights <= 0.0)[::-1])[::-1], [False]]
+            ),
+        )
+
+
 @dataclass
 class PartialState:
     """Snapshot of a BOND run after processing ``num_processed`` dimensions.
@@ -51,6 +171,10 @@ class PartialState:
         ``T(x⁺)`` per candidate, or ``None`` when not maintained.
     weights:
         Per-dimension query weights for weighted search, or ``None``.
+    order_statistics:
+        Optional precomputed :class:`OrderStatistics` for blocked execution;
+        the query-side accessors below use them when present and fall back to
+        direct computation otherwise, so hand-built states keep working.
     """
 
     query: np.ndarray
@@ -60,6 +184,7 @@ class PartialState:
     partial_value_sums: np.ndarray | None = None
     remaining_value_sums: np.ndarray | None = None
     weights: np.ndarray | None = None
+    order_statistics: OrderStatistics | None = None
 
     @property
     def dimensionality(self) -> int:
@@ -90,6 +215,90 @@ class PartialState:
     def processed_query(self) -> np.ndarray:
         """The query coefficients of the processed dimensions (q⁻)."""
         return self.query[self.processed_dimensions]
+
+    @property
+    def num_remaining(self) -> int:
+        """How many dimensions are still unprocessed."""
+        return self.dimensionality - self.num_processed
+
+    # -- O(1) query-side aggregates (blocked execution) -----------------------
+
+    @property
+    def remaining_query_mass(self) -> float:
+        """``T(q⁺)``: total query mass of the remaining dimensions."""
+        if self.order_statistics is not None:
+            return float(self.order_statistics.suffix_query_mass[self.num_processed])
+        return float(self.remaining_query.sum())
+
+    @property
+    def processed_query_mass(self) -> float:
+        """``T(q⁻)``: total query mass of the processed dimensions."""
+        if self.order_statistics is not None:
+            stats = self.order_statistics.suffix_query_mass
+            return float(stats[0] - stats[self.num_processed])
+        return float(self.processed_query.sum())
+
+    @property
+    def remaining_query_min(self) -> float:
+        """The smallest remaining query coefficient (``inf`` when none left)."""
+        if self.order_statistics is not None:
+            return float(self.order_statistics.suffix_query_min[self.num_processed])
+        remaining = self.remaining_query
+        return float(remaining.min()) if remaining.shape[0] else float("inf")
+
+    @property
+    def remaining_query_square_mass(self) -> float:
+        """``sum q_i²`` over the remaining dimensions."""
+        if self.order_statistics is not None:
+            return float(self.order_statistics.suffix_query_square_mass[self.num_processed])
+        remaining = self.remaining_query
+        return float(np.sum(remaining * remaining))
+
+    @property
+    def remaining_corner_mass(self) -> float:
+        """``sum max(q_i, 1-q_i)²`` over the remaining dimensions (Eq. 10)."""
+        if self.order_statistics is not None:
+            return float(self.order_statistics.suffix_corner_mass[self.num_processed])
+        remaining = self.remaining_query
+        return float(np.sum(np.maximum(remaining, 1.0 - remaining) ** 2))
+
+    @property
+    def remaining_weighted_corner_mass(self) -> float:
+        """``sum w_i max(q_i, 1-q_i)²`` over the remaining dimensions."""
+        stats = self.order_statistics
+        if stats is not None and stats.suffix_weighted_corner_mass is not None:
+            return float(stats.suffix_weighted_corner_mass[self.num_processed])
+        remaining = self.remaining_query
+        remaining_weights = self.weights[self.remaining_dimensions]
+        return float(np.sum(remaining_weights * np.maximum(remaining, 1.0 - remaining) ** 2))
+
+    @property
+    def remaining_inverse_weight_mass(self) -> float:
+        """``sum 1/w_i`` over remaining dimensions with positive weight."""
+        stats = self.order_statistics
+        if stats is not None and stats.suffix_inverse_weight_mass is not None:
+            return float(stats.suffix_inverse_weight_mass[self.num_processed])
+        remaining_weights = self.weights[self.remaining_dimensions]
+        positive = remaining_weights > 0.0
+        return float(np.sum(1.0 / remaining_weights[positive]))
+
+    @property
+    def remaining_weight_max(self) -> float:
+        """The largest remaining weight (0 when none left)."""
+        stats = self.order_statistics
+        if stats is not None and stats.suffix_weight_max is not None:
+            return float(stats.suffix_weight_max[self.num_processed])
+        remaining_weights = self.weights[self.remaining_dimensions]
+        return float(remaining_weights.max()) if remaining_weights.shape[0] else 0.0
+
+    @property
+    def remaining_has_nonpositive_weight(self) -> bool:
+        """Whether any remaining dimension has weight <= 0."""
+        stats = self.order_statistics
+        if stats is not None and stats.suffix_has_nonpositive_weight is not None:
+            return bool(stats.suffix_has_nonpositive_weight[self.num_processed])
+        remaining_weights = self.weights[self.remaining_dimensions]
+        return bool(np.any(remaining_weights <= 0.0))
 
     def validate(self) -> None:
         """Sanity-check internal consistency; raises :class:`BoundError`."""
@@ -140,12 +349,41 @@ class PruningBound(abc.ABC):
     def remaining_bounds(self, state: PartialState) -> RemainingBounds:
         """Bounds on the remaining contribution for every candidate."""
 
-    def total_bounds(self, state: PartialState) -> tuple[np.ndarray, np.ndarray]:
-        """Bounds ``(S_min, S_max)`` on the complete aggregate per candidate."""
+    def total_bounds(
+        self,
+        state: PartialState,
+        out: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Bounds ``(S_min, S_max)`` on the complete aggregate per candidate.
+
+        The upper bound is clamped to at least the lower bound: both enclose
+        the same true score, so ``max(upper, lower)`` is still a valid upper
+        bound, and the clamp absorbs the last-ULP inversions that arise when
+        the two bounds are computed by different formulas that are analytically
+        equal (e.g. the weighted Appendix-A bounds with one remaining
+        dimension).  Without it a candidate can prune *itself*: its lower
+        bound lands one ULP above its own upper bound, the pruning constant
+        kappa is set from that upper bound, and the true nearest neighbour is
+        discarded.
+
+        ``out`` optionally supplies two candidate-aligned buffers to write the
+        bounds into (the searcher reuses per-search scratch so a pruning
+        attempt allocates nothing); the values are identical either way.
+        """
         state.validate()
         remaining = self.remaining_bounds(state)
-        lower, upper = remaining.as_arrays(state.num_candidates)
-        return state.partial_scores + lower, state.partial_scores + upper
+        # Scalar bounds (Hq, Eq) broadcast for free in the additions below;
+        # materialising them into per-candidate arrays first would cost two
+        # collection-sized copies per pruning attempt.
+        if out is None:
+            total_lower = state.partial_scores + remaining.lower
+            total_upper = np.maximum(state.partial_scores + remaining.upper, total_lower)
+            return total_lower, total_upper
+        total_lower, total_upper = out
+        np.add(state.partial_scores, remaining.lower, out=total_lower)
+        np.add(state.partial_scores, remaining.upper, out=total_upper)
+        np.maximum(total_upper, total_lower, out=total_upper)
+        return total_lower, total_upper
 
     def pruning_worthwhile(self, state: PartialState) -> bool:
         """Whether attempting to prune in this state can discard anything.

@@ -123,11 +123,10 @@ class EqBound(PruningBound):
 
     def remaining_bounds(self, state: PartialState) -> RemainingBounds:
         """``[0, corner distance]`` for every candidate."""
-        remaining_query = state.remaining_query
-        if remaining_query.shape[0] == 0:
+        if state.num_remaining == 0:
             return RemainingBounds(lower=0.0, upper=0.0)
 
-        corner = float(np.sum(np.maximum(remaining_query, 1.0 - remaining_query) ** 2))
+        corner = state.remaining_corner_mass
         upper = corner
         cap = self._remaining_sum_cap
         if cap is not None and cap <= 1.0:
@@ -136,8 +135,8 @@ class EqBound(PruningBound):
             # whole cap on the dimension with the smallest query value; the
             # maximum over the capped range is attained at one of these two
             # extremes because the distance is convex in the spent mass.
-            at_zero = float(np.sum(remaining_query**2))
-            at_cap = float(lemma1_upper_bound(remaining_query, np.array([cap]))[0])
+            at_zero = state.remaining_query_square_mass
+            at_cap = float(lemma1_upper_bound(state.remaining_query, np.array([cap]))[0])
             upper = min(corner, max(at_zero, at_cap))
         return RemainingBounds(lower=0.0, upper=upper)
 

@@ -32,8 +32,7 @@ class HqBound(PruningBound):
 
     def remaining_bounds(self, state: PartialState) -> RemainingBounds:
         """``[0, T(q⁺)]`` for every candidate."""
-        remaining_query_mass = float(state.remaining_query.sum())
-        return RemainingBounds(lower=0.0, upper=remaining_query_mass)
+        return RemainingBounds(lower=0.0, upper=state.remaining_query_mass)
 
     def pruning_worthwhile(self, state: PartialState) -> bool:
         """Hq cannot prune before ``T(q⁻) > 0.5`` (Section 5.2).
@@ -43,7 +42,7 @@ class HqBound(PruningBound):
         pruning inequality of Equation 6 to exclude anything the right-hand
         side must be positive.
         """
-        return float(state.processed_query.sum()) > 0.5
+        return state.processed_query_mass > 0.5
 
 
 class HhBound(PruningBound):
@@ -56,17 +55,15 @@ class HhBound(PruningBound):
         """Per-candidate bounds from Equations 7 and 8."""
         if state.partial_value_sums is None:
             raise BoundError("criterion Hh needs T(h-) maintained per candidate")
-        remaining_query = state.remaining_query
-        remaining_query_mass = float(remaining_query.sum())
+        remaining_query_mass = state.remaining_query_mass
         # Remaining mass of each histogram: the histograms are L1-normalised,
         # so T(h+) = 1 - T(h-).  Clip at zero to absorb floating-point noise.
         remaining_histogram_mass = np.clip(1.0 - state.partial_value_sums, 0.0, None)
 
         upper = np.minimum(remaining_histogram_mass, remaining_query_mass)
-        if remaining_query.shape[0] == 0:
+        if state.num_remaining == 0:
             # No dimensions left: the remaining contribution is exactly zero.
             lower = np.zeros_like(upper)
         else:
-            minimum_remaining_query = float(remaining_query.min())
-            lower = np.minimum(minimum_remaining_query, remaining_histogram_mass)
+            lower = np.minimum(state.remaining_query_min, remaining_histogram_mass)
         return RemainingBounds(lower=lower, upper=upper)

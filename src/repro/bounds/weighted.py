@@ -28,6 +28,16 @@ implementation therefore uses a *provably safe* upper bound — the minimum of
 comparison experiments.  The substitution is recorded in DESIGN.md; for the
 weight distributions of Figure 11 (skewed but applied to the *query*
 dimensions that are processed first) the safe bound prunes almost as well.
+
+**Floating-point safety.**  With a single remaining dimension the lower and
+upper bounds above are *analytically equal* (the remaining coordinate is
+fully determined by ``T(v⁺)``), but they are computed by different formulas
+whose roundings differ in the last ULP.  When the lower bound lands one ULP
+above the upper bound, the candidate prunes itself — including the true
+nearest neighbour, which made the weighted searcher return empty results.
+:meth:`~repro.bounds.base.PruningBound.total_bounds` therefore clamps the
+upper bound to at least the lower bound, which is always sound because both
+enclose the same true score.
 """
 
 from __future__ import annotations
@@ -49,28 +59,48 @@ class WeightedEuclideanBound(PruningBound):
         self._use_paper_upper_bound = use_paper_upper_bound
 
     def remaining_bounds(self, state: PartialState) -> RemainingBounds:
-        """Per-candidate bounds using the weights of the remaining dimensions."""
+        """Per-candidate bounds using the weights of the remaining dimensions.
+
+        Query-side aggregates (remaining mass, weighted corner distance,
+        ``sum 1/w``, ``max w``) come from the blocked partial state, which
+        serves them in O(1) from per-order suffix statistics when the searcher
+        precomputed them; only Lemma 1 still needs the remaining query vector.
+        """
         if state.weights is None:
             raise BoundError("the weighted bound needs query weights in the partial state")
         if state.remaining_value_sums is None:
             raise BoundError("the weighted bound needs T(v+) maintained per candidate")
 
-        remaining_dimensions = state.remaining_dimensions
-        remaining_query = state.query[remaining_dimensions]
-        remaining_weights = state.weights[remaining_dimensions]
         remaining_sums = state.remaining_value_sums
-        if remaining_dimensions.shape[0] == 0:
+        if state.num_remaining == 0:
             zeros = np.zeros_like(remaining_sums)
             return RemainingBounds(lower=zeros, upper=zeros)
 
-        lower = self._lower_bound(remaining_query, remaining_weights, remaining_sums)
-        if self._use_paper_upper_bound:
-            upper = self.paper_equation14(remaining_query, remaining_weights, remaining_sums)
+        # Lower bound (Equation 15) from the O(1) blocked-state aggregates.
+        if state.remaining_has_nonpositive_weight:
+            # A zero-weight dimension can absorb the whole difference for free.
+            lower = np.zeros_like(remaining_sums)
         else:
-            upper = self._safe_upper_bound(remaining_query, remaining_weights, remaining_sums)
+            total_difference = remaining_sums - state.remaining_query_mass
+            lower = (total_difference * total_difference) / state.remaining_inverse_weight_mass
+
+        if self._use_paper_upper_bound:
+            remaining_dimensions = state.remaining_dimensions
+            upper = self.paper_equation14(
+                state.query[remaining_dimensions],
+                state.weights[remaining_dimensions],
+                remaining_sums,
+            )
+        else:
+            # Safe upper bound: min(box corner, max(w+) * unweighted Lemma 1).
+            unweighted = lemma1_upper_bound(state.remaining_query, remaining_sums)
+            upper = np.minimum(
+                state.remaining_weighted_corner_mass,
+                state.remaining_weight_max * unweighted,
+            )
         return RemainingBounds(lower=lower, upper=upper)
 
-    # -- lower bound (Equation 15) ---------------------------------------------
+    # -- lower bound (Equation 15), standalone formula ---------------------------
 
     @staticmethod
     def _lower_bound(
@@ -85,7 +115,7 @@ class WeightedEuclideanBound(PruningBound):
         inverse_weight_sum = float(np.sum(1.0 / remaining_weights))
         return (total_difference * total_difference) / inverse_weight_sum
 
-    # -- safe upper bound ---------------------------------------------------------
+    # -- safe upper bound, standalone formula -------------------------------------
 
     @staticmethod
     def _safe_upper_bound(

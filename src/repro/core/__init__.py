@@ -17,7 +17,7 @@
   the engine algebra, for demonstrating the relational implementation.
 """
 
-from repro.core.result import SearchResult
+from repro.core.result import BatchSearchResult, SearchResult
 from repro.core.ordering import (
     DataSkewOrdering,
     DecreasingQueryOrdering,
@@ -44,6 +44,7 @@ from repro.core.multifeature import (
 )
 
 __all__ = [
+    "BatchSearchResult",
     "BondSearcher",
     "CompressedBondSearcher",
     "DataSkewOrdering",

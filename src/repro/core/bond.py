@@ -18,6 +18,22 @@ longer reach the top k:
 Once the candidate set is no larger than k (or the dimensions are exhausted)
 the survivors' exact scores are completed on the remaining dimensions — only
 k-ish vectors wide — and the best k are returned.
+
+Execution engines
+-----------------
+The searcher offers two engines with bit-for-bit identical results:
+
+* ``"fused"`` (default) processes one pruning period at a time: the period's
+  m fragments arrive as a single :meth:`~repro.core.candidates.CandidateSet.block_values`
+  gather and one fused kernel from :mod:`repro.kernels` computes all m
+  contribution columns at once, eliminating the per-dimension Python
+  round trips of the original loop;
+* ``"loop"`` is the seed per-dimension path, kept as the reference
+  implementation and benchmark baseline.
+
+For multi-query workloads, :meth:`BondSearcher.search_batch` executes a whole
+batch of queries concurrently, sharing each fragment read across every live
+query (see :mod:`repro.core.batch`).
 """
 
 from __future__ import annotations
@@ -26,15 +42,17 @@ import time
 
 import numpy as np
 
-from repro.bounds.base import PartialState, PruningBound
+from repro.bounds.base import OrderStatistics, PartialState, PruningBound
 from repro.bounds.euclidean import EvBound
 from repro.bounds.histogram import HqBound
 from repro.bounds.weighted import WeightedEuclideanBound
+from repro.core.batch import BatchQueryEngine
 from repro.core.candidates import CandidateMode, CandidateSet
 from repro.core.ordering import DecreasingQueryOrdering, DimensionOrdering
 from repro.core.planner import FixedPeriodSchedule, PruningSchedule
-from repro.core.result import PruningTrace, SearchResult
+from repro.core.result import BatchSearchResult, PruningTrace, SearchResult
 from repro.errors import QueryError
+from repro.kernels import BlockKernel, accumulate_columns, kernel_for
 from repro.metrics.base import Metric, MetricKind
 from repro.metrics.euclidean import SquaredEuclidean
 from repro.metrics.histogram import HistogramIntersection
@@ -84,6 +102,16 @@ class BondSearcher:
     switch_selectivity:
         Candidate fraction below which the auto mode materialises the
         candidate set.
+    engine:
+        ``"fused"`` (default) runs the block-scan kernels; ``"loop"`` runs
+        the original per-dimension reference path.  Both return bitwise
+        identical results at identical accounted cost.
+
+    Notes
+    -----
+    A searcher owns reusable scratch buffers (kernel workspace, pruning
+    bounds), so one instance must not run concurrent searches from multiple
+    threads; create one searcher per thread (they can share the store).
     """
 
     def __init__(
@@ -96,7 +124,10 @@ class BondSearcher:
         schedule: PruningSchedule | None = None,
         candidate_mode: str = "auto",
         switch_selectivity: float = 0.05,
+        engine: str = "fused",
     ) -> None:
+        if engine not in ("fused", "loop"):
+            raise QueryError("engine must be 'fused' or 'loop'")
         self._store = store
         self._metric = metric if metric is not None else HistogramIntersection()
         self._bound = bound if bound is not None else default_bound_for(self._metric)
@@ -104,6 +135,15 @@ class BondSearcher:
         self._schedule = schedule if schedule is not None else FixedPeriodSchedule(8)
         self._candidate_mode = candidate_mode
         self._switch_selectivity = switch_selectivity
+        self._engine = engine
+        self._kernel = kernel_for(self._metric)
+        # Reusable per-search scratch (lazily sized to the collection): the
+        # full-scan workspace for the kernels and the bound/keep buffers of
+        # the pruning attempts, so the hot path allocates nothing.
+        self._scan_workspace = np.empty(0, dtype=np.float64)
+        self._prune_lower = np.empty(0, dtype=np.float64)
+        self._prune_upper = np.empty(0, dtype=np.float64)
+        self._prune_keep = np.empty(0, dtype=bool)
         if self._bound.needs_remaining_value_sums:
             store.materialize_row_sums()
 
@@ -124,6 +164,16 @@ class BondSearcher:
         """The pruning criterion in use."""
         return self._bound
 
+    @property
+    def engine(self) -> str:
+        """The execution engine in use (``"fused"`` or ``"loop"``)."""
+        return self._engine
+
+    @property
+    def kernel(self) -> BlockKernel:
+        """The fused block kernel matching the metric."""
+        return self._kernel
+
     def search(self, query: np.ndarray, k: int, *, trace: PruningTrace | None = None) -> SearchResult:
         """Return the k nearest neighbours of ``query``.
 
@@ -138,60 +188,28 @@ class BondSearcher:
             pruning curve into (also attached to the returned result).
         """
         started = time.perf_counter()
-        query = self._metric.validate_query(query)
-        if query.shape[0] != self._store.dimensionality:
-            raise QueryError(
-                f"query has {query.shape[0]} dimensions, the store has {self._store.dimensionality}"
-            )
-        if k <= 0:
-            raise QueryError("k must be at least 1")
-        k = min(k, self._store.cardinality)
+        query, k, weights, dimension_order, schedule_length = self._prepare(query, k)
+        full_order = self._full_order(dimension_order, query.shape[0])
+        statistics = OrderStatistics(query, full_order, weights)
 
-        weights = self._metric.weights if isinstance(self._metric, WeightedSquaredEuclidean) else None
-        dimension_order = self._ordering.order(query, weights=weights)
-        if weights is not None:
-            # Subspace fast path: zero-weight dimensions contribute nothing
-            # and their fragments never need to be touched (Section 8.1).
-            dimension_order = dimension_order[weights[dimension_order] > 0.0]
-
-        candidates = CandidateSet(
-            self._store,
-            track_partial_sums=self._bound.needs_partial_value_sums,
-            track_remaining_sums=self._bound.needs_remaining_value_sums,
-            mode=self._candidate_mode,
-            switch_selectivity=self._switch_selectivity,
-        )
+        candidates = self.make_candidates()
         trace = trace if trace is not None else PruningTrace()
         trace.record(0, len(candidates))
 
         cost_checkpoint = self._store.cost.checkpoint()
-        total_dimensions = int(dimension_order.shape[0])
-        schedule_length = self._store.dimensionality if weights is None else total_dimensions
-
-        processed = 0
-        full_scan_dimensions = 0
-        next_attempt = processed + self._schedule.first_batch(schedule_length)
-
-        while processed < total_dimensions and len(candidates) > k:
-            dimension = int(dimension_order[processed])
-            column = candidates.column_values(dimension)
-            contributions = self._metric.contributions(column, query[dimension], dimension=dimension)
-            self._store.cost.charge_arithmetic(len(column) * self._metric.arithmetic_ops_per_value())
-            candidates.accumulate(contributions, column)
-            if candidates.mode is CandidateMode.BITMAP:
-                full_scan_dimensions += 1
-            processed += 1
-
-            if processed >= next_attempt or processed == total_dimensions:
-                before = len(candidates)
-                self._attempt_prune(query, dimension_order, processed, candidates, k, weights)
-                trace.record(processed, len(candidates))
-                next_attempt = processed + self._schedule.next_batch(
-                    dimensionality=schedule_length,
-                    dimensions_processed=processed,
-                    candidates_before=before,
-                    candidates_after=len(candidates),
-                )
+        run = self._run_loop if self._engine == "loop" else self._run_fused
+        processed, full_scan_dimensions = run(
+            query,
+            dimension_order,
+            full_order,
+            statistics,
+            candidates,
+            k,
+            weights,
+            trace,
+            self._schedule,
+            schedule_length,
+        )
 
         final_scores = self._finish_scores(query, dimension_order, processed, candidates)
         oids, scores = self._rank(candidates.oids, final_scores, k)
@@ -207,12 +225,243 @@ class BondSearcher:
             elapsed_seconds=elapsed,
         )
 
+    def search_batch(self, queries: np.ndarray, k: int) -> BatchSearchResult:
+        """Answer a whole batch of queries, sharing fragment reads.
+
+        Every query runs the exact single-query algorithm — its own dimension
+        order, pruning schedule and candidate set — so each returned
+        :class:`~repro.core.result.SearchResult` is bitwise identical to what
+        :meth:`search` would return for that query.  The batch engine differs
+        only in *how storage is touched*: per execution round, the union of
+        all live queries' next fragment blocks is gathered once and served to
+        every query, so one sequential pass over a column answers the whole
+        batch (see :mod:`repro.core.batch`).
+
+        Parameters
+        ----------
+        queries:
+            ``(batch, N)`` matrix of query vectors (a single 1-D query is
+            accepted and treated as a batch of one).
+        k:
+            Number of neighbours per query; clamped to the collection size.
+
+        Returns
+        -------
+        A :class:`~repro.core.result.BatchSearchResult` with one result per
+        query in submission order; cost and wall-clock time are accounted at
+        batch level because fragment reads are shared.
+        """
+        started = time.perf_counter()
+        query_matrix = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if query_matrix.ndim != 2:
+            raise QueryError(f"queries must form a 2-D matrix, got shape {query_matrix.shape}")
+        cost_checkpoint = self._store.cost.checkpoint()
+        engine = BatchQueryEngine(self, query_matrix, k)
+        results = engine.run()
+        return BatchSearchResult(
+            results=results,
+            cost=self._store.cost.since(cost_checkpoint),
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    # -- shared per-query plumbing (also used by the batch engine) ---------------
+
+    def _prepare(
+        self, query: np.ndarray, k: int
+    ) -> tuple[np.ndarray, int, np.ndarray | None, np.ndarray, int]:
+        """Validate one query and plan its dimension order."""
+        query = self._metric.validate_query(query)
+        if query.shape[0] != self._store.dimensionality:
+            raise QueryError(
+                f"query has {query.shape[0]} dimensions, the store has {self._store.dimensionality}"
+            )
+        if k <= 0:
+            raise QueryError("k must be at least 1")
+        k = min(k, self._store.cardinality)
+
+        weights = self._metric.weights if isinstance(self._metric, WeightedSquaredEuclidean) else None
+        dimension_order = self._ordering.order(query, weights=weights)
+        if weights is not None:
+            # Subspace fast path: zero-weight dimensions contribute nothing
+            # and their fragments never need to be touched (Section 8.1).
+            dimension_order = dimension_order[weights[dimension_order] > 0.0]
+        schedule_length = (
+            self._store.dimensionality if weights is None else int(dimension_order.shape[0])
+        )
+        return query, k, weights, dimension_order, schedule_length
+
+    def make_candidates(self) -> CandidateSet:
+        """A fresh candidate set with the bookkeeping this searcher's bound needs."""
+        return CandidateSet(
+            self._store,
+            track_partial_sums=self._bound.needs_partial_value_sums,
+            track_remaining_sums=self._bound.needs_remaining_value_sums,
+            mode=self._candidate_mode,
+            switch_selectivity=self._switch_selectivity,
+        )
+
+    # -- execution engines -------------------------------------------------------
+
+    def _run_loop(
+        self,
+        query: np.ndarray,
+        dimension_order: np.ndarray,
+        full_order: np.ndarray,
+        statistics: OrderStatistics,
+        candidates: CandidateSet,
+        k: int,
+        weights: np.ndarray | None,
+        trace: PruningTrace,
+        schedule: PruningSchedule,
+        schedule_length: int,
+    ) -> tuple[int, int]:
+        """The seed per-dimension reference engine."""
+        total_dimensions = int(dimension_order.shape[0])
+        processed = 0
+        full_scan_dimensions = 0
+        next_attempt = processed + schedule.first_batch(schedule_length)
+
+        while processed < total_dimensions and len(candidates) > k:
+            dimension = int(dimension_order[processed])
+            column = candidates.column_values(dimension)
+            contributions = self._metric.contributions(column, query[dimension], dimension=dimension)
+            self._store.cost.charge_arithmetic(len(column) * self._metric.arithmetic_ops_per_value())
+            candidates.accumulate(contributions, column)
+            if candidates.mode is CandidateMode.BITMAP:
+                full_scan_dimensions += 1
+            processed += 1
+
+            if processed >= next_attempt or processed == total_dimensions:
+                next_attempt = processed + self._prune_and_plan(
+                    query, full_order, statistics, processed, candidates, k, weights,
+                    trace, schedule, schedule_length,
+                )
+        return processed, full_scan_dimensions
+
+    def _run_fused(
+        self,
+        query: np.ndarray,
+        dimension_order: np.ndarray,
+        full_order: np.ndarray,
+        statistics: OrderStatistics,
+        candidates: CandidateSet,
+        k: int,
+        weights: np.ndarray | None,
+        trace: PruningTrace,
+        schedule: PruningSchedule,
+        schedule_length: int,
+    ) -> tuple[int, int]:
+        """The fused block-scan engine: one kernel call per pruning period.
+
+        Processes the same dimensions, attempts the same prunes with the same
+        bounds and folds contributions in the same order as :meth:`_run_loop`,
+        so the results (and the accounted cost) are bitwise identical — the
+        only difference is that each pruning period costs one storage gather
+        and one kernel call instead of m per-dimension round trips.
+        """
+        total_dimensions = int(dimension_order.shape[0])
+        processed = 0
+        full_scan_dimensions = 0
+        next_attempt = schedule.first_batch(schedule_length)
+
+        while processed < total_dimensions and len(candidates) > k:
+            block_end = min(max(next_attempt, processed + 1), total_dimensions)
+            block_dimensions = dimension_order[processed:block_end]
+            self._scan_block(candidates, query, block_dimensions)
+            if candidates.mode is CandidateMode.BITMAP:
+                full_scan_dimensions += int(block_dimensions.shape[0])
+            processed = block_end
+
+            if processed >= next_attempt or processed == total_dimensions:
+                next_attempt = processed + self._prune_and_plan(
+                    query, full_order, statistics, processed, candidates, k, weights,
+                    trace, schedule, schedule_length,
+                )
+        return processed, full_scan_dimensions
+
     # -- internals -----------------------------------------------------------------
+
+    def _prune_and_plan(
+        self,
+        query: np.ndarray,
+        full_order: np.ndarray,
+        statistics: OrderStatistics,
+        processed: int,
+        candidates: CandidateSet,
+        k: int,
+        weights: np.ndarray | None,
+        trace: PruningTrace,
+        schedule: PruningSchedule,
+        schedule_length: int,
+    ) -> int:
+        """One pruning checkpoint: attempt the prune, record the trace point
+        and return how many dimensions to process before the next attempt.
+
+        This is the single copy of the checkpoint logic shared by the loop
+        engine, the fused engine and the batch engine — the bitwise-identity
+        guarantee between them rests on all three calling exactly this.
+        """
+        before = len(candidates)
+        self._attempt_prune(query, full_order, statistics, processed, candidates, k, weights)
+        trace.record(processed, len(candidates))
+        return schedule.next_batch(
+            dimensionality=schedule_length,
+            dimensions_processed=processed,
+            candidates_before=before,
+            candidates_after=len(candidates),
+        )
+
+    def _scan_block(
+        self,
+        candidates: CandidateSet,
+        query: np.ndarray,
+        block_dimensions: np.ndarray,
+        *,
+        charge_storage: bool = True,
+    ) -> None:
+        """Fold one pruning period into the candidate state with one kernel call.
+
+        While every vector is still alive (full-bitmap phase — where almost
+        all the bytes of a query are moved) the fragments are streamed in
+        place: no gather, no fresh allocations, per-column temporaries in the
+        reused workspace.  Afterwards the block arrives as one restricted
+        gather.  ``charge_storage=False`` lets the batch engine charge one
+        shared read for a whole round instead.
+        """
+        cost = self._store.cost
+        if candidates.mode is CandidateMode.BITMAP and candidates.is_full():
+            columns = self._store.fragment_columns(block_dimensions, charge=charge_storage)
+            if self._scan_workspace.shape[0] < len(candidates):
+                self._scan_workspace = np.empty(len(candidates), dtype=np.float64)
+            cost.charge_arithmetic(
+                len(candidates)
+                * int(block_dimensions.shape[0])
+                * self._metric.arithmetic_ops_per_value()
+            )
+            self._kernel.accumulate_scan(
+                columns,
+                query[block_dimensions],
+                block_dimensions,
+                candidates.partial_scores,
+                self._scan_workspace[: len(candidates)],
+            )
+            candidates.accumulate_value_columns(columns)
+            return
+        if charge_storage:
+            values = candidates.block_values(block_dimensions)
+        else:
+            values = self._store.gather_block(block_dimensions, oids=candidates.oids, charge=None)
+        contribution_block = self._kernel.contribution_block(
+            values, query[block_dimensions], block_dimensions
+        )
+        cost.charge_arithmetic(values.size * self._metric.arithmetic_ops_per_value())
+        candidates.accumulate_block(contribution_block, values)
 
     def _attempt_prune(
         self,
         query: np.ndarray,
-        order: np.ndarray,
+        full_order: np.ndarray,
+        statistics: OrderStatistics,
         processed: int,
         candidates: CandidateSet,
         k: int,
@@ -223,29 +472,42 @@ class BondSearcher:
             return
         state = PartialState(
             query=query,
-            order=self._full_order(order, query.shape[0]),
+            order=full_order,
             num_processed=processed,
             partial_scores=candidates.partial_scores,
             partial_value_sums=candidates.partial_value_sums,
             remaining_value_sums=candidates.remaining_value_sums,
             weights=weights,
+            order_statistics=statistics,
         )
         if not self._bound.pruning_worthwhile(state):
             return
-        lower, upper = self._bound.total_bounds(state)
+        count = len(candidates)
+        if self._prune_lower.shape[0] < count:
+            self._prune_lower = np.empty(count, dtype=np.float64)
+            self._prune_upper = np.empty(count, dtype=np.float64)
+            self._prune_keep = np.empty(count, dtype=bool)
+        lower, upper = self._bound.total_bounds(
+            state, out=(self._prune_lower[:count], self._prune_upper[:count])
+        )
         cost = self._store.cost
-        cost.charge_arithmetic(2 * len(candidates))
-        cost.charge_heap(len(candidates))
-        cost.charge_comparisons(len(candidates))
+        cost.charge_arithmetic(2 * count)
+        cost.charge_heap(count)
+        cost.charge_comparisons(count)
 
+        keep = self._prune_keep[:count]
         if self._metric.kind is MetricKind.SIMILARITY:
-            # kappa_min: the k-th largest guaranteed (lower-bound) score.
-            kappa = float(np.partition(lower, len(lower) - k)[len(lower) - k])
-            keep = upper >= kappa
+            # kappa_min: the k-th largest guaranteed (lower-bound) score.  The
+            # selection partitions the lower buffer in place — it is not
+            # needed afterwards (the keep test reads only the upper bounds).
+            lower.partition(count - k)
+            kappa = float(lower[count - k])
+            np.greater_equal(upper, kappa, out=keep)
         else:
             # kappa_max: the k-th smallest worst-case (upper-bound) score.
-            kappa = float(np.partition(upper, k - 1)[k - 1])
-            keep = lower <= kappa
+            upper.partition(k - 1)
+            kappa = float(upper[k - 1])
+            np.less_equal(lower, kappa, out=keep)
         candidates.prune(keep)
 
     def _full_order(self, order: np.ndarray, dimensionality: int) -> np.ndarray:
@@ -276,10 +538,8 @@ class BondSearcher:
             return scores
         values = self._store.gather_matrix(candidates.oids, remaining)
         self._store.cost.charge_arithmetic(values.size * self._metric.arithmetic_ops_per_value())
-        for position, dimension in enumerate(remaining):
-            scores += self._metric.contributions(
-                values[:, position], query[int(dimension)], dimension=int(dimension)
-            )
+        contribution_block = self._kernel.contribution_block(values, query[remaining], remaining)
+        accumulate_columns(scores, contribution_block)
         return scores
 
     def _rank(self, oids: np.ndarray, scores: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:

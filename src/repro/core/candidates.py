@@ -10,7 +10,11 @@ to a *positional* (materialised) representation where only the candidates'
 values of each further fragment are fetched.
 
 :class:`CandidateSet` encapsulates that state, the representation switch and
-the cost accounting of fragment access in both modes.
+the cost accounting of fragment access in both modes.  Its per-vector arrays
+live in a preallocated *survivor workspace*: pruning compacts the live prefix
+of each buffer in place instead of allocating fresh arrays on every prune, so
+the score/mass state never reallocates over the lifetime of a search and the
+accessors hand out zero-copy views of the live prefix.
 """
 
 from __future__ import annotations
@@ -69,35 +73,66 @@ class CandidateSet:
         self._mode_policy = mode
         self._switch_selectivity = switch_selectivity
 
-        live = store.full_candidates()
-        self._oids = live.oids()
+        if len(store.deleted) == 0:
+            # Virtual dense OIDs: without deletions the live set is 0..n-1.
+            initial_oids = np.arange(store.cardinality, dtype=np.int64)
+        else:
+            initial_oids = store.full_candidates().oids()
         self._current_mode = (
             CandidateMode.POSITIONAL if mode == "positional" else CandidateMode.BITMAP
         )
 
-        count = len(self._oids)
-        self.partial_scores = np.zeros(count, dtype=np.float64)
-        self.partial_value_sums = np.zeros(count, dtype=np.float64) if track_partial_sums else None
+        # Survivor workspace: every per-vector array is allocated once at full
+        # size; `_count` tracks the live prefix and pruning compacts in place.
+        self._count = int(initial_oids.shape[0])
+        self._oids_buffer = np.ascontiguousarray(initial_oids, dtype=np.int64)
+        self._scores_buffer = np.zeros(self._count, dtype=np.float64)
+        self._partial_sums_buffer = (
+            np.zeros(self._count, dtype=np.float64) if track_partial_sums else None
+        )
         if track_remaining_sums:
             row_sums = store.row_sums().tail
-            self.remaining_value_sums = row_sums[self._oids].astype(np.float64).copy()
+            self._remaining_sums_buffer = row_sums[self._oids_buffer].astype(np.float64)
         else:
-            self.remaining_value_sums = None
+            self._remaining_sums_buffer = None
 
     # -- basic accessors -------------------------------------------------------
 
     def __len__(self) -> int:
-        return int(self._oids.shape[0])
+        return self._count
 
     @property
     def oids(self) -> np.ndarray:
-        """OIDs of the surviving candidates (ascending)."""
-        return self._oids
+        """OIDs of the surviving candidates (ascending; view of the workspace)."""
+        return self._oids_buffer[: self._count]
+
+    @property
+    def partial_scores(self) -> np.ndarray:
+        """``S(x⁻, q⁻)`` per survivor (view of the workspace)."""
+        return self._scores_buffer[: self._count]
+
+    @property
+    def partial_value_sums(self) -> np.ndarray | None:
+        """``T(x⁻)`` per survivor, or ``None`` when not tracked."""
+        if self._partial_sums_buffer is None:
+            return None
+        return self._partial_sums_buffer[: self._count]
+
+    @property
+    def remaining_value_sums(self) -> np.ndarray | None:
+        """``T(x⁺)`` per survivor, or ``None`` when not tracked."""
+        if self._remaining_sums_buffer is None:
+            return None
+        return self._remaining_sums_buffer[: self._count]
 
     @property
     def mode(self) -> CandidateMode:
         """The current physical representation."""
         return self._current_mode
+
+    def is_full(self) -> bool:
+        """Whether every vector of the collection is still a candidate."""
+        return self._count == self._store.cardinality
 
     def selectivity(self) -> float:
         """Surviving fraction of the collection."""
@@ -105,7 +140,7 @@ class CandidateSet:
 
     def as_bitmap(self) -> Bitmap:
         """The candidate set as a bitmap over the collection."""
-        return Bitmap.from_oids(self._store.cardinality, self._oids)
+        return Bitmap.from_oids(self._store.cardinality, self.oids)
 
     # -- fragment access -------------------------------------------------------
 
@@ -119,38 +154,112 @@ class CandidateSet:
         """
         if self._current_mode is CandidateMode.BITMAP:
             fragment = self._store.fragment(dimension)
-            return fragment.tail[self._oids]
+            return fragment.tail[self.oids]
         self._store.cost.charge_scan(len(self), DOUBLE_BYTES)
-        return self._store.matrix[self._oids, dimension]
+        return self._store.matrix[self.oids, dimension]
+
+    def block_values(self, dimensions: np.ndarray) -> np.ndarray:
+        """One pruning period of fragments as a single ``(n, m)`` gather.
+
+        The returned block holds exactly the values the m per-dimension
+        :meth:`column_values` calls would return, at the same accounted cost,
+        but fetched in one fused storage call.
+        """
+        if self._current_mode is CandidateMode.BITMAP:
+            return self._store.gather_block(
+                dimensions, oids=None if self.is_full() else self.oids, charge="full"
+            )
+        return self._store.gather_block(dimensions, oids=self.oids, charge="candidates")
+
+    def scan_columns(self, dimensions: np.ndarray) -> list[np.ndarray]:
+        """Zero-copy full fragment columns for the full-bitmap fast path.
+
+        Only valid while every vector is still a candidate — the caller must
+        check :meth:`is_full` (and bitmap mode) first.  Charged exactly like
+        the equivalent :meth:`block_values` call.
+        """
+        if self._current_mode is not CandidateMode.BITMAP or not self.is_full():
+            raise QueryError("scan_columns requires the full-bitmap candidate state")
+        return self._store.fragment_columns(dimensions)
 
     # -- state updates -----------------------------------------------------------
 
     def accumulate(self, contributions: np.ndarray, column_values: np.ndarray) -> None:
         """Add one dimension's contributions and update the bookkeeping sums."""
-        self.partial_scores += contributions
-        if self.partial_value_sums is not None:
-            self.partial_value_sums += column_values
-        if self.remaining_value_sums is not None:
-            self.remaining_value_sums -= column_values
+        scores = self.partial_scores
+        scores += contributions
+        if self._partial_sums_buffer is not None:
+            partial_sums = self.partial_value_sums
+            partial_sums += column_values
+        if self._remaining_sums_buffer is not None:
+            remaining_sums = self.remaining_value_sums
+            remaining_sums -= column_values
+
+    def accumulate_block(self, contribution_block: np.ndarray, value_block: np.ndarray) -> None:
+        """Fold a whole block of dimensions into the per-vector state.
+
+        Columns are folded left to right so the accumulated floats are
+        bitwise identical to m successive :meth:`accumulate` calls.
+        """
+        if contribution_block.shape[0] != self._count:
+            raise QueryError("the contribution block must be aligned with the candidate list")
+        scores = self.partial_scores
+        for position in range(contribution_block.shape[1]):
+            scores += contribution_block[:, position]
+        if self._partial_sums_buffer is not None:
+            partial_sums = self.partial_value_sums
+            for position in range(value_block.shape[1]):
+                partial_sums += value_block[:, position]
+        if self._remaining_sums_buffer is not None:
+            remaining_sums = self.remaining_value_sums
+            for position in range(value_block.shape[1]):
+                remaining_sums -= value_block[:, position]
+
+    def accumulate_value_columns(self, columns: list[np.ndarray]) -> None:
+        """Update the bookkeeping sums for whole columns (full-bitmap path).
+
+        The score accumulation itself is done by the kernel's
+        ``accumulate_scan``; this folds the same columns into ``T(x⁻)`` /
+        ``T(x⁺)`` in the same left-to-right order as :meth:`accumulate_block`.
+        """
+        if self._partial_sums_buffer is not None:
+            partial_sums = self.partial_value_sums
+            for column in columns:
+                partial_sums += column
+        if self._remaining_sums_buffer is not None:
+            remaining_sums = self.remaining_value_sums
+            for column in columns:
+                remaining_sums -= column
 
     def prune(self, keep_mask: np.ndarray) -> int:
         """Keep only the candidates where ``keep_mask`` is True.
 
-        Returns the number of pruned candidates and performs the
-        bitmap-to-positional switch when the auto policy's threshold is
-        crossed.
+        Compacts the survivor workspace in place (no reallocation), returns
+        the number of pruned candidates and performs the bitmap-to-positional
+        switch when the auto policy's threshold is crossed.
         """
         keep_mask = np.asarray(keep_mask, dtype=bool)
         if keep_mask.shape[0] != len(self):
             raise QueryError("the keep mask must be aligned with the candidate list")
-        pruned = int(len(self) - keep_mask.sum())
+        # One pass over the mask to find the survivors, then cheap integer
+        # gathers (touching only the survivors) per buffer — a boolean gather
+        # would rescan the full mask once per array.
+        survivor_positions = np.flatnonzero(keep_mask)
+        survivors = int(survivor_positions.shape[0])
+        pruned = self._count - survivors
         if pruned:
-            self._oids = self._oids[keep_mask]
-            self.partial_scores = self.partial_scores[keep_mask]
-            if self.partial_value_sums is not None:
-                self.partial_value_sums = self.partial_value_sums[keep_mask]
-            if self.remaining_value_sums is not None:
-                self.remaining_value_sums = self.remaining_value_sums[keep_mask]
+            count = self._count
+            self._oids_buffer[:survivors] = self._oids_buffer[:count][survivor_positions]
+            self._scores_buffer[:survivors] = self._scores_buffer[:count][survivor_positions]
+            if self._partial_sums_buffer is not None:
+                self._partial_sums_buffer[:survivors] = self._partial_sums_buffer[:count][
+                    survivor_positions
+                ]
+            if self._remaining_sums_buffer is not None:
+                self._remaining_sums_buffer[:survivors] = self._remaining_sums_buffer[:count][
+                    survivor_positions
+                ]
+            self._count = survivors
         self._maybe_switch_mode()
         return pruned
 

@@ -109,3 +109,41 @@ class SearchResult:
         if reference.k == 0:
             return 1.0
         return len(self.oid_set() & reference.oid_set()) / reference.k
+
+
+@dataclass
+class BatchSearchResult:
+    """Outcome of one multi-query batch, aligned with the query order.
+
+    Fragment reads are shared across the queries of a batch, so storage
+    traffic cannot be attributed to individual queries; the cost account and
+    wall-clock time are therefore reported once for the whole batch and the
+    per-query :class:`SearchResult` entries carry empty cost accounts.
+
+    Attributes
+    ----------
+    results:
+        One :class:`SearchResult` per query, in submission order.
+    cost:
+        Work charged to the cost model while answering the whole batch.
+    elapsed_seconds:
+        Wall-clock time of the batch call.
+    """
+
+    results: list[SearchResult]
+    cost: CostAccount = field(default_factory=CostAccount)
+    elapsed_seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> SearchResult:
+        return self.results[index]
+
+    @property
+    def batch_size(self) -> int:
+        """Number of queries answered."""
+        return len(self.results)

@@ -20,7 +20,7 @@ import time
 
 import numpy as np
 
-from repro.core.result import PruningTrace, SearchResult
+from repro.core.result import BatchSearchResult, PruningTrace, SearchResult
 from repro.errors import QueryError
 from repro.metrics.base import Metric, MetricKind
 from repro.metrics.histogram import HistogramIntersection
@@ -46,46 +46,85 @@ class SequentialScan:
         return self._metric
 
     def search(self, query: np.ndarray, k: int) -> SearchResult:
-        """Return the k nearest neighbours of ``query`` by scanning everything."""
+        """Return the k nearest neighbours of ``query`` by scanning everything.
+
+        Implemented as a batch of one so there is exactly one copy of the
+        scan loop; the per-query result inherits the batch's cost account and
+        wall-clock time.
+        """
         started = time.perf_counter()
         query = self._metric.validate_query(query)
-        if query.shape[0] != self._store.dimensionality:
-            raise QueryError(
-                f"query has {query.shape[0]} dimensions, the store has {self._store.dimensionality}"
-            )
+        batch = self.search_batch(query[None, :], k)
+        result = batch[0]
+        result.cost = batch.cost
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    def search_batch(self, queries: np.ndarray, k: int) -> BatchSearchResult:
+        """Answer a batch of queries with a single pass over the table.
+
+        The scan is the shared resource: every row batch is read (and
+        charged) once and scored against all queries before the next batch is
+        fetched, so the table crosses the storage boundary once per *batch*
+        instead of once per query.  Scoring and heap maintenance run per
+        query exactly as in :meth:`search`, so each per-query result is
+        bitwise identical to the single-query scan.
+        """
+        started = time.perf_counter()
+        query_matrix = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if query_matrix.ndim != 2:
+            raise QueryError(f"queries must form a 2-D matrix, got shape {query_matrix.shape}")
+        validated = [self._metric.validate_query(query) for query in query_matrix]
+        for query in validated:
+            if query.shape[0] != self._store.dimensionality:
+                raise QueryError(
+                    f"query has {query.shape[0]} dimensions, the store has "
+                    f"{self._store.dimensionality}"
+                )
         if k <= 0:
             raise QueryError("k must be at least 1")
         k = min(k, self._store.cardinality)
         cost_checkpoint = self._store.cost.checkpoint()
 
-        best_oids: np.ndarray | None = None
-        best_scores: np.ndarray | None = None
+        batch_size = len(validated)
+        best_oids: list[np.ndarray | None] = [None] * batch_size
+        best_scores: list[np.ndarray | None] = [None] * batch_size
         for oids, rows in self._store.scan_rows(self._batch_size):
-            scores = self._metric.score(rows, query)
-            self._store.cost.charge_arithmetic(rows.size * self._metric.arithmetic_ops_per_value())
-            self._store.cost.charge_heap(rows.shape[0])
-            if best_oids is None:
-                best_oids, best_scores = oids, scores
-            else:
-                best_oids = np.concatenate([best_oids, oids])
-                best_scores = np.concatenate([best_scores, scores])
-            # Keep only the k best seen so far (the heap of the description).
-            if best_scores.shape[0] > k:
-                order = self._metric.best_first(best_scores)[:k]
-                best_oids, best_scores = best_oids[order], best_scores[order]
+            # One row batch, read once, scored against every query.
+            for position, query in enumerate(validated):
+                scores = self._metric.score(rows, query)
+                self._store.cost.charge_arithmetic(
+                    rows.size * self._metric.arithmetic_ops_per_value()
+                )
+                self._store.cost.charge_heap(rows.shape[0])
+                if best_oids[position] is None:
+                    best_oids[position], best_scores[position] = oids, scores
+                else:
+                    best_oids[position] = np.concatenate([best_oids[position], oids])
+                    best_scores[position] = np.concatenate([best_scores[position], scores])
+                if best_scores[position].shape[0] > k:
+                    order = self._metric.best_first(best_scores[position])[:k]
+                    best_oids[position] = best_oids[position][order]
+                    best_scores[position] = best_scores[position][order]
 
-        assert best_oids is not None and best_scores is not None
-        order = self._metric.best_first(best_scores)
-        oids, scores = best_oids[order][:k], best_scores[order][:k]
-
-        trace = PruningTrace()
-        trace.record(self._store.dimensionality, self._store.cardinality)
-        return SearchResult(
-            oids=oids,
-            scores=scores,
-            dimensions_processed=self._store.dimensionality,
-            full_scan_dimensions=self._store.dimensionality,
-            candidate_trace=trace,
+        results = []
+        for position in range(batch_size):
+            oids, scores = best_oids[position], best_scores[position]
+            assert oids is not None and scores is not None
+            order = self._metric.best_first(scores)
+            trace = PruningTrace()
+            trace.record(self._store.dimensionality, self._store.cardinality)
+            results.append(
+                SearchResult(
+                    oids=oids[order][:k],
+                    scores=scores[order][:k],
+                    dimensions_processed=self._store.dimensionality,
+                    full_scan_dimensions=self._store.dimensionality,
+                    candidate_trace=trace,
+                )
+            )
+        return BatchSearchResult(
+            results=results,
             cost=self._store.cost.since(cost_checkpoint),
             elapsed_seconds=time.perf_counter() - started,
         )

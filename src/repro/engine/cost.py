@@ -134,6 +134,22 @@ class CostModel:
         self._account.bytes_read += tuples * bytes_per_tuple
         self._account.sequential_accesses += 1
 
+    def charge_block_scan(
+        self, tuples: int, fragments: int, bytes_per_tuple: int = DOUBLE_BYTES
+    ) -> None:
+        """Charge one fused multi-fragment gather: ``fragments`` sequential
+        column reads of ``tuples`` values each.
+
+        The totals are identical to ``fragments`` separate :meth:`charge_scan`
+        calls — block execution changes *how* the work is issued (one gather
+        per pruning period instead of one per dimension), not how much storage
+        traffic it causes — so blocked and per-dimension runs stay comparable
+        counter for counter.
+        """
+        self._account.tuples_scanned += tuples * fragments
+        self._account.bytes_read += tuples * fragments * bytes_per_tuple
+        self._account.sequential_accesses += fragments
+
     def charge_random_access(self, tuples: int = 1, bytes_per_tuple: int = DOUBLE_BYTES) -> None:
         """Charge ``tuples`` point lookups."""
         self._account.tuples_scanned += tuples
