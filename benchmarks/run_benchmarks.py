@@ -13,11 +13,25 @@ Times k-NN search over the default Corel-like synthetic dataset (the paper's
 * ``batched``— ``BondSearcher.search_batch`` answering the whole query set
   with shared fragment reads.
 
+The compressed filter-and-refine axis measures the same engine split over
+8-bit quantised fragments:
+
+* ``compressed_seed``    — the frozen seed-shaped per-dimension filter
+  (full-array dequantisation per access, see
+  :class:`seed_baseline.SeedCompressedBondSearcher`), the fixed reference;
+* ``compressed_loop``    — the live per-dimension reference engine
+  (``CompressedBondSearcher(engine="loop")``);
+* ``compressed_fused``   — the interval block kernels (``engine="fused"``);
+* ``compressed_batched`` — ``CompressedBondSearcher.search_batch`` sharing
+  compressed fragment reads across the query set;
+* ``vafile``             — the VA-file scan over the same approximations,
+  measured as context.
+
 The sequential-scan baseline (SSH) and its batched variant are measured as
 context.  Every engine's top-k (OIDs *and* scores) is verified to be
-identical to the seed path before any number is reported, and the results are
-written to ``BENCH_knn.json`` at the repository root so the performance
-trajectory is tracked across PRs.
+identical to the seed path (brute force for the compressed axis) before any
+number is reported, and the results are written to ``BENCH_knn.json`` at the
+repository root so the performance trajectory is tracked across PRs.
 
 Usage::
 
@@ -38,13 +52,18 @@ import numpy as np
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
-from seed_baseline import SeedBondSearcher  # noqa: E402
+from seed_baseline import SeedBondSearcher, SeedCompressedBondSearcher  # noqa: E402
 
+from repro.baselines.vafile import VAFile  # noqa: E402
 from repro.core.bond import BondSearcher  # noqa: E402
+from repro.core.compressed import CompressedBondSearcher  # noqa: E402
 from repro.core.sequential import SequentialScan  # noqa: E402
 from repro.datasets.corel import make_corel_like  # noqa: E402
+from repro.metrics.histogram import HistogramIntersection  # noqa: E402
+from repro.storage.compressed import CompressedStore  # noqa: E402
 from repro.storage.decomposed import DecomposedStore  # noqa: E402
 from repro.storage.rowstore import RowStore  # noqa: E402
+from repro.workload.ground_truth import exact_top_k  # noqa: E402
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_knn.json"
@@ -67,6 +86,96 @@ def _results_identical(reference, candidate) -> bool:
         np.array_equal(a.oids, b.oids) and np.array_equal(a.scores, b.scores)
         for a, b in zip(reference, candidate)
     )
+
+
+def run_compressed_benchmark(
+    *,
+    data: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    repeats: int,
+    num_queries: int,
+) -> dict:
+    """The compressed (8-bit filter-and-refine) engine axis."""
+    print("\ncompressed filter-and-refine (8-bit fragments):")
+    store = CompressedStore(DecomposedStore(data), bits=8)
+    metric = HistogramIntersection()
+    seed_searcher = SeedCompressedBondSearcher(data, metric, bits=8)
+    loop_searcher = CompressedBondSearcher(store, metric, engine="loop")
+    fused_searcher = CompressedBondSearcher(store, metric, engine="fused")
+    vafile = VAFile(store, metric)
+
+    # -- correctness first: filter-and-refine is exact, so every engine must
+    # return brute force's top-k bit for bit (refinement scores vectors the
+    # same way brute force does, so even tie-breaks agree).
+    reference = [exact_top_k(data, query, k, metric) for query in queries]
+    identical = {
+        "seed": _results_identical(
+            reference, [seed_searcher.search(query, k) for query in queries]
+        ),
+        "loop": _results_identical(
+            reference, [loop_searcher.search(query, k) for query in queries]
+        ),
+        "fused": _results_identical(
+            reference, [fused_searcher.search(query, k) for query in queries]
+        ),
+        "batched": _results_identical(
+            reference, list(fused_searcher.search_batch(queries, k))
+        ),
+        "vafile": _results_identical(reference, [vafile.search(query, k) for query in queries]),
+    }
+    for name, ok in identical.items():
+        marker = "ok" if ok else "MISMATCH"
+        print(f"  top-k identity vs brute force [{name}]: {marker}")
+
+    timings = {
+        "compressed_seed": _time_per_query(
+            lambda: [seed_searcher.search(query, k) for query in queries], num_queries, repeats
+        ),
+        "compressed_loop": _time_per_query(
+            lambda: [loop_searcher.search(query, k) for query in queries], num_queries, repeats
+        ),
+        "compressed_fused": _time_per_query(
+            lambda: [fused_searcher.search(query, k) for query in queries], num_queries, repeats
+        ),
+        "compressed_batched": _time_per_query(
+            lambda: fused_searcher.search_batch(queries, k), num_queries, repeats
+        ),
+        "vafile": _time_per_query(
+            lambda: [vafile.search(query, k) for query in queries], num_queries, repeats
+        ),
+    }
+
+    seed_seconds = timings["compressed_seed"]
+    engines = {
+        name: {
+            "seconds_per_query": seconds,
+            "queries_per_second": 1.0 / seconds,
+            "speedup_vs_seed": seed_seconds / seconds,
+        }
+        for name, seconds in timings.items()
+    }
+
+    print()
+    print(f"  {'engine':<24} {'qps':>10} {'speedup vs seed':>16}")
+    for name, row in engines.items():
+        print(
+            f"  {name:<24} {row['queries_per_second']:>10.1f} "
+            f"{row['speedup_vs_seed']:>15.2f}x"
+        )
+
+    fused_speedup = engines["compressed_fused"]["speedup_vs_seed"]
+    batched_speedup = engines["compressed_batched"]["speedup_vs_seed"]
+    return {
+        "config": {"bits": 8, "metric": "histogram_intersection"},
+        "engines": engines,
+        "identical_topk_vs_brute_force": identical,
+        "fused_speedup_vs_seed": fused_speedup,
+        "batched_speedup_vs_seed": batched_speedup,
+        "meets_2x_target": bool(
+            max(fused_speedup, batched_speedup) >= 2.0 and all(identical.values())
+        ),
+    }
 
 
 def run_benchmark(
@@ -155,6 +264,9 @@ def run_benchmark(
         )
 
     batched_speedup = engines["batched"]["speedup_vs_seed"]
+    compressed = run_compressed_benchmark(
+        data=data, queries=queries, k=k, repeats=repeats, num_queries=num_queries
+    )
     return {
         "benchmark": "BENCH_knn",
         "config": {
@@ -171,6 +283,7 @@ def run_benchmark(
         "identical_topk_vs_seed": identical,
         "batched_speedup_vs_seed": batched_speedup,
         "meets_3x_target": bool(batched_speedup >= 3.0 and all(identical.values())),
+        "compressed": compressed,
     }
 
 
@@ -210,9 +323,17 @@ def main(argv: list[str] | None = None) -> int:
     if not all(report["identical_topk_vs_seed"].values()):
         print("ERROR: an engine diverged from the seed top-k", file=sys.stderr)
         return 1
+    if not all(report["compressed"]["identical_topk_vs_brute_force"].values()):
+        print("ERROR: a compressed engine diverged from the brute-force top-k", file=sys.stderr)
+        return 1
     print(
         f"batched speedup vs seed: {report['batched_speedup_vs_seed']:.2f}x "
         f"(target >= 3x: {'met' if report['meets_3x_target'] else 'NOT met'})"
+    )
+    print(
+        f"compressed fused speedup vs seed-shaped loop: "
+        f"{report['compressed']['fused_speedup_vs_seed']:.2f}x "
+        f"(target >= 2x: {'met' if report['compressed']['meets_2x_target'] else 'NOT met'})"
     )
     return 0
 

@@ -170,3 +170,149 @@ class SeedBondSearcher:
             np.arange(dimensionality, dtype=np.int64), order, assume_unique=True
         )
         return np.concatenate([order, missing])
+
+
+class SeedCompressedBondSearcher:
+    """The seed's compressed filter-and-refine path, frozen for benchmarking.
+
+    Vendors the pre-fused shape of ``CompressedBondSearcher.search`` exactly:
+
+    * one Python round trip per dimension — fetch, build the contribution
+      interval, accumulate;
+    * *full-array* dequantisation on every access: both the full-scan branch
+      and the positional branch reconstructed the (lower, upper) bounds of
+      the whole fragment and then sliced the candidates out;
+    * interval state is reallocated on every prune (boolean fancy indexing).
+
+    Like :class:`SeedBondSearcher`, cost bookkeeping is omitted — wall-clock
+    speed is what this baseline anchors.  Do not optimise or "fix" this
+    class — it is the yardstick, not the product.
+    """
+
+    def __init__(
+        self,
+        vectors: np.ndarray,
+        metric: Metric | None = None,
+        *,
+        bits: int = 8,
+        period: int = 8,
+    ) -> None:
+        self._matrix = np.asarray(vectors, dtype=np.float64)
+        self._metric = metric if metric is not None else HistogramIntersection()
+        self._period = period
+        levels = (1 << bits) - 1
+        dtype = np.uint8 if bits <= 8 else np.uint16
+        self._codes = []
+        self._minimums = []
+        self._cell_widths = []
+        for dim in range(self._matrix.shape[1]):
+            values = self._matrix[:, dim]
+            minimum = float(values.min())
+            maximum = float(values.max())
+            if maximum > minimum:
+                scaled = (values - minimum) / (maximum - minimum) * levels
+                width = (maximum - minimum) / levels
+            else:
+                scaled = np.zeros_like(values)
+                width = 0.0
+            self._codes.append(np.clip(np.rint(scaled), 0, levels).astype(dtype))
+            self._minimums.append(minimum)
+            self._cell_widths.append(width)
+
+    def _value_bounds(self, dimension: int) -> tuple[np.ndarray, np.ndarray]:
+        """Full-fragment dequantisation, exactly as the seed did per access."""
+        width = self._cell_widths[dimension]
+        approx = self._minimums[dimension] + self._codes[dimension].astype(np.float64) * width
+        half = width / 2.0
+        return approx - half, approx + half
+
+    def _contribution_interval(
+        self, lower_values: np.ndarray, upper_values: np.ndarray, query_value: float, dimension: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        metric = self._metric
+        if isinstance(metric, HistogramIntersection):
+            return (
+                metric.contributions(lower_values, query_value, dimension=dimension),
+                metric.contributions(upper_values, query_value, dimension=dimension),
+            )
+        at_lower = metric.contributions(lower_values, query_value, dimension=dimension)
+        at_upper = metric.contributions(upper_values, query_value, dimension=dimension)
+        upper = np.maximum(at_lower, at_upper)
+        inside = (lower_values <= query_value) & (query_value <= upper_values)
+        lower = np.where(inside, 0.0, np.minimum(at_lower, at_upper))
+        return lower, upper
+
+    def search(self, query: np.ndarray, k: int) -> SearchResult:
+        metric = self._metric
+        query = metric.validate_query(query)
+        cardinality, dimensionality = self._matrix.shape
+        if query.shape[0] != dimensionality:
+            raise QueryError("query dimensionality does not match the collection")
+        if k <= 0:
+            raise QueryError("k must be at least 1")
+        k = min(k, cardinality)
+
+        weights = metric.weights if isinstance(metric, WeightedSquaredEuclidean) else None
+        order = DecreasingQueryOrdering().order(query, weights=weights)
+        if weights is not None:
+            order = order[weights[order] > 0.0]
+        total_dimensions = int(order.shape[0])
+
+        oids = np.arange(cardinality, dtype=np.int64)
+        score_lower = np.zeros(cardinality, dtype=np.float64)
+        score_upper = np.zeros(cardinality, dtype=np.float64)
+
+        processed = 0
+        next_attempt = min(self._period, total_dimensions)
+        while processed < total_dimensions and len(oids) > k:
+            dimension = int(order[processed])
+            # The seed reconstructed the whole fragment in either branch and
+            # sliced afterwards (its positional path differed only in the
+            # charged cost, not in the work done).
+            value_lower, value_upper = self._value_bounds(dimension)
+            value_lower, value_upper = value_lower[oids], value_upper[oids]
+            contribution_lower, contribution_upper = self._contribution_interval(
+                value_lower, value_upper, query[dimension], dimension
+            )
+            score_lower += contribution_lower
+            score_upper += contribution_upper
+            processed += 1
+
+            if processed >= next_attempt or processed == total_dimensions:
+                if len(oids) > k:
+                    remaining = order[processed:]
+                    remaining_query = query[remaining]
+                    if metric.kind is MetricKind.SIMILARITY:
+                        remaining_mass = float(remaining_query.sum())
+                        kappa = float(
+                            np.partition(score_lower, len(oids) - k)[len(oids) - k]
+                        )
+                        keep = score_upper + remaining_mass >= kappa
+                    else:
+                        corner = float(
+                            np.sum(np.maximum(remaining_query, 1.0 - remaining_query) ** 2)
+                            if weights is None
+                            else np.sum(
+                                weights[remaining]
+                                * np.maximum(remaining_query, 1.0 - remaining_query) ** 2
+                            )
+                        )
+                        kappa = float(np.partition(score_upper + corner, k - 1)[k - 1])
+                        keep = score_lower <= kappa
+                    oids = oids[keep]
+                    score_lower = score_lower[keep]
+                    score_upper = score_upper[keep]
+                next_attempt = processed + min(self._period, total_dimensions - processed)
+
+        if len(oids) == 0:
+            return SearchResult(
+                oids=np.empty(0, dtype=np.int64),
+                scores=np.empty(0, dtype=np.float64),
+                dimensions_processed=processed,
+            )
+        vectors = self._matrix[oids]
+        scores = metric.score(vectors, query)
+        best = metric.best_first(scores)[:k]
+        return SearchResult(
+            oids=oids[best], scores=scores[best], dimensions_processed=processed
+        )

@@ -27,9 +27,9 @@ import time
 import numpy as np
 
 from repro.core.compressed import contribution_interval
-from repro.core.result import SearchResult
+from repro.core.result import BatchSearchResult, PruningTrace, SearchResult
 from repro.errors import QueryError
-from repro.metrics.base import Metric, MetricKind
+from repro.metrics.base import Metric
 from repro.metrics.euclidean import SquaredEuclidean
 from repro.storage.compressed import CompressedStore
 
@@ -72,18 +72,101 @@ class VAFile:
             scores=scores,
             dimensions_processed=self._store.dimensionality,
             full_scan_dimensions=self._store.dimensionality,
+            candidate_trace=self._filter_trace(candidates),
+            cost=cost.since(checkpoint),
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    def search_batch(self, queries: np.ndarray, k: int) -> BatchSearchResult:
+        """Answer a whole batch of queries with one shared approximation pass.
+
+        The filter step of the VA-file reads every approximate coefficient
+        regardless of the query, so a batch needs the approximation scanned
+        only *once*: per dimension, the (lower, upper) value bounds are
+        materialised from the cell boundaries one time and every query's
+        contribution interval is accumulated from them.  Each per-query
+        result is bitwise identical to :meth:`search`; only the storage
+        accounting differs (the shared scan is charged once instead of once
+        per query).
+
+        Parameters
+        ----------
+        queries:
+            ``(batch, N)`` matrix of query vectors (a single 1-D query is
+            accepted and treated as a batch of one).
+        k:
+            Number of neighbours per query; clamped to the collection size.
+
+        Returns
+        -------
+        A :class:`~repro.core.result.BatchSearchResult` with one result per
+        query in submission order; cost and wall-clock time are accounted at
+        batch level because the approximation pass is shared.
+        """
+        started = time.perf_counter()
+        query_matrix = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if query_matrix.ndim != 2:
+            raise QueryError(f"queries must form a 2-D matrix, got shape {query_matrix.shape}")
+        validated = [self._metric.validate_query(query) for query in query_matrix]
+        for query in validated:
+            if query.shape[0] != self._store.dimensionality:
+                raise QueryError("query dimensionality does not match the store")
+        if k <= 0:
+            raise QueryError("k must be at least 1")
+        k = min(k, self._store.cardinality)
+        cost = self._store.cost
+        checkpoint = cost.checkpoint()
+
+        lower_scores, upper_scores = self._filter_bounds_batch(validated)
+        results = []
+        for index, query in enumerate(validated):
+            candidates = self._select_candidates(lower_scores[index], upper_scores[index], k)
+            oids, scores = self._refine(query, candidates, k)
+            results.append(
+                SearchResult(
+                    oids=oids,
+                    scores=scores,
+                    dimensions_processed=self._store.dimensionality,
+                    full_scan_dimensions=self._store.dimensionality,
+                    candidate_trace=self._filter_trace(candidates),
+                )
+            )
+        return BatchSearchResult(
+            results=results,
             cost=cost.since(checkpoint),
             elapsed_seconds=time.perf_counter() - started,
         )
 
     def filter_candidate_count(self, query: np.ndarray, k: int) -> int:
-        """Number of vectors surviving the filter step (for Table 4 style reports)."""
+        """Number of vectors surviving the filter step (for Table 4 style reports).
+
+        A diagnostic probe: the filter runs against the shared cost model, so
+        its charges are rolled back afterwards and reported experiment
+        counters stay untouched.
+        """
         query = self._metric.validate_query(query)
         k = min(max(k, 1), self._store.cardinality)
-        lower_scores, upper_scores = self._filter_bounds(query)
-        return int(self._select_candidates(lower_scores, upper_scores, k).shape[0])
+        cost = self._store.cost
+        checkpoint = cost.checkpoint()
+        try:
+            lower_scores, upper_scores = self._filter_bounds(query)
+            return int(self._select_candidates(lower_scores, upper_scores, k).shape[0])
+        finally:
+            cost.restore(checkpoint)
 
     # -- internals ----------------------------------------------------------------
+
+    def _filter_trace(self, candidates: np.ndarray) -> PruningTrace:
+        """The VA-file's two-point pruning curve: everything in, survivors out.
+
+        Recording the filter's survivor count on the result lets Table 4
+        style reports read it for free instead of re-running the filter via
+        :meth:`filter_candidate_count`.
+        """
+        trace = PruningTrace()
+        trace.record(0, self._store.cardinality)
+        trace.record(self._store.dimensionality, int(candidates.shape[0]))
+        return trace
 
     def _filter_bounds(self, query: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Per-vector lower/upper score bounds from the full approximation scan."""
@@ -101,6 +184,33 @@ class VAFile:
             upper_scores += contribution_upper
         return lower_scores, upper_scores
 
+    def _filter_bounds_batch(
+        self, queries: "list[np.ndarray]"
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-query score bounds from a single shared approximation pass.
+
+        Each dimension's value bounds are materialised from the cell
+        boundaries once and consumed by every query of the batch; the
+        per-query accumulation applies the same operations in the same order
+        as :meth:`_filter_bounds`, so the resulting bounds are bitwise
+        identical to running the single-query filter per query.
+        """
+        cost = self._store.cost
+        cardinality = self._store.cardinality
+        batch_size = len(queries)
+        lower_scores = np.zeros((batch_size, cardinality), dtype=np.float64)
+        upper_scores = np.zeros((batch_size, cardinality), dtype=np.float64)
+        for dimension in range(self._store.dimensionality):
+            value_lower, value_upper = self._store.bounded_fragment(dimension)
+            for index, query in enumerate(queries):
+                contribution_lower, contribution_upper = contribution_interval(
+                    self._metric, value_lower, value_upper, query[dimension], dimension=dimension
+                )
+                cost.charge_arithmetic(2 * cardinality * self._metric.arithmetic_ops_per_value())
+                lower_scores[index] += contribution_lower
+                upper_scores[index] += contribution_upper
+        return lower_scores, upper_scores
+
     def _select_candidates(
         self, lower_scores: np.ndarray, upper_scores: np.ndarray, k: int
     ) -> np.ndarray:
@@ -109,7 +219,9 @@ class VAFile:
         count = lower_scores.shape[0]
         cost.charge_heap(count)
         cost.charge_comparisons(count)
-        if self._metric.kind is MetricKind.SIMILARITY:
+        # The test direction follows the accumulated bounds, not the metric
+        # kind (EuclideanSimilarity accumulates distance-valued intervals).
+        if not self._metric.contributions_are_distances:
             kappa = float(np.partition(lower_scores, count - k)[count - k])
             mask = upper_scores >= kappa
         else:

@@ -18,6 +18,11 @@ The engine stays in shared-read mode while at least one query still scans
 full fragments through a bitmap; once every live query has materialised its
 (small) candidate list, full-column reads would be wasted and the engine
 falls back to the per-query positional gathers of the single-query path.
+
+:class:`CompressedBatchEngine` applies the same protocol to the compressed
+filter-and-refine searcher: the shared reads are 1-byte code columns, and
+per-query state is the interval partial scores of the filter instead of a
+candidate set.
 """
 
 from __future__ import annotations
@@ -32,9 +37,11 @@ from repro.bounds.base import OrderStatistics
 from repro.core.candidates import CandidateMode, CandidateSet
 from repro.core.planner import PruningSchedule
 from repro.core.result import PruningTrace, SearchResult
+from repro.engine.cost import COMPRESSED_BYTES
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (bond imports batch)
     from repro.core.bond import BondSearcher
+    from repro.core.compressed import CompressedBondSearcher
 
 
 @dataclass
@@ -199,5 +206,111 @@ class BatchQueryEngine:
 
     @property
     def runs(self) -> list[QueryRun]:
+        """The per-query run states (introspection / tests)."""
+        return self._runs
+
+
+@dataclass
+class CompressedQueryRun:
+    """The in-flight filter state of one query of a compressed batch.
+
+    The compressed filter carries *interval* partial scores — a lower and an
+    upper bound per surviving candidate — instead of a
+    :class:`~repro.core.candidates.CandidateSet`, so it gets its own run
+    record; the driving protocol (next_block / finished) mirrors
+    :class:`QueryRun`.
+    """
+
+    index: int
+    query: np.ndarray
+    k: int
+    order: np.ndarray
+    weights: np.ndarray | None
+    schedule: PruningSchedule
+    oids: np.ndarray
+    score_lower: np.ndarray
+    score_upper: np.ndarray
+    trace: PruningTrace = field(default_factory=PruningTrace)
+    processed: int = 0
+    full_scan_dimensions: int = 0
+    next_attempt: int = 0
+    result: SearchResult | None = None
+
+    @property
+    def total_dimensions(self) -> int:
+        """How many dimensions this query processes at most."""
+        return int(self.order.shape[0])
+
+    @property
+    def finished(self) -> bool:
+        """Whether the filter loop is over for this query."""
+        return (
+            self.result is not None
+            or self.processed >= self.total_dimensions
+            or self.oids.shape[0] <= self.k
+        )
+
+    def next_block(self) -> np.ndarray:
+        """The dimensions this query processes in the upcoming round.
+
+        Mirrors the fused single-query engine: up to the next pruning attempt
+        (at least one dimension), clipped to the remaining order.
+        """
+        block_end = min(max(self.next_attempt, self.processed + 1), self.total_dimensions)
+        return self.order[self.processed:block_end]
+
+
+class CompressedBatchEngine:
+    """Executes one batch of queries against a :class:`CompressedBondSearcher`.
+
+    The same round-lockstep protocol as :class:`BatchQueryEngine`, applied to
+    the filter-and-refine searcher: per round, the union of every
+    full-scanning query's next fragment block is charged once as a single
+    compressed block scan (physically, the first consumer pulls the 1-byte
+    code column through the cache and the others hit it warm).  Queries whose
+    candidate list has shrunk below the positional threshold fetch — and are
+    charged for — only their own candidates' codes, exactly like the
+    single-query path.
+    """
+
+    def __init__(
+        self, searcher: "CompressedBondSearcher", queries: np.ndarray, k: int
+    ) -> None:
+        self._searcher = searcher
+        self._store = searcher.store
+        self._runs = [
+            searcher._plan(index, query, k) for index, query in enumerate(queries)
+        ]
+
+    def run(self) -> list[SearchResult]:
+        """Drive every query through filter and refinement, in order."""
+        searcher = self._searcher
+        live = [run for run in self._runs if not searcher._finalize(run)]
+        while live:
+            self._round(live)
+            live = [run for run in live if not searcher._finalize(run)]
+        return [run.result for run in self._runs]
+
+    def _round(self, live: list[CompressedQueryRun]) -> None:
+        """One execution round: every live query advances by one block."""
+        searcher = self._searcher
+        scanning = [
+            (run, run.next_block()) for run in live if not searcher._is_positional(run)
+        ]
+        positional = [
+            (run, run.next_block()) for run in live if searcher._is_positional(run)
+        ]
+        if scanning:
+            union = np.unique(np.concatenate([block for _, block in scanning]))
+            self._store.cost.charge_block_scan(
+                self._store.cardinality, int(union.size), COMPRESSED_BYTES
+            )
+            for run, block_dimensions in scanning:
+                searcher._advance(run, block_dimensions, charge_storage=False)
+        for run, block_dimensions in positional:
+            searcher._advance(run, block_dimensions, charge_storage=True)
+
+    @property
+    def runs(self) -> list[CompressedQueryRun]:
         """The per-query run states (introspection / tests)."""
         return self._runs

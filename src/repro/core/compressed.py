@@ -5,27 +5,49 @@ branch-and-bound filter on small (1 byte per coefficient) quantised fragments
 and refine the surviving candidates on the exact vectors.  Because every
 quantised value comes with a per-cell error interval, the filter accumulates
 *interval* partial scores — a lower and an upper bound per candidate — and
-prunes with the query-only bounds (Hq for histogram intersection, Eq for
-Euclidean distance), so no true top-k member can ever be discarded.
+prunes with the query-only bounds (Hq for histogram intersection, the
+farthest-corner bound for Euclidean distance), so no true top-k member can
+ever be discarded.
 
 The refinement step fetches the exact vectors of the survivors from the
 underlying :class:`~repro.storage.decomposed.DecomposedStore` and computes
 their exact scores; its cost is proportional to the number of candidates the
 filter left over, which is what Table 4 reports ("filter step" versus
 "refinement step").
+
+Execution engines
+-----------------
+Like :class:`~repro.core.bond.BondSearcher`, the compressed searcher offers
+two engines with bit-for-bit identical results:
+
+* ``"fused"`` (default) processes one pruning period at a time: the period's
+  m code columns arrive in a single :meth:`~repro.storage.compressed.CompressedStore.code_columns`
+  call and one interval kernel from :mod:`repro.kernels.interval` dequantises
+  and accumulates all m (lower, upper) contribution columns inside a reusable
+  workspace;
+* ``"loop"`` is the seed per-dimension path, kept as the reference
+  implementation and benchmark baseline.
+
+For multi-query workloads, :meth:`CompressedBondSearcher.search_batch`
+executes a whole batch of queries concurrently, sharing each compressed
+fragment read across every live query (see
+:class:`~repro.core.batch.CompressedBatchEngine`).
 """
 
 from __future__ import annotations
 
+import copy
 import time
 
 import numpy as np
 
+from repro.core.batch import CompressedBatchEngine, CompressedQueryRun
 from repro.core.ordering import DecreasingQueryOrdering, DimensionOrdering
 from repro.core.planner import FixedPeriodSchedule, PruningSchedule
-from repro.core.result import PruningTrace, SearchResult
+from repro.core.result import BatchSearchResult, PruningTrace, SearchResult
 from repro.errors import QueryError
-from repro.metrics.base import Metric, MetricKind
+from repro.kernels.interval import IntervalBlockKernel, IntervalWorkspace, interval_kernel_for
+from repro.metrics.base import Metric
 from repro.metrics.histogram import HistogramIntersection
 from repro.metrics.weighted import WeightedSquaredEuclidean
 from repro.storage.compressed import CompressedStore
@@ -60,7 +82,30 @@ def contribution_interval(
 
 
 class CompressedBondSearcher:
-    """Branch-and-bound filter over quantised fragments plus exact refinement."""
+    """Branch-and-bound filter over quantised fragments plus exact refinement.
+
+    Parameters
+    ----------
+    store:
+        The compressed store (quantised fragments plus the exact store used
+        for refinement).
+    metric:
+        Similarity or distance metric.  Defaults to histogram intersection.
+    ordering:
+        Dimension-ordering strategy (default: decreasing query value).
+    schedule:
+        Pruning-period schedule (default: every 8 dimensions, the paper's m).
+    engine:
+        ``"fused"`` (default) runs the interval block kernels; ``"loop"`` runs
+        the original per-dimension reference path.  Both return bitwise
+        identical results at identical accounted cost.
+
+    Notes
+    -----
+    A searcher owns a reusable kernel workspace, so one instance must not run
+    concurrent searches from multiple threads; create one searcher per thread
+    (they can share the store).
+    """
 
     def __init__(
         self,
@@ -69,11 +114,20 @@ class CompressedBondSearcher:
         *,
         ordering: DimensionOrdering | None = None,
         schedule: PruningSchedule | None = None,
+        engine: str = "fused",
     ) -> None:
+        if engine not in ("fused", "loop"):
+            raise QueryError("engine must be 'fused' or 'loop'")
         self._store = store
         self._metric = metric if metric is not None else HistogramIntersection()
         self._ordering = ordering if ordering is not None else DecreasingQueryOrdering()
         self._schedule = schedule if schedule is not None else FixedPeriodSchedule(8)
+        self._engine = engine
+        self._interval_kernel = interval_kernel_for(self._metric)
+        self._workspace = IntervalWorkspace()
+        # Once the candidate set has shrunk below this fraction the filter
+        # fetches only the candidates' codes instead of whole fragments.
+        self._positional_threshold = 0.05 * self._store.cardinality
 
     @property
     def store(self) -> CompressedStore:
@@ -85,77 +139,252 @@ class CompressedBondSearcher:
         """The similarity / distance metric in use."""
         return self._metric
 
+    @property
+    def engine(self) -> str:
+        """The execution engine in use (``"fused"`` or ``"loop"``)."""
+        return self._engine
+
+    @property
+    def interval_kernel(self) -> IntervalBlockKernel:
+        """The fused interval kernel matching the metric."""
+        return self._interval_kernel
+
     def search(self, query: np.ndarray, k: int, *, trace: PruningTrace | None = None) -> SearchResult:
         """Return the exact k nearest neighbours via filter-and-refine."""
         started = time.perf_counter()
+        run = self._plan(0, query, k, trace=trace)
+        cost = self._store.cost
+        checkpoint = cost.checkpoint()
+
+        if self._engine == "loop":
+            self._run_loop(run)
+        else:
+            while not run.finished:
+                self._advance(run, run.next_block(), charge_storage=True)
+
+        oids, scores = self._refine(run.query, run.oids, run.order, run.k)
+        return SearchResult(
+            oids=oids,
+            scores=scores,
+            dimensions_processed=run.processed,
+            full_scan_dimensions=run.full_scan_dimensions,
+            candidate_trace=run.trace,
+            cost=cost.since(checkpoint),
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    def search_batch(self, queries: np.ndarray, k: int) -> BatchSearchResult:
+        """Answer a whole batch of queries, sharing compressed fragment reads.
+
+        Every query runs the exact single-query filter — its own dimension
+        order, pruning schedule, candidate list and interval scores — so each
+        returned :class:`~repro.core.result.SearchResult` is bitwise identical
+        to what :meth:`search` would return for that query.  Batch rounds
+        always execute through the fused interval kernels regardless of the
+        ``engine`` setting (the per-dimension loop exists as a single-query
+        reference; its batched timing would not describe any real engine).  Per execution
+        round, the union of all full-scanning queries' next fragment blocks is
+        read (and charged) once for the whole batch; queries that have shrunk
+        below the positional threshold fetch only their own candidates' codes
+        (see :class:`~repro.core.batch.CompressedBatchEngine`).
+
+        Parameters
+        ----------
+        queries:
+            ``(batch, N)`` matrix of query vectors (a single 1-D query is
+            accepted and treated as a batch of one).
+        k:
+            Number of neighbours per query; clamped to the collection size.
+
+        Returns
+        -------
+        A :class:`~repro.core.result.BatchSearchResult` with one result per
+        query in submission order; cost and wall-clock time are accounted at
+        batch level because fragment reads are shared.
+        """
+        started = time.perf_counter()
+        query_matrix = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if query_matrix.ndim != 2:
+            raise QueryError(f"queries must form a 2-D matrix, got shape {query_matrix.shape}")
+        cost = self._store.cost
+        checkpoint = cost.checkpoint()
+        engine = CompressedBatchEngine(self, query_matrix, k)
+        results = engine.run()
+        return BatchSearchResult(
+            results=results,
+            cost=cost.since(checkpoint),
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    # -- shared per-query plumbing (also used by the batch engine) ---------------
+
+    def _plan(
+        self, index: int, query: np.ndarray, k: int, *, trace: PruningTrace | None = None
+    ) -> CompressedQueryRun:
+        """Validate one query and set up its independent filter state."""
         query = self._metric.validate_query(query)
         if query.shape[0] != self._store.dimensionality:
             raise QueryError("query dimensionality does not match the store")
         if k <= 0:
             raise QueryError("k must be at least 1")
         k = min(k, self._store.cardinality)
-        cost = self._store.cost
-        checkpoint = cost.checkpoint()
-        similarity = self._metric.kind is MetricKind.SIMILARITY
 
         weights = self._metric.weights if isinstance(self._metric, WeightedSquaredEuclidean) else None
         order = self._ordering.order(query, weights=weights)
         if weights is not None:
             order = order[weights[order] > 0.0]
-        total_dimensions = int(order.shape[0])
 
-        oids = np.arange(self._store.cardinality, dtype=np.int64)
-        score_lower = np.zeros(self._store.cardinality, dtype=np.float64)
-        score_upper = np.zeros(self._store.cardinality, dtype=np.float64)
-        trace = trace if trace is not None else PruningTrace()
-        trace.record(0, len(oids))
+        # Adaptive schedules carry per-search state, so every run gets its
+        # own (shallow — schedules hold only scalar configuration) copy.
+        schedule = copy.copy(self._schedule)
+        run = CompressedQueryRun(
+            index=index,
+            query=query,
+            k=k,
+            order=order,
+            weights=weights,
+            schedule=schedule,
+            oids=np.arange(self._store.cardinality, dtype=np.int64),
+            score_lower=np.zeros(self._store.cardinality, dtype=np.float64),
+            score_upper=np.zeros(self._store.cardinality, dtype=np.float64),
+            trace=trace if trace is not None else PruningTrace(),
+        )
+        run.trace.record(0, len(run.oids))
+        run.next_attempt = schedule.first_batch(run.total_dimensions)
+        return run
 
-        processed = 0
-        next_attempt = self._schedule.first_batch(total_dimensions)
-        # Once the candidate set has shrunk below this fraction the filter
-        # fetches only the candidates' codes instead of whole fragments.
-        positional_threshold = 0.05 * self._store.cardinality
-        while processed < total_dimensions and len(oids) > k:
-            dimension = int(order[processed])
-            if len(oids) <= positional_threshold:
-                value_lower, value_upper = self._store.bounded_fragment_for(dimension, oids)
+    def _is_positional(self, run: CompressedQueryRun) -> bool:
+        """Whether a run fetches candidate codes instead of whole fragments."""
+        return run.oids.shape[0] <= self._positional_threshold
+
+    def _advance(
+        self,
+        run: CompressedQueryRun,
+        block_dimensions: np.ndarray,
+        *,
+        charge_storage: bool,
+    ) -> None:
+        """Fold one pruning period into a run's interval scores with one
+        kernel call, then attempt its prune.
+
+        Processes the same dimensions, accumulates the same (lower, upper)
+        contributions in the same left-to-right order and prunes with the same
+        bounds as the per-dimension reference loop, so results and accounted
+        cost are bitwise identical — each period just costs one storage call
+        and one kernel call instead of m Python-level round trips.
+        ``charge_storage=False`` lets the batch engine charge one shared read
+        for a whole round instead.
+        """
+        store = self._store
+        count = run.oids.shape[0]
+        block_size = int(block_dimensions.shape[0])
+        positional = self._is_positional(run)
+        if not positional:
+            run.full_scan_dimensions += block_size
+        minimums = store.minimums[block_dimensions]
+        cell_widths = store.cell_widths[block_dimensions]
+        query_values = run.query[block_dimensions]
+        if count == store.cardinality:
+            # Full-collection phase: stream the whole code columns in place,
+            # no gather needed.
+            code_columns = store.code_columns(block_dimensions, charge=charge_storage)
+            self._interval_kernel.accumulate_block(
+                code_columns,
+                minimums,
+                cell_widths,
+                query_values,
+                block_dimensions,
+                run.score_lower,
+                run.score_upper,
+                self._workspace,
+            )
+        else:
+            # Restricted phase: gather the candidates' codes (1 byte each —
+            # bitwise identical to the loop's slice-after-dequantise but 8x
+            # lighter per value) into one row block and process the whole
+            # pruning period with a few broadcast expressions.
+            if charge_storage:
+                charge = "positional" if positional else "full"
+            else:
+                charge = None
+            code_rows = store.code_row_block(block_dimensions, run.oids, charge=charge)
+            self._interval_kernel.accumulate_row_block(
+                code_rows,
+                minimums,
+                cell_widths,
+                query_values,
+                block_dimensions,
+                run.score_lower,
+                run.score_upper,
+                self._workspace,
+            )
+        store.cost.charge_arithmetic(
+            2 * count * block_size * self._metric.arithmetic_ops_per_value()
+        )
+        run.processed += block_size
+
+        if run.processed >= run.next_attempt or run.processed == run.total_dimensions:
+            self._prune(run)
+
+    def _finalize(self, run: CompressedQueryRun) -> bool:
+        """Complete a finished run's refinement step and build its result."""
+        if run.result is not None:
+            return True
+        if not run.finished:
+            return False
+        oids, scores = self._refine(run.query, run.oids, run.order, run.k)
+        run.result = SearchResult(
+            oids=oids,
+            scores=scores,
+            dimensions_processed=run.processed,
+            full_scan_dimensions=run.full_scan_dimensions,
+            candidate_trace=run.trace,
+        )
+        return True
+
+    # -- execution engines -------------------------------------------------------
+
+    def _run_loop(self, run: CompressedQueryRun) -> None:
+        """The seed per-dimension reference engine."""
+        cost = self._store.cost
+        while run.processed < run.total_dimensions and len(run.oids) > run.k:
+            dimension = int(run.order[run.processed])
+            if self._is_positional(run):
+                value_lower, value_upper = self._store.bounded_fragment_for(dimension, run.oids)
             else:
                 value_lower, value_upper = self._store.bounded_fragment(dimension)
-                value_lower, value_upper = value_lower[oids], value_upper[oids]
+                value_lower, value_upper = value_lower[run.oids], value_upper[run.oids]
+                run.full_scan_dimensions += 1
             contribution_lower, contribution_upper = contribution_interval(
-                self._metric, value_lower, value_upper, query[dimension], dimension=dimension
+                self._metric, value_lower, value_upper, run.query[dimension], dimension=dimension
             )
-            cost.charge_arithmetic(2 * len(oids) * self._metric.arithmetic_ops_per_value())
-            score_lower += contribution_lower
-            score_upper += contribution_upper
-            processed += 1
+            cost.charge_arithmetic(2 * len(run.oids) * self._metric.arithmetic_ops_per_value())
+            run.score_lower += contribution_lower
+            run.score_upper += contribution_upper
+            run.processed += 1
 
-            if processed >= next_attempt or processed == total_dimensions:
-                before = len(oids)
-                keep = self._prune_mask(query, order, processed, score_lower, score_upper, k, weights)
-                oids = oids[keep]
-                score_lower = score_lower[keep]
-                score_upper = score_upper[keep]
-                trace.record(processed, len(oids))
-                next_attempt = processed + self._schedule.next_batch(
-                    dimensionality=total_dimensions,
-                    dimensions_processed=processed,
-                    candidates_before=before,
-                    candidates_after=len(oids),
-                )
-
-        oids_result, scores = self._refine(query, oids, order, k)
-        return SearchResult(
-            oids=oids_result,
-            scores=scores,
-            dimensions_processed=processed,
-            full_scan_dimensions=processed,
-            candidate_trace=trace,
-            cost=cost.since(checkpoint),
-            elapsed_seconds=time.perf_counter() - started,
-        )
+            if run.processed >= run.next_attempt or run.processed == run.total_dimensions:
+                self._prune(run)
 
     # -- internals --------------------------------------------------------------
+
+    def _prune(self, run: CompressedQueryRun) -> None:
+        """One pruning checkpoint: drop hopeless candidates, record the trace
+        point and plan the next attempt."""
+        before = run.oids.shape[0]
+        keep = self._prune_mask(
+            run.query, run.order, run.processed, run.score_lower, run.score_upper, run.k, run.weights
+        )
+        run.oids = run.oids[keep]
+        run.score_lower = run.score_lower[keep]
+        run.score_upper = run.score_upper[keep]
+        run.trace.record(run.processed, len(run.oids))
+        run.next_attempt = run.processed + run.schedule.next_batch(
+            dimensionality=run.total_dimensions,
+            dimensions_processed=run.processed,
+            candidates_before=before,
+            candidates_after=len(run.oids),
+        )
 
     def _prune_mask(
         self,
@@ -177,19 +406,27 @@ class CompressedBondSearcher:
         cost.charge_heap(count)
         cost.charge_comparisons(count)
 
-        if self._metric.kind is MetricKind.SIMILARITY:
+        # The test direction follows the accumulated contributions, not the
+        # metric kind (EuclideanSimilarity accumulates distance-valued
+        # intervals and applies its similarity transform only at refinement).
+        if not self._metric.contributions_are_distances:
             remaining_mass = float(remaining_query.sum())
             guaranteed = score_lower                     # remaining contributes at least 0
             optimistic = score_upper + remaining_mass    # and at most T(q+)
             kappa = float(np.partition(guaranteed, count - k)[count - k])
             return optimistic >= kappa
+        # Worst case of each remaining dimension: the farthest corner of the
+        # dimension's *stored value range* [minimum, maximum].  Hard-coding
+        # the unit-hypercube corner max(q, 1-q)^2 here would under-estimate
+        # the worst case on data outside [0, 1] and could prune true top-k
+        # members (false dismissals).
+        remaining_minimums = self._store.minimums[remaining]
+        remaining_maximums = self._store.maximums[remaining]
+        edge = np.maximum(remaining_query - remaining_minimums, remaining_maximums - remaining_query)
         if weights is None:
-            corner = float(np.sum(np.maximum(remaining_query, 1.0 - remaining_query) ** 2))
+            corner = float(np.sum(edge * edge))
         else:
-            remaining_weights = weights[remaining]
-            corner = float(
-                np.sum(remaining_weights * np.maximum(remaining_query, 1.0 - remaining_query) ** 2)
-            )
+            corner = float(np.sum(weights[remaining] * (edge * edge)))
         guaranteed = score_upper + corner                # worst case for the candidate
         optimistic = score_lower                         # best case: remaining contributes 0
         kappa = float(np.partition(guaranteed, k - 1)[k - 1])

@@ -179,6 +179,14 @@ class CostModel:
         """Return an immutable copy of the current counters."""
         return CostAccount(**self._account.as_dict())
 
+    def restore(self, checkpoint: CostAccount) -> None:
+        """Roll every counter back to a previously taken :meth:`checkpoint`.
+
+        Lets diagnostic probes (e.g. ``VAFile.filter_candidate_count``) run
+        real engine code without polluting an experiment's accounting.
+        """
+        self._account = CostAccount(**checkpoint.as_dict())
+
     def since(self, checkpoint: CostAccount) -> CostAccount:
         """Return the costs accumulated after ``checkpoint`` was taken."""
         current = self._account

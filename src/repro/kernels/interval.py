@@ -1,0 +1,525 @@
+"""Per-metric fused *interval* block kernels over 8-bit compressed fragments.
+
+The filter phase of filter-and-refine search (Section 7.4) accumulates
+interval partial scores — a lower and an upper bound per candidate — from
+quantised dimension fragments.  The seed implementation paid one Python-level
+fragment fetch, one full-array dequantisation and one
+:func:`~repro.core.compressed.contribution_interval` call *per dimension*.
+The kernels here amortise that over a whole pruning period: the period's m
+code columns arrive in one storage call, each column is dequantised into a
+reusable :class:`IntervalWorkspace` (no fresh allocations on the hot path)
+and the per-dimension (lower, upper) contribution columns are folded into the
+two score accumulators left to right.
+
+Bitwise equivalence contract
+----------------------------
+Every kernel must accumulate, for column ``j``, exactly the float64 values
+that the reference per-dimension sequence
+
+.. code-block:: python
+
+    lower_values, upper_values = fragment.value_bounds()          # dequantise
+    low, up = contribution_interval(metric, lower_values, upper_values, q_j)
+    score_lower += low
+    score_upper += up
+
+would accumulate — same operations, same operand order — so fused filter runs
+are bit-for-bit identical to the seed loop.  Dequantising *sliced* codes is
+bitwise identical to slicing dequantised full columns because every involved
+operation is elementwise.  ``tests/test_compressed_fused.py`` enforces the
+contract with ``np.array_equal``.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.metrics.base import Metric
+from repro.metrics.euclidean import EuclideanSimilarity, SquaredEuclidean
+from repro.metrics.histogram import HistogramIntersection
+from repro.metrics.weighted import WeightedSquaredEuclidean
+
+
+class IntervalWorkspace:
+    """Reusable scratch buffers for interval kernels.
+
+    One workspace per searcher: the buffers are lazily grown to the largest
+    candidate count seen and handed out as views, so a whole search (and every
+    search after it) dequantises and combines columns without allocating.
+    """
+
+    def __init__(self) -> None:
+        self._lower = np.empty(0, dtype=np.float64)
+        self._upper = np.empty(0, dtype=np.float64)
+        self._scratch = np.empty(0, dtype=np.float64)
+        self._inside = np.empty(0, dtype=bool)
+        self._inside_scratch = np.empty(0, dtype=bool)
+        self._lower_rows = np.empty((0, 0), dtype=np.float64)
+        self._upper_rows = np.empty((0, 0), dtype=np.float64)
+        self._scratch_rows = np.empty((0, 0), dtype=np.float64)
+        self._inside_rows = np.empty((0, 0), dtype=bool)
+        self._inside_scratch_rows = np.empty((0, 0), dtype=bool)
+
+    def resize(self, count: int) -> None:
+        """Ensure every 1-D buffer can hold ``count`` values."""
+        if self._lower.shape[0] < count:
+            self._lower = np.empty(count, dtype=np.float64)
+            self._upper = np.empty(count, dtype=np.float64)
+            self._scratch = np.empty(count, dtype=np.float64)
+            self._inside = np.empty(count, dtype=bool)
+            self._inside_scratch = np.empty(count, dtype=bool)
+
+    def value_buffers(self, count: int) -> tuple[np.ndarray, np.ndarray]:
+        """(lower, upper) float64 views of length ``count``."""
+        self.resize(count)
+        return self._lower[:count], self._upper[:count]
+
+    def scratch(self, count: int) -> np.ndarray:
+        """A float64 scratch view of length ``count``."""
+        self.resize(count)
+        return self._scratch[:count]
+
+    def bool_buffers(self, count: int) -> tuple[np.ndarray, np.ndarray]:
+        """Two boolean views of length ``count``."""
+        self.resize(count)
+        return self._inside[:count], self._inside_scratch[:count]
+
+    def resize_rows(self, rows: int, count: int) -> None:
+        """Ensure every 2-D buffer can hold a ``(rows, count)`` block."""
+        if self._lower_rows.shape[0] < rows or self._lower_rows.shape[1] < count:
+            shape = (
+                max(rows, self._lower_rows.shape[0]),
+                max(count, self._lower_rows.shape[1]),
+            )
+            self._lower_rows = np.empty(shape, dtype=np.float64)
+            self._upper_rows = np.empty(shape, dtype=np.float64)
+            self._scratch_rows = np.empty(shape, dtype=np.float64)
+            self._inside_rows = np.empty(shape, dtype=bool)
+            self._inside_scratch_rows = np.empty(shape, dtype=bool)
+
+    def value_rows(self, rows: int, count: int) -> tuple[np.ndarray, np.ndarray]:
+        """(lower, upper) float64 views of shape ``(rows, count)``."""
+        self.resize_rows(rows, count)
+        return (
+            self._lower_rows[:rows, :count],
+            self._upper_rows[:rows, :count],
+        )
+
+    def scratch_rows(self, rows: int, count: int) -> np.ndarray:
+        """A float64 scratch view of shape ``(rows, count)``."""
+        self.resize_rows(rows, count)
+        return self._scratch_rows[:rows, :count]
+
+    def bool_rows(self, rows: int, count: int) -> tuple[np.ndarray, np.ndarray]:
+        """Two boolean views of shape ``(rows, count)``."""
+        self.resize_rows(rows, count)
+        return (
+            self._inside_rows[:rows, :count],
+            self._inside_scratch_rows[:rows, :count],
+        )
+
+
+def dequantize_bounds(
+    codes: np.ndarray,
+    minimum: float,
+    cell_width: float,
+    lower_out: np.ndarray,
+    upper_out: np.ndarray,
+) -> None:
+    """Turn one column of quantisation codes into per-value (lower, upper) bounds.
+
+    Reproduces ``CompressedFragment.value_bounds()`` bit for bit —
+    ``approx = minimum + codes * cell_width`` then ``approx ∓ cell_width/2`` —
+    with every intermediate landing in the caller-provided output buffers.
+    """
+    half = cell_width / 2.0
+    np.multiply(codes, cell_width, out=lower_out)
+    np.add(lower_out, minimum, out=lower_out)          # lower_out = approx
+    np.add(lower_out, half, out=upper_out)             # approx + half
+    np.subtract(lower_out, half, out=lower_out)        # approx - half
+
+
+def dequantize_bounds_rows(
+    code_rows: np.ndarray,
+    minimums: np.ndarray,
+    cell_widths: np.ndarray,
+    lower_out: np.ndarray,
+    upper_out: np.ndarray,
+) -> None:
+    """Row-block variant of :func:`dequantize_bounds`.
+
+    ``code_rows`` holds one dimension's candidate codes per *row* (shape
+    ``(m, n)``), so a handful of broadcast operations dequantise the whole
+    pruning period at once.  Every operation is elementwise with the same
+    per-element operands as the per-column path, so the bounds are bitwise
+    identical.
+    """
+    halves = cell_widths / 2.0
+    np.multiply(code_rows, cell_widths[:, None], out=lower_out)
+    np.add(lower_out, minimums[:, None], out=lower_out)   # lower_out = approx
+    np.add(lower_out, halves[:, None], out=upper_out)     # approx + half
+    np.subtract(lower_out, halves[:, None], out=lower_out)  # approx - half
+
+
+class IntervalBlockKernel(abc.ABC):
+    """Accumulates one pruning period of interval contributions in one call."""
+
+    #: Name used in reports and benchmark output.
+    name: str = "interval-kernel"
+
+    @abc.abstractmethod
+    def accumulate_block(
+        self,
+        code_columns: "list[np.ndarray]",
+        minimums: np.ndarray,
+        cell_widths: np.ndarray,
+        query_values: np.ndarray,
+        dimensions: np.ndarray,
+        score_lower: np.ndarray,
+        score_upper: np.ndarray,
+        workspace: IntervalWorkspace,
+    ) -> None:
+        """Fold a block of compressed columns into the interval accumulators.
+
+        Parameters
+        ----------
+        code_columns:
+            The m quantisation-code columns of the block, already restricted
+            to the surviving candidates (full fragments while every vector is
+            alive).  Left untouched — dequantisation lands in the workspace.
+        minimums / cell_widths:
+            Per-column quantisation grids (length m, aligned with the block).
+        query_values:
+            The query's coefficients of the block's dimensions (length m).
+        dimensions:
+            Original dimension indices (length m); weighted kernels use them
+            to select weights, the others ignore them.
+        score_lower / score_upper:
+            The interval partial-score accumulators, updated in place column
+            by column, left to right.
+        workspace:
+            Reusable scratch buffers (see :class:`IntervalWorkspace`).
+        """
+
+    def accumulate_row_block(
+        self,
+        code_rows: np.ndarray,
+        minimums: np.ndarray,
+        cell_widths: np.ndarray,
+        query_values: np.ndarray,
+        dimensions: np.ndarray,
+        score_lower: np.ndarray,
+        score_upper: np.ndarray,
+        workspace: IntervalWorkspace,
+    ) -> None:
+        """Fold a gathered ``(m, n)`` code block into the interval accumulators.
+
+        The candidate-restricted fast path: once the survivor list is small,
+        the period's codes arrive as one row-major block (row ``j`` holding
+        dimension ``dimensions[j]``'s codes for every candidate) and a few
+        broadcast expressions process all m dimensions at once instead of m
+        per-column round trips.  Accumulation stays row by row, left to
+        right, so the partial scores remain bitwise identical to the
+        per-dimension loop.
+
+        The default implementation loops over the rows via
+        :meth:`accumulate_block`; concrete kernels override it with true
+        broadcast expressions.
+        """
+        for position in range(code_rows.shape[0]):
+            self.accumulate_block(
+                [code_rows[position]],
+                minimums[position : position + 1],
+                cell_widths[position : position + 1],
+                query_values[position : position + 1],
+                dimensions[position : position + 1],
+                score_lower,
+                score_upper,
+                workspace,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class HistogramIntersectionIntervalKernel(IntervalBlockKernel):
+    """Fused interval ``min(h, q)`` — monotone, so the interval maps directly."""
+
+    name = "histogram-interval"
+
+    def accumulate_block(
+        self,
+        code_columns,
+        minimums,
+        cell_widths,
+        query_values,
+        dimensions,
+        score_lower,
+        score_upper,
+        workspace,
+    ):
+        count = score_lower.shape[0]
+        value_lower, value_upper = workspace.value_buffers(count)
+        for position, codes in enumerate(code_columns):
+            dequantize_bounds(
+                codes,
+                float(minimums[position]),
+                float(cell_widths[position]),
+                value_lower,
+                value_upper,
+            )
+            query_value = float(query_values[position])
+            np.minimum(value_lower, query_value, out=value_lower)
+            np.minimum(value_upper, query_value, out=value_upper)
+            score_lower += value_lower
+            score_upper += value_upper
+
+    def accumulate_row_block(
+        self,
+        code_rows,
+        minimums,
+        cell_widths,
+        query_values,
+        dimensions,
+        score_lower,
+        score_upper,
+        workspace,
+    ):
+        rows, count = code_rows.shape
+        value_lower, value_upper = workspace.value_rows(rows, count)
+        dequantize_bounds_rows(code_rows, minimums, cell_widths, value_lower, value_upper)
+        np.minimum(value_lower, query_values[:, None], out=value_lower)
+        np.minimum(value_upper, query_values[:, None], out=value_upper)
+        for position in range(rows):
+            score_lower += value_lower[position]
+            score_upper += value_upper[position]
+
+
+class SquaredEuclideanIntervalKernel(IntervalBlockKernel):
+    """Fused interval ``(v - q)^2`` — zero when the query lies inside the cell."""
+
+    name = "euclidean-interval"
+
+    def accumulate_block(
+        self,
+        code_columns,
+        minimums,
+        cell_widths,
+        query_values,
+        dimensions,
+        score_lower,
+        score_upper,
+        workspace,
+    ):
+        count = score_lower.shape[0]
+        value_lower, value_upper = workspace.value_buffers(count)
+        combined = workspace.scratch(count)
+        inside, inside_scratch = workspace.bool_buffers(count)
+        for position, codes in enumerate(code_columns):
+            dequantize_bounds(
+                codes,
+                float(minimums[position]),
+                float(cell_widths[position]),
+                value_lower,
+                value_upper,
+            )
+            query_value = float(query_values[position])
+            # inside = (lower <= q) & (q <= upper), before the buffers are
+            # squared in place.
+            np.less_equal(value_lower, query_value, out=inside)
+            np.greater_equal(value_upper, query_value, out=inside_scratch)
+            np.logical_and(inside, inside_scratch, out=inside)
+            # value buffers become the contributions at the interval endpoints.
+            np.subtract(value_lower, query_value, out=value_lower)
+            np.multiply(value_lower, value_lower, out=value_lower)
+            np.subtract(value_upper, query_value, out=value_upper)
+            np.multiply(value_upper, value_upper, out=value_upper)
+            np.maximum(value_lower, value_upper, out=combined)
+            score_upper += combined
+            np.minimum(value_lower, value_upper, out=combined)
+            combined[inside] = 0.0
+            score_lower += combined
+
+    def accumulate_row_block(
+        self,
+        code_rows,
+        minimums,
+        cell_widths,
+        query_values,
+        dimensions,
+        score_lower,
+        score_upper,
+        workspace,
+    ):
+        rows, count = code_rows.shape
+        value_lower, value_upper = workspace.value_rows(rows, count)
+        combined = workspace.scratch_rows(rows, count)
+        inside, inside_scratch = workspace.bool_rows(rows, count)
+        dequantize_bounds_rows(code_rows, minimums, cell_widths, value_lower, value_upper)
+        query_column = query_values[:, None]
+        np.less_equal(value_lower, query_column, out=inside)
+        np.greater_equal(value_upper, query_column, out=inside_scratch)
+        np.logical_and(inside, inside_scratch, out=inside)
+        np.subtract(value_lower, query_column, out=value_lower)
+        np.multiply(value_lower, value_lower, out=value_lower)
+        np.subtract(value_upper, query_column, out=value_upper)
+        np.multiply(value_upper, value_upper, out=value_upper)
+        np.maximum(value_lower, value_upper, out=combined)
+        for position in range(rows):
+            score_upper += combined[position]
+        np.minimum(value_lower, value_upper, out=combined)
+        combined[inside] = 0.0
+        for position in range(rows):
+            score_lower += combined[position]
+
+
+class WeightedSquaredEuclideanIntervalKernel(IntervalBlockKernel):
+    """Fused interval ``w (v - q)^2``, multiplying as ``(w * d) * d``.
+
+    The multiplication order matches the scalar metric — ``w * d == d * w``
+    bitwise (IEEE multiplication commutes) — so the endpoint contributions
+    round identically to the per-dimension path.
+    """
+
+    name = "weighted-euclidean-interval"
+
+    def __init__(self, weights: np.ndarray) -> None:
+        self._weights = np.asarray(weights, dtype=np.float64)
+
+    def accumulate_block(
+        self,
+        code_columns,
+        minimums,
+        cell_widths,
+        query_values,
+        dimensions,
+        score_lower,
+        score_upper,
+        workspace,
+    ):
+        count = score_lower.shape[0]
+        value_lower, value_upper = workspace.value_buffers(count)
+        combined = workspace.scratch(count)
+        inside, inside_scratch = workspace.bool_buffers(count)
+        for position, codes in enumerate(code_columns):
+            dequantize_bounds(
+                codes,
+                float(minimums[position]),
+                float(cell_widths[position]),
+                value_lower,
+                value_upper,
+            )
+            query_value = float(query_values[position])
+            weight = float(self._weights[int(dimensions[position])])
+            np.less_equal(value_lower, query_value, out=inside)
+            np.greater_equal(value_upper, query_value, out=inside_scratch)
+            np.logical_and(inside, inside_scratch, out=inside)
+            # (w * d) * d at both endpoints; `combined` briefly holds w * d.
+            np.subtract(value_lower, query_value, out=value_lower)
+            np.multiply(value_lower, weight, out=combined)
+            np.multiply(combined, value_lower, out=value_lower)
+            np.subtract(value_upper, query_value, out=value_upper)
+            np.multiply(value_upper, weight, out=combined)
+            np.multiply(combined, value_upper, out=value_upper)
+            np.maximum(value_lower, value_upper, out=combined)
+            score_upper += combined
+            np.minimum(value_lower, value_upper, out=combined)
+            combined[inside] = 0.0
+            score_lower += combined
+
+    def accumulate_row_block(
+        self,
+        code_rows,
+        minimums,
+        cell_widths,
+        query_values,
+        dimensions,
+        score_lower,
+        score_upper,
+        workspace,
+    ):
+        rows, count = code_rows.shape
+        value_lower, value_upper = workspace.value_rows(rows, count)
+        combined = workspace.scratch_rows(rows, count)
+        inside, inside_scratch = workspace.bool_rows(rows, count)
+        dequantize_bounds_rows(code_rows, minimums, cell_widths, value_lower, value_upper)
+        query_column = query_values[:, None]
+        weight_column = self._weights[dimensions][:, None]
+        np.less_equal(value_lower, query_column, out=inside)
+        np.greater_equal(value_upper, query_column, out=inside_scratch)
+        np.logical_and(inside, inside_scratch, out=inside)
+        # (w * d) * d at both endpoints; `combined` briefly holds w * d.
+        np.subtract(value_lower, query_column, out=value_lower)
+        np.multiply(value_lower, weight_column, out=combined)
+        np.multiply(combined, value_lower, out=value_lower)
+        np.subtract(value_upper, query_column, out=value_upper)
+        np.multiply(value_upper, weight_column, out=combined)
+        np.multiply(combined, value_upper, out=value_upper)
+        np.maximum(value_lower, value_upper, out=combined)
+        for position in range(rows):
+            score_upper += combined[position]
+        np.minimum(value_lower, value_upper, out=combined)
+        combined[inside] = 0.0
+        for position in range(rows):
+            score_lower += combined[position]
+
+
+class GenericIntervalKernel(IntervalBlockKernel):
+    """Fallback for metrics without a fused interval kernel.
+
+    Dequantises each column into the workspace and delegates to
+    :func:`~repro.core.compressed.contribution_interval` — still one storage
+    call per block, only the per-column contribution math stays generic.
+    """
+
+    name = "generic-interval"
+
+    def __init__(self, metric: Metric) -> None:
+        self._metric = metric
+
+    def accumulate_block(
+        self,
+        code_columns,
+        minimums,
+        cell_widths,
+        query_values,
+        dimensions,
+        score_lower,
+        score_upper,
+        workspace,
+    ):
+        from repro.core.compressed import contribution_interval
+
+        count = score_lower.shape[0]
+        value_lower, value_upper = workspace.value_buffers(count)
+        for position, codes in enumerate(code_columns):
+            dequantize_bounds(
+                codes,
+                float(minimums[position]),
+                float(cell_widths[position]),
+                value_lower,
+                value_upper,
+            )
+            contribution_lower, contribution_upper = contribution_interval(
+                self._metric,
+                value_lower,
+                value_upper,
+                float(query_values[position]),
+                dimension=int(dimensions[position]),
+            )
+            score_lower += contribution_lower
+            score_upper += contribution_upper
+
+
+def interval_kernel_for(metric: Metric) -> IntervalBlockKernel:
+    """The fused interval kernel matching a metric (generic fallback otherwise)."""
+    if isinstance(metric, WeightedSquaredEuclidean):
+        return WeightedSquaredEuclideanIntervalKernel(metric.weights)
+    if isinstance(metric, HistogramIntersection):
+        return HistogramIntersectionIntervalKernel()
+    # EuclideanSimilarity delegates its contributions to the squared distance.
+    if isinstance(metric, (SquaredEuclidean, EuclideanSimilarity)):
+        return SquaredEuclideanIntervalKernel()
+    return GenericIntervalKernel(metric)

@@ -48,6 +48,18 @@ class Metric(abc.ABC):
     def kind(self) -> MetricKind:
         """Whether the k best results are the largest or smallest scores."""
 
+    @property
+    def contributions_are_distances(self) -> bool:
+        """Whether per-dimension contributions accumulate distance-valued terms.
+
+        Filters over approximated fragments prune on the *accumulated
+        contributions*, so the pruning direction must follow this flag, not
+        :attr:`kind`: a metric may rank as a similarity while its
+        contributions are distances (``EuclideanSimilarity`` applies its
+        monotone similarity transform only to the finished sum).
+        """
+        return self.kind is MetricKind.DISTANCE
+
     @abc.abstractmethod
     def contributions(
         self, column: np.ndarray, query_value: float, *, dimension: int | None = None

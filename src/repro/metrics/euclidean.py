@@ -81,6 +81,11 @@ class EuclideanSimilarity(Metric):
         """A similarity: larger is better."""
         return MetricKind.SIMILARITY
 
+    @property
+    def contributions_are_distances(self) -> bool:
+        """Partial sums are squared distances until :meth:`finalize` runs."""
+        return True
+
     def contributions(
         self, column: np.ndarray, query_value: float, *, dimension: int | None = None
     ) -> np.ndarray:

@@ -19,6 +19,7 @@ refinement.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -79,6 +80,18 @@ class CompressedFragment:
         half = self.cell_width / 2.0
         return approx - half, approx + half
 
+    def value_bounds_at(self, oids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(lower, upper) bounds restricted to ``oids``, doing only O(|oids|) work.
+
+        Slices the code array *before* dequantising; because every involved
+        operation is elementwise, the result is bitwise identical to slicing
+        :meth:`value_bounds` — without reconstructing the whole fragment.
+        """
+        codes = self.codes[oids]
+        approx = self.minimum + codes.astype(np.float64) * self.cell_width
+        half = self.cell_width / 2.0
+        return approx - half, approx + half
+
     def storage_bytes(self) -> int:
         """Bytes of the code array plus the two range doubles."""
         return len(self) * self.codes.itemsize + 2 * DOUBLE_BYTES
@@ -112,6 +125,19 @@ class CompressedStore:
             CompressedFragment.from_values(exact.matrix[:, dim], bits=bits)
             for dim in range(exact.dimensionality)
         ]
+        # Pre-resolved code arrays and quantisation grids for the fused
+        # interval kernels: one contiguous code column per dimension plus the
+        # per-dimension (minimum, maximum, cell width) as plain arrays.
+        self._code_tails = [fragment.codes for fragment in self._fragments]
+        self._minimums = np.array(
+            [fragment.minimum for fragment in self._fragments], dtype=np.float64
+        )
+        self._maximums = np.array(
+            [fragment.maximum for fragment in self._fragments], dtype=np.float64
+        )
+        self._cell_widths = np.array(
+            [fragment.cell_width for fragment in self._fragments], dtype=np.float64
+        )
 
     @property
     def exact(self) -> DecomposedStore:
@@ -137,6 +163,21 @@ class CompressedStore:
     def cost(self) -> CostModel:
         """The cost model approximate reads are charged to."""
         return self._cost
+
+    @property
+    def minimums(self) -> np.ndarray:
+        """Per-dimension minima of the stored (true) values."""
+        return self._minimums
+
+    @property
+    def maximums(self) -> np.ndarray:
+        """Per-dimension maxima of the stored (true) values."""
+        return self._maximums
+
+    @property
+    def cell_widths(self) -> np.ndarray:
+        """Per-dimension quantisation cell widths."""
+        return self._cell_widths
 
     def fragment(self, dimension: int) -> CompressedFragment:
         """Return the compressed fragment of ``dimension`` (charging its read)."""
@@ -165,17 +206,81 @@ class CompressedStore:
         Charges only the candidates' codes (positional fetches into the
         compressed fragment), which is the access pattern of BOND once the
         candidate set has shrunk — and the reason BOND-on-approximations beats
-        a full VA-file scan (Table 4).
+        a full VA-file scan (Table 4).  The codes are sliced *before*
+        dequantisation, so the work done matches the charged cost: O(|oids|),
+        not a full-fragment reconstruction.
         """
         if dimension < 0 or dimension >= self.dimensionality:
             raise StorageError(
                 f"dimension {dimension} outside dimensionality {self.dimensionality}"
             )
         oids = np.asarray(oids, dtype=np.int64)
-        fragment = self._fragments[dimension]
         self._cost.charge_random_access(len(oids), COMPRESSED_BYTES)
-        lower, upper = fragment.value_bounds()
-        return lower[oids], upper[oids]
+        return self._fragments[dimension].value_bounds_at(oids)
+
+    def code_columns(
+        self, dimensions: np.ndarray | Sequence[int], *, charge: bool = True
+    ) -> list[np.ndarray]:
+        """Zero-copy quantisation-code columns of several dimensions.
+
+        The storage primitive behind the fused interval kernels: one pruning
+        period of m compressed fragments comes back as m contiguous code
+        arrays in a single call, charged as one fused block scan of 1-byte
+        coefficients (identical totals to m per-dimension
+        :meth:`fragment` reads).  ``charge=False`` lets a batch engine charge
+        a shared read across queries itself.
+        """
+        dims = np.asarray(dimensions, dtype=np.int64)
+        if dims.size and (int(dims.min()) < 0 or int(dims.max()) >= self.dimensionality):
+            raise StorageError(
+                f"block dimensions outside dimensionality {self.dimensionality}"
+            )
+        if charge:
+            self._cost.charge_block_scan(self.cardinality, int(dims.size), COMPRESSED_BYTES)
+        code_tails = self._code_tails
+        return [code_tails[int(dimension)] for dimension in dims]
+
+    def code_row_block(
+        self,
+        dimensions: np.ndarray | Sequence[int],
+        oids: np.ndarray,
+        *,
+        charge: str | None = "positional",
+    ) -> np.ndarray:
+        """Candidate codes of several dimensions as one ``(m, n)`` row block.
+
+        Row ``j`` holds dimension ``dimensions[j]``'s codes for every OID —
+        the layout the fused interval kernels consume with broadcast
+        expressions.  ``charge`` selects the accounting: ``"positional"``
+        charges m positional fetches per candidate (the post-switch-over
+        access pattern), ``"full"`` charges m full sequential fragment scans
+        (the physical reality while the filter still streams whole columns),
+        and ``None`` charges nothing (a batch engine already paid).
+        """
+        dims = np.asarray(dimensions, dtype=np.int64)
+        if dims.size and (int(dims.min()) < 0 or int(dims.max()) >= self.dimensionality):
+            raise StorageError(
+                f"block dimensions outside dimensionality {self.dimensionality}"
+            )
+        oid_array = np.asarray(oids, dtype=np.int64)
+        if charge == "positional":
+            self._cost.charge_random_access(
+                int(dims.size) * len(oid_array), COMPRESSED_BYTES
+            )
+        elif charge == "full":
+            self._cost.charge_block_scan(self.cardinality, int(dims.size), COMPRESSED_BYTES)
+        elif charge is not None:
+            raise StorageError(f"unknown row-block charge mode {charge!r}")
+        code_tails = self._code_tails
+        block = np.empty((int(dims.size), len(oid_array)), dtype=self.code_dtype)
+        for position, dimension in enumerate(dims):
+            np.take(code_tails[int(dimension)], oid_array, out=block[position])
+        return block
+
+    @property
+    def code_dtype(self) -> np.dtype:
+        """Dtype of the stored quantisation codes (uint8 up to 8 bits)."""
+        return self._code_tails[0].dtype
 
     def max_quantization_error(self, dimension: int) -> float:
         """Half a cell width: the largest possible per-value reconstruction error."""
