@@ -11,7 +11,11 @@ Times k-NN search over the default Corel-like synthetic dataset (the paper's
   (``BondSearcher(engine="loop")``);
 * ``fused``  — the block-scan kernel engine (``engine="fused"``);
 * ``batched``— ``BondSearcher.search_batch`` answering the whole query set
-  with shared fragment reads.
+  with shared fragment reads;
+* ``facade_batched`` — the same batch through ``Index.answer(Query(...))``,
+  measuring what the declarative facade (metric resolution + planning +
+  dispatch) adds on top of the direct call; the acceptance bar is < 2%
+  overhead with bitwise-identical results.
 
 The compressed filter-and-refine axis measures the same engine split over
 8-bit quantised fragments:
@@ -54,6 +58,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
 from seed_baseline import SeedBondSearcher, SeedCompressedBondSearcher  # noqa: E402
 
+from repro.api import Index, Query  # noqa: E402
 from repro.baselines.vafile import VAFile  # noqa: E402
 from repro.core.bond import BondSearcher  # noqa: E402
 from repro.core.compressed import CompressedBondSearcher  # noqa: E402
@@ -101,9 +106,9 @@ def run_compressed_benchmark(
     store = CompressedStore(DecomposedStore(data), bits=8)
     metric = HistogramIntersection()
     seed_searcher = SeedCompressedBondSearcher(data, metric, bits=8)
-    loop_searcher = CompressedBondSearcher(store, metric, engine="loop")
-    fused_searcher = CompressedBondSearcher(store, metric, engine="fused")
-    vafile = VAFile(store, metric)
+    loop_searcher = CompressedBondSearcher(store, metric=metric, engine="loop")
+    fused_searcher = CompressedBondSearcher(store, metric=metric, engine="fused")
+    vafile = VAFile(store, metric=metric)
 
     # -- correctness first: filter-and-refine is exact, so every engine must
     # return brute force's top-k bit for bit (refinement scores vectors the
@@ -202,6 +207,13 @@ def run_benchmark(
     fused_searcher = BondSearcher(store, engine="fused")
     scan = SequentialScan(row_store)
 
+    # The facade path: the planner routes this declarative batch query to
+    # BondSearcher.search_batch, so it must match the direct call bit for bit
+    # and add only planning overhead (< 2% is the acceptance bar).
+    index = Index.build(data)
+    facade_query = Query(queries, k=k, metric="histogram", mode="exact")
+    assert index.plan(facade_query).backend_name == "bond", "planner must choose BOND here"
+
     # -- correctness first: every BOND engine must return the seed's exact
     # top-k; the sequential scan sums in row order (different rounding), so
     # its batched variant is checked against the single-query scan instead.
@@ -215,6 +227,7 @@ def run_benchmark(
             reference, [fused_searcher.search(query, k) for query in queries]
         ),
         "batched": _results_identical(reference, list(fused_searcher.search_batch(queries, k))),
+        "facade_batched": _results_identical(reference, list(index.answer(facade_query))),
         "scan_batched_vs_scan": _results_identical(
             scan_reference, list(scan.search_batch(queries, k))
         ),
@@ -236,6 +249,9 @@ def run_benchmark(
         ),
         "batched": _time_per_query(
             lambda: fused_searcher.search_batch(queries, k), num_queries, repeats
+        ),
+        "facade_batched": _time_per_query(
+            lambda: index.answer(facade_query), num_queries, repeats
         ),
         "sequential_scan": _time_per_query(
             lambda: [scan.search(query, k) for query in queries], num_queries, repeats
@@ -264,6 +280,13 @@ def run_benchmark(
         )
 
     batched_speedup = engines["batched"]["speedup_vs_seed"]
+    facade_overhead_pct = 100.0 * (
+        timings["facade_batched"] / timings["batched"] - 1.0
+    )
+    print(
+        f"\n  facade overhead vs direct BondSearcher.search_batch: "
+        f"{facade_overhead_pct:+.2f}% (target < 2%)"
+    )
     compressed = run_compressed_benchmark(
         data=data, queries=queries, k=k, repeats=repeats, num_queries=num_queries
     )
@@ -283,6 +306,12 @@ def run_benchmark(
         "identical_topk_vs_seed": identical,
         "batched_speedup_vs_seed": batched_speedup,
         "meets_3x_target": bool(batched_speedup >= 3.0 and all(identical.values())),
+        "facade": {
+            "backend": "bond",
+            "overhead_vs_direct_batched_pct": facade_overhead_pct,
+            "meets_2pct_overhead_target": bool(facade_overhead_pct < 2.0),
+            "identical_topk_vs_seed": identical["facade_batched"],
+        },
         "compressed": compressed,
     }
 
@@ -334,6 +363,12 @@ def main(argv: list[str] | None = None) -> int:
         f"compressed fused speedup vs seed-shaped loop: "
         f"{report['compressed']['fused_speedup_vs_seed']:.2f}x "
         f"(target >= 2x: {'met' if report['compressed']['meets_2x_target'] else 'NOT met'})"
+    )
+    facade = report["facade"]
+    print(
+        f"facade overhead vs direct batched search: "
+        f"{facade['overhead_vs_direct_batched_pct']:+.2f}% "
+        f"(target < 2%: {'met' if facade['meets_2pct_overhead_target'] else 'NOT met'})"
     )
     return 0
 

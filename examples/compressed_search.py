@@ -3,15 +3,16 @@
 Section 7.4 of the paper shows that the approximation idea of the VA-file is
 orthogonal to BOND: quantise every coefficient to 8 bits, run the
 branch-and-bound filter on the small approximate fragments, and refine the few
-survivors on the exact vectors.  This example measures, on one collection and
-one query workload, the bytes read by
+survivors on the exact vectors.  With the unified facade this is a *mode*, not
+a different object to construct: ``Query(..., mode="compressed")`` plans onto
+the compressed filter, and pinning ``backend=`` lets one index compare
 
 * exact BOND,
 * BOND over 8-bit fragments (filter + exact refinement),
 * a VA-file scan (filter + exact refinement), and
 * a full sequential scan,
 
-and verifies that all four return identical answers.
+by bytes read, verifying that all four return identical answers.
 
 Run with::
 
@@ -22,18 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    BondSearcher,
-    CompressedBondSearcher,
-    CompressedStore,
-    DecomposedStore,
-    HistogramIntersection,
-    RowStore,
-    SequentialScan,
-    VAFile,
-    make_corel_like,
-    sample_queries,
-)
+from repro import Index, Query, make_corel_like, sample_queries
 
 
 def main() -> None:
@@ -41,29 +31,30 @@ def main() -> None:
     workload = sample_queries(histograms, 10, seed=21)
     k = 10
 
-    exact_store = DecomposedStore(histograms, name="exact")
-    compressed_store = CompressedStore(DecomposedStore(histograms, name="for-compressed"), bits=8)
-    vafile_store = CompressedStore(DecomposedStore(histograms, name="for-vafile"), bits=8)
-    row_store = RowStore(histograms)
-    metric = HistogramIntersection()
-
-    methods = {
-        "BOND (exact fragments)": BondSearcher(exact_store, metric),
-        "BOND (8-bit fragments + refine)": CompressedBondSearcher(compressed_store, metric),
-        "VA-file (filter + refine)": VAFile(vafile_store, metric),
-        "sequential scan": SequentialScan(row_store, metric),
-    }
-
+    index = Index.build(histograms, name="corel")
     print(f"collection: {histograms.shape[0]} x {histograms.shape[1]}, "
-          f"compression ratio {compressed_store.compression_ratio():.1f}x, "
+          f"compression ratio {index.compressed.compression_ratio():.1f}x, "
           f"{len(workload)} queries, k={k}\n")
 
+    def spec(query: np.ndarray, *, mode: str = "exact", backend: str | None = None) -> Query:
+        return Query(query, k=k, metric="histogram", mode=mode, backend=backend)
+
+    methods = {
+        "BOND (exact fragments)": lambda q: spec(q),
+        "BOND (8-bit fragments + refine)": lambda q: spec(q, mode="compressed"),
+        "VA-file (filter + refine)": lambda q: spec(q, mode="compressed", backend="vafile"),
+        "sequential scan": lambda q: spec(q, backend="sequential_scan"),
+    }
+
+    print("planner decision for the compressed mode:")
+    print(index.explain(spec(workload.queries[0], mode="compressed")))
+    print()
+
     total_bytes = {name: 0 for name in methods}
-    reference_scores = None
     for query in workload:
         per_query_scores = {}
-        for name, searcher in methods.items():
-            result = searcher.search(query, k)
+        for name, build_query in methods.items():
+            result = index.answer(build_query(query))
             total_bytes[name] += result.cost.bytes_read
             per_query_scores[name] = np.sort(result.scores)
         reference_scores = per_query_scores["sequential scan"]

@@ -3,9 +3,10 @@
 This is the motivating application of the paper.  The script renders a small
 library of synthetic images, extracts 166-bin HSV colour histograms exactly
 the way Section 7.1 describes (18 hues x 3 saturations x 3 values + 4 grays),
-decomposes the histogram collection vertically, and then answers
-query-by-example searches with BOND — including a weighted variant where a
-relevance-feedback step boosts the bins of the colours the user cares about.
+wraps the histogram collection in the unified ``Index`` facade, and then
+answers query-by-example ``Query`` specs — including a weighted variant where
+a relevance-feedback step boosts the bins of the colours the user cares
+about.
 
 Run with::
 
@@ -16,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import BondSearcher, DecomposedStore, HistogramIntersection
+from repro import Index, Query
 from repro.datasets.hsv import histograms_from_images, make_synthetic_images
 
 
@@ -27,33 +28,31 @@ def build_library(count: int = 600) -> tuple[np.ndarray, np.ndarray]:
     return images, histograms
 
 
-def query_by_example(store: DecomposedStore, histograms: np.ndarray, example: int, k: int = 5) -> None:
+def query_by_example(index: Index, histograms: np.ndarray, example: int, k: int = 5) -> None:
     """Find the images whose colour distribution is closest to the example."""
-    searcher = BondSearcher(store, HistogramIntersection())
-    result = searcher.search(histograms[example], k=k)
+    result = index.answer(Query(histograms[example], k=k, metric="histogram"))
     print(f"query image #{example}: top-{k} most similar images")
     for rank, (oid, score) in enumerate(zip(result.oids, result.scores), start=1):
         marker = "  (the query itself)" if oid == example else ""
         print(f"  {rank}. image {oid:4d}  intersection {score:.4f}{marker}")
     dimensions, remaining = result.candidate_trace.as_arrays()
-    print(f"  candidate set after {dimensions[-1]} of {store.dimensionality} bins: {remaining[-1]}\n")
+    print(f"  candidate set after {dimensions[-1]} of {index.dimensionality} bins: {remaining[-1]}\n")
 
 
-def relevance_feedback_search(store: DecomposedStore, histograms: np.ndarray, example: int) -> None:
+def relevance_feedback_search(index: Index, histograms: np.ndarray, example: int) -> None:
     """Re-rank with user feedback: boost the query's dominant colour bins.
 
     Weighted k-NN is the mechanism of Section 8.1: the weights put extra
     importance on the bins the user marked as relevant (here: the query's own
     heaviest bins), and the decomposed layout lets BOND process exactly those
-    bins first.
+    bins first.  On the declarative side this is nothing but a ``weights``
+    field on the query.
     """
-    from repro import weighted_search
-
     query = histograms[example]
-    weights = np.ones(store.dimensionality)
+    weights = np.ones(index.dimensionality)
     dominant = np.argsort(-query)[:8]
     weights[dominant] = 25.0
-    result = weighted_search(store, query, weights, k=5)
+    result = index.answer(Query(query, k=5, weights=weights))
     print(f"relevance-feedback search around image #{example} (8 dominant bins boosted 25x):")
     for rank, (oid, score) in enumerate(zip(result.oids, result.scores), start=1):
         print(f"  {rank}. image {oid:4d}  weighted distance {score:.5f}")
@@ -64,11 +63,11 @@ def main() -> None:
     images, histograms = build_library()
     print(f"library: {images.shape[0]} images of {images.shape[1]}x{images.shape[2]} pixels, "
           f"{histograms.shape[1]}-bin HSV histograms\n")
-    store = DecomposedStore(histograms, name="image-library")
+    index = Index.build(histograms, name="image-library")
 
-    query_by_example(store, histograms, example=42)
-    query_by_example(store, histograms, example=137)
-    relevance_feedback_search(store, histograms, example=42)
+    query_by_example(index, histograms, example=42)
+    query_by_example(index, histograms, example=137)
+    relevance_feedback_search(index, histograms, example=42)
 
 
 if __name__ == "__main__":

@@ -1,9 +1,10 @@
 """Quickstart: k-NN search on vertically decomposed data with BOND.
 
-Builds a Corel-like collection of colour histograms, decomposes it into one
-table per dimension, and answers a 10-NN query with BOND — then runs the same
-query with a plain sequential scan to show that the answers are identical
-while BOND touched a fraction of the data.
+Builds a Corel-like collection of colour histograms, wraps it in the unified
+``Index`` facade, and answers a declarative 10-NN ``Query`` — the planner
+picks BOND over a vertically decomposed store.  The same query is then pinned
+to the sequential-scan backend to show that the answers are identical while
+BOND touched a fraction of the data.
 
 Run with::
 
@@ -14,14 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    BondSearcher,
-    DecomposedStore,
-    HistogramIntersection,
-    RowStore,
-    SequentialScan,
-    make_corel_like,
-)
+from repro import Index, Query, make_corel_like
 
 
 def main() -> None:
@@ -29,23 +23,23 @@ def main() -> None:
     histograms = make_corel_like(cardinality=10_000, dimensionality=166, seed=7)
     print(f"collection: {histograms.shape[0]} histograms x {histograms.shape[1]} bins")
 
-    # 2. The physical design of the paper: one table per dimension.
-    store = DecomposedStore(histograms, name="corel")
-    print(f"decomposed into {store.dimensionality} fragments, "
-          f"storage overhead {100 * (store.storage_overhead_ratio() - 1):.1f}%")
+    # 2. One facade over every physical design; the decomposed store (the
+    #    paper's one-table-per-dimension layout) materialises on first use.
+    index = Index.build(histograms, name="corel")
 
-    # 3. A k-NN query with BOND (histogram intersection, criterion Hq).
-    query = histograms[4242]
-    searcher = BondSearcher(store, HistogramIntersection())
-    result = searcher.search(query, k=10)
+    # 3. A declarative k-NN query; the planner explains its choice first.
+    query = Query(histograms[4242], k=10, metric="histogram")
+    print("\n" + index.explain(query) + "\n")
+    result = index.answer(query)
 
-    print("\ntop-10 neighbours (BOND):")
+    print("top-10 neighbours (BOND):")
     for rank, (oid, score) in enumerate(zip(result.oids, result.scores), start=1):
         print(f"  {rank:2d}. image {oid:6d}  similarity {score:.4f}")
 
-    # 4. The same query with a full sequential scan (the SSH baseline).
-    scan = SequentialScan(RowStore(histograms), HistogramIntersection())
-    scan_result = scan.search(query, k=10)
+    # 4. The same query pinned to the full sequential scan (the SSH baseline).
+    scan_result = index.answer(
+        Query(histograms[4242], k=10, metric="histogram", backend="sequential_scan")
+    )
     assert np.allclose(np.sort(result.scores), np.sort(scan_result.scores)), "results must agree"
 
     # 5. How much work did BOND avoid?
@@ -54,7 +48,7 @@ def main() -> None:
     for step_dimensions, step_remaining in zip(dimensions, remaining):
         print(f"  {step_dimensions:4d} dims -> {step_remaining:6d} candidates")
     print(f"\nBOND read  {result.cost.bytes_read / 1e6:8.2f} MB "
-          f"({result.dimensions_processed} of {store.dimensionality} fragments contributed)")
+          f"({result.dimensions_processed} of {index.dimensionality} fragments contributed)")
     print(f"scan read  {scan_result.cost.bytes_read / 1e6:8.2f} MB (every coefficient of every vector)")
     print(f"=> BOND touched {result.cost.bytes_read / scan_result.cost.bytes_read:.1%} "
           f"of the bytes the scan needed, with identical answers")

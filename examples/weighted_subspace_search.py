@@ -2,9 +2,11 @@
 
 Tree-based indexes partition the space using *all* dimensions, so they cannot
 adapt when a query only cares about some dimensions or weighs them unequally.
-The decomposed layout can: irrelevant fragments are simply never read.  This
-example runs three flavours of the same query over a clustered synthetic
-collection and compares how much data each one touched:
+The decomposed layout can: irrelevant fragments are simply never read.  With
+the declarative ``Query`` spec, weighting and subspacing are *fields*, not
+separate helper functions — the planner resolves them to the weighted
+Euclidean metric of Definition 3 and routes them to BOND.  This example runs
+three flavours of the same query and compares how much data each one touched:
 
 * a plain (unweighted) k-NN query,
 * a weighted query where 10 % of the dimensions carry 90 % of the weight,
@@ -19,45 +21,36 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    BondSearcher,
-    DecomposedStore,
-    EvBound,
-    SquaredEuclidean,
-    make_clustered,
-    make_skewed_weights,
-    subspace_search,
-    weighted_search,
-)
+from repro import Index, Query, make_clustered, make_skewed_weights
 
 
-def describe(label: str, result, store: DecomposedStore) -> None:
+def describe(label: str, result, index: Index) -> None:
     dimensions, remaining = result.candidate_trace.as_arrays()
     print(f"{label}")
     print(f"  best match: vector {result.oids[0]} at distance {result.scores[0]:.5f}")
-    print(f"  fragments contributing: {result.dimensions_processed} of {store.dimensionality}")
-    print(f"  final candidate set: {remaining[-1]} of {store.cardinality}")
+    print(f"  fragments contributing: {result.dimensions_processed} of {index.dimensionality}")
+    print(f"  final candidate set: {remaining[-1]} of {index.cardinality}")
     print(f"  bytes read: {result.cost.bytes_read / 1e6:.2f} MB\n")
 
 
 def main() -> None:
     vectors = make_clustered(cardinality=20_000, dimensionality=128, skew=1.0, seed=3)
-    store = DecomposedStore(vectors, name="clustered")
+    index = Index.build(vectors, name="clustered")
     query = vectors[123]
     k = 10
 
-    print(f"collection: {store.cardinality} vectors x {store.dimensionality} dimensions\n")
+    print(f"collection: {index.cardinality} vectors x {index.dimensionality} dimensions\n")
 
-    plain = BondSearcher(store, SquaredEuclidean(), EvBound()).search(query, k)
-    describe("plain k-NN (all dimensions, equal importance)", plain, store)
+    plain = index.answer(Query(query, k=k, metric="euclidean"))
+    describe("plain k-NN (all dimensions, equal importance)", plain, index)
 
-    weights = make_skewed_weights(store.dimensionality, heavy_fraction=0.1, heavy_mass=0.9, seed=5)
-    weighted = weighted_search(store, query, weights, k)
-    describe("weighted k-NN (10% of the dimensions carry 90% of the weight)", weighted, store)
+    weights = make_skewed_weights(index.dimensionality, heavy_fraction=0.1, heavy_mass=0.9, seed=5)
+    weighted = index.answer(Query(query, k=k, metric="euclidean", weights=weights))
+    describe("weighted k-NN (10% of the dimensions carry 90% of the weight)", weighted, index)
 
     chosen_dimensions = np.argsort(-query)[:12]
-    subspace = subspace_search(store, query, chosen_dimensions, k)
-    describe(f"subspace k-NN (only {len(chosen_dimensions)} user-chosen dimensions)", subspace, store)
+    subspace = index.answer(Query(query, k=k, metric="euclidean", subspace=chosen_dimensions))
+    describe(f"subspace k-NN (only {len(chosen_dimensions)} user-chosen dimensions)", subspace, index)
 
     print("note how the weighted query prunes earlier than the plain one (the weights add skew),")
     print("and the subspace query never reads the 116 irrelevant fragments at all.")

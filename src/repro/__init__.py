@@ -6,18 +6,31 @@ A from-scratch reproduction of de Vries, Mamoulis, Nes & Kersten,
 The package re-exports the user-facing entry points; see README.md for a
 quickstart and DESIGN.md for the full system inventory.
 
-Typical usage::
+Typical usage (the unified facade; see docs/API.md)::
 
-    import numpy as np
-    from repro import DecomposedStore, BondSearcher, HistogramIntersection, make_corel_like
+    from repro import Index, Query, make_corel_like
 
     histograms = make_corel_like(cardinality=10_000, dimensionality=166)
-    store = DecomposedStore(histograms)
-    searcher = BondSearcher(store, HistogramIntersection())
-    result = searcher.search(histograms[42], k=10)
+    index = Index.build(histograms)
+    result = index.answer(Query(histograms[42], k=10, metric="histogram"))
     print(result.oids, result.scores)
+
+The physical layer stays available for direct use::
+
+    from repro import BondSearcher, DecomposedStore, HistogramIntersection
+
+    searcher = BondSearcher(DecomposedStore(histograms), metric=HistogramIntersection())
+    result = searcher.search(histograms[42], k=10)
 """
 
+from repro.api import (
+    Capabilities,
+    Index,
+    Plan,
+    Query,
+    QueryPlanner,
+    Searcher,
+)
 from repro.baselines import RTreeIndex, SimilarityNetwork, VAFile
 from repro.bounds import (
     EqBound,
@@ -81,15 +94,18 @@ __all__ = [
     "AverageAggregate",
     "BatchSearchResult",
     "BondSearcher",
+    "Capabilities",
     "CompressedBondSearcher",
     "CompressedStore",
     "CostModel",
     "DataSkewOrdering",
     "DecomposedStore",
     "DecreasingQueryOrdering",
+    "describe_dataset",
     "EqBound",
     "EuclideanSimilarity",
     "EvBound",
+    "exact_top_k",
     "FeatureComponent",
     "FixedPeriodSchedule",
     "FuzzyMaxAggregate",
@@ -99,34 +115,37 @@ __all__ = [
     "HistogramIntersection",
     "HqBound",
     "IncreasingQueryOrdering",
-    "MultiFeatureBondSearcher",
-    "PartialAbandonScan",
-    "PartialState",
-    "PruningBound",
-    "QueryWorkload",
-    "RTreeIndex",
-    "RandomOrdering",
-    "ReproError",
-    "RowStore",
-    "SearchResult",
-    "SequentialScan",
-    "SimilarityNetwork",
-    "SquaredEuclidean",
-    "StreamMergingSearcher",
-    "VAFile",
-    "WeightedAverageAggregate",
-    "WeightedEuclideanBound",
-    "WeightedSquaredEuclidean",
-    "describe_dataset",
-    "exact_top_k",
+    "Index",
     "load_decomposed",
     "make_clustered",
     "make_corel_like",
     "make_skewed_weights",
     "make_subspace_weights",
+    "MultiFeatureBondSearcher",
+    "PartialAbandonScan",
+    "PartialState",
+    "Plan",
+    "PruningBound",
+    "Query",
+    "QueryPlanner",
+    "QueryWorkload",
+    "RandomOrdering",
+    "ReproError",
+    "RowStore",
+    "RTreeIndex",
     "sample_queries",
     "save_decomposed",
+    "Searcher",
+    "SearchResult",
+    "SequentialScan",
+    "SimilarityNetwork",
+    "SquaredEuclidean",
+    "StreamMergingSearcher",
     "subspace_search",
+    "VAFile",
     "weighted_search",
+    "WeightedAverageAggregate",
+    "WeightedEuclideanBound",
+    "WeightedSquaredEuclidean",
     "__version__",
 ]

@@ -1,0 +1,62 @@
+"""Backwards-compatibility helpers for the keyword-only API retrofit.
+
+The unified :mod:`repro.api` facade standardised every searcher constructor
+on a keyword-only configuration surface (``BondSearcher(store, metric=...,
+bound=...)``).  The historical positional shapes (``BondSearcher(store,
+metric, bound)``) keep working through the shim below, which maps the legacy
+positionals onto their keyword parameters and emits a
+:class:`DeprecationWarning` so first-party call sites can be kept clean (CI
+runs the examples with deprecation warnings turned into errors).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Sequence
+
+
+def apply_legacy_positionals(
+    signature: str,
+    legacy: tuple,
+    names: Sequence[str],
+    values: tuple,
+) -> tuple:
+    """Merge legacy positional arguments into their keyword-only slots.
+
+    Parameters
+    ----------
+    signature:
+        Human-readable replacement signature shown in the warning, e.g.
+        ``"BondSearcher(store, *, metric=..., bound=...)"``.
+    legacy:
+        The ``*legacy`` tuple captured by the constructor.
+    names:
+        Keyword parameter names the legacy positionals map onto, in order.
+    values:
+        The current keyword values, aligned with ``names``.
+
+    Returns
+    -------
+    ``values`` with the legacy positionals merged in (always a tuple of
+    ``len(names)`` entries, so single-parameter callers unpack ``(metric,)``).
+    """
+    if not legacy:
+        return tuple(values)
+    if len(legacy) > len(names):
+        raise TypeError(
+            f"too many positional arguments; the supported signature is {signature}"
+        )
+    warnings.warn(
+        f"passing {', '.join(repr(name) for name in names[: len(legacy)])} positionally "
+        f"is deprecated; use {signature}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    merged = list(values)
+    for position, value in enumerate(legacy):
+        if merged[position] is not None:
+            raise TypeError(
+                f"{names[position]!r} was given both positionally and as a keyword"
+            )
+        merged[position] = value
+    return tuple(merged)

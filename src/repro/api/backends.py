@@ -1,0 +1,353 @@
+"""The registered physical backends the planner chooses between.
+
+Each backend adapts one existing searcher to the uniform facade surface:
+
+=================  ==============================================  =========
+registry name      underlying searcher                             modes
+=================  ==============================================  =========
+bond               :class:`repro.core.bond.BondSearcher`           exact
+sequential_scan    :class:`repro.core.sequential.SequentialScan`   exact
+partial_abandon    :class:`repro.core.sequential.PartialAbandonScan`  exact
+rtree              :class:`repro.baselines.rtree.RTreeIndex`       exact
+compressed_bond    :class:`repro.core.compressed.CompressedBondSearcher`  compressed
+vafile             :class:`repro.baselines.vafile.VAFile`          compressed
+=================  ==============================================  =========
+
+(every backend additionally serves ``approx``, where the planner is free to
+pick the globally cheapest estimate).
+
+A backend contributes three things: a :class:`~repro.api.capabilities.Capabilities`
+declaration, a ``create()`` hook building the underlying searcher from an
+:class:`~repro.api.index.Index`'s lazily materialised stores, and an
+``estimate()`` cost-model hook the planner ranks candidates by.  The
+estimates are deliberately simple closed forms over collection shape — they
+only need to get the *ranking* right (BOND beats a scan, the compressed
+filter beats a VA-file scan, an R-tree only wins in low dimensions), which is
+exactly the knowledge the paper's measurements establish.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.api.capabilities import Capabilities, CostEstimate, register_backend
+from repro.baselines.rtree import RTreeIndex
+from repro.baselines.vafile import VAFile
+from repro.core.bond import BondSearcher
+from repro.core.compressed import CompressedBondSearcher
+from repro.core.result import BatchSearchResult, PruningTrace, SearchResult
+from repro.core.sequential import PartialAbandonScan, SequentialScan
+from repro.engine.cost import COMPRESSED_BYTES, DOUBLE_BYTES
+from repro.metrics.base import Metric
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.index import Index
+    from repro.api.query import Query
+
+#: Fraction of the full fragment volume BOND is expected to touch before the
+#: candidate set collapses (the paper reports ~64 of 166 dimensions
+#: contributing, with most candidates pruned inside the first periods).
+BOND_PRUNE_FRACTION = 0.45
+
+#: Shared-read discount for natively batched engines: per additional query in
+#: a batch, only about half the fragment traffic is new (the full-bitmap
+#: phase — where most bytes move — is read once per round for all queries).
+BATCH_SHARE_FACTOR = 0.5
+
+
+def _batch_read_factor(batch_size: int, *, shared: bool) -> float:
+    """How many single-query read volumes a batch of ``batch_size`` costs."""
+    if batch_size <= 1:
+        return 1.0
+    if shared:
+        return 1.0 + BATCH_SHARE_FACTOR * (batch_size - 1)
+    return float(batch_size)
+
+
+def _effective_dimensions(query: "Query", dimensionality: int) -> int:
+    """Dimensions whose fragments the decomposed engines actually touch."""
+    if query.subspace is not None:
+        return int(query.subspace.size)
+    if query.weights is not None:
+        return int(np.count_nonzero(query.weights))
+    return dimensionality
+
+
+class Backend(abc.ABC):
+    """One physical search method, registered with its capabilities."""
+
+    capabilities: Capabilities
+    #: Execution-engine label reported by ``explain()``.
+    engine: str = "-"
+
+    @property
+    def name(self) -> str:
+        """Registry name (from the capabilities descriptor)."""
+        return self.capabilities.backend
+
+    def rejection_reason(self, query: "Query", metric: Metric) -> str | None:
+        """Why this backend cannot serve ``query`` (``None`` when it can)."""
+        caps = self.capabilities
+        if query.mode not in caps.modes:
+            return f"does not serve mode {query.mode!r} (serves {sorted(caps.modes)})"
+        if query.is_weighted and not caps.weighted:
+            return "weighted queries not supported"
+        if query.is_subspace and not caps.subspace:
+            return "subspace queries not supported"
+        if caps.metrics and metric.name not in caps.metrics:
+            return f"metric {metric.name!r} not supported (supports {sorted(caps.metrics)})"
+        return None
+
+    @abc.abstractmethod
+    def estimate(self, index: "Index", query: "Query", metric: Metric) -> CostEstimate:
+        """Cost-model hook: pre-execution estimate for the whole query."""
+
+    @abc.abstractmethod
+    def create(self, index: "Index", metric: Metric):
+        """Build the underlying searcher on the index's stores."""
+
+    def answer(
+        self, index: "Index", query: "Query", metric: Metric
+    ) -> SearchResult | BatchSearchResult:
+        """Execute ``query`` through the (cached) underlying searcher.
+
+        Single-vector queries go through ``search`` and batches through
+        ``search_batch`` with the *same* arguments a direct call would use,
+        which is what keeps facade answers bitwise identical to direct
+        searcher calls.
+        """
+        searcher = index.searcher_for(self, query, metric)
+        if query.is_batch:
+            return searcher.search_batch(query.query_matrix, query.k)
+        trace = PruningTrace() if query.trace else None
+        return searcher.search(query.single_vector, query.k, trace=trace)
+
+
+class BondBackend(Backend):
+    """Branch-and-bound over the exact decomposed fragments (Algorithm 2)."""
+
+    capabilities = Capabilities(
+        backend="bond",
+        description="branch-and-bound over exact decomposed fragments",
+        metrics=frozenset(
+            {"histogram_intersection", "squared_euclidean", "weighted_squared_euclidean"}
+        ),
+        modes=frozenset({"exact", "approx"}),
+        weighted=True,
+        subspace=True,
+        batched=True,
+        compressed=False,
+        exact=True,
+    )
+    engine = "fused"
+
+    def estimate(self, index: "Index", query: "Query", metric: Metric) -> CostEstimate:
+        n = index.cardinality
+        effective = _effective_dimensions(query, index.dimensionality)
+        reads = _batch_read_factor(query.batch_size, shared=True)
+        bytes_read = BOND_PRUNE_FRACTION * n * effective * DOUBLE_BYTES * reads
+        ops = BOND_PRUNE_FRACTION * n * effective * query.batch_size
+        return CostEstimate(
+            bytes_read=bytes_read,
+            arithmetic_ops=ops,
+            detail=f"~{BOND_PRUNE_FRACTION:.0%} of {effective} fragments before pruning converges",
+        )
+
+    def create(self, index: "Index", metric: Metric) -> BondSearcher:
+        return BondSearcher(index.decomposed, metric=metric)
+
+
+class SequentialScanBackend(Backend):
+    """Algorithm 1: full scan of the horizontal table (SSH / SSE)."""
+
+    capabilities = Capabilities(
+        backend="sequential_scan",
+        description="full scan of the horizontal table with a k-best heap",
+        metrics=frozenset(),  # metric-generic: anything with score()
+        modes=frozenset({"exact", "approx"}),
+        weighted=True,
+        subspace=True,
+        batched=True,
+        compressed=False,
+        exact=True,
+    )
+    engine = "scan"
+
+    def estimate(self, index: "Index", query: "Query", metric: Metric) -> CostEstimate:
+        n, d = index.cardinality, index.dimensionality
+        # One pass serves the whole batch (the scan is query-independent),
+        # but every query scores every row.
+        return CostEstimate(
+            bytes_read=float(n * d * DOUBLE_BYTES),
+            arithmetic_ops=float(n * d * query.batch_size),
+            detail="every coefficient of every vector, once per batch",
+        )
+
+    def create(self, index: "Index", metric: Metric) -> SequentialScan:
+        return SequentialScan(index.row_store, metric=metric)
+
+
+class PartialAbandonBackend(Backend):
+    """The footnote-6 scan variant that abandons hopeless vectors early."""
+
+    capabilities = Capabilities(
+        backend="partial_abandon",
+        description="row scan with per-vector early abandonment (footnote 6)",
+        metrics=frozenset({"histogram_intersection", "squared_euclidean"}),
+        modes=frozenset({"exact", "approx"}),
+        weighted=False,
+        subspace=False,
+        batched=False,
+        compressed=False,
+        exact=True,
+    )
+    engine = "scan+abandon"
+
+    def estimate(self, index: "Index", query: "Query", metric: Metric) -> CostEstimate:
+        n, d = index.cardinality, index.dimensionality
+        reads = _batch_read_factor(query.batch_size, shared=False)
+        # Reads whole rows regardless of abandonment; the extra threshold
+        # comparisons make it slower than the plain scan on average, which is
+        # exactly the paper's observation.
+        return CostEstimate(
+            bytes_read=float(n * d * DOUBLE_BYTES * reads),
+            arithmetic_ops=1.1 * n * d * query.batch_size,
+            detail="row order cannot see promising dimensions first",
+        )
+
+    def create(self, index: "Index", metric: Metric) -> PartialAbandonScan:
+        return PartialAbandonScan(index.row_store, metric=metric)
+
+
+class RTreeBackend(Backend):
+    """STR bulk-loaded R-tree with best-first k-NN (the Section 2 SAM)."""
+
+    capabilities = Capabilities(
+        backend="rtree",
+        description="STR-packed R-tree, best-first MINDIST traversal",
+        metrics=frozenset({"squared_euclidean"}),
+        modes=frozenset({"exact", "approx"}),
+        weighted=False,
+        subspace=False,
+        batched=False,
+        compressed=False,
+        exact=True,
+    )
+    engine = "best-first"
+
+    #: Dimensionality at which bounding-box overlap makes the traversal
+    #: visit essentially the whole tree (the Section 2 breakdown).
+    BREAKDOWN_DIMENSIONALITY = 16
+
+    def estimate(self, index: "Index", query: "Query", metric: Metric) -> CostEstimate:
+        n, d = index.cardinality, index.dimensionality
+        visited = min(1.0, d / self.BREAKDOWN_DIMENSIONALITY)
+        reads = _batch_read_factor(query.batch_size, shared=False)
+        return CostEstimate(
+            bytes_read=1.3 * visited * n * d * DOUBLE_BYTES * reads,
+            arithmetic_ops=2.0 * visited * n * d * query.batch_size,
+            detail=f"expects to visit ~{visited:.0%} of the tree at {d} dimensions",
+        )
+
+    def create(self, index: "Index", metric: Metric) -> RTreeIndex:
+        return RTreeIndex(index.vectors, cost=index.cost)
+
+
+class CompressedBondBackend(Backend):
+    """BOND filter on 8-bit fragments plus exact refinement (Section 7.4)."""
+
+    capabilities = Capabilities(
+        backend="compressed_bond",
+        description="branch-and-bound filter on 8-bit fragments + exact refine",
+        metrics=frozenset(
+            {
+                "histogram_intersection",
+                "squared_euclidean",
+                "euclidean_similarity",
+                "weighted_squared_euclidean",
+            }
+        ),
+        modes=frozenset({"compressed", "approx"}),
+        weighted=True,
+        subspace=True,
+        batched=True,
+        compressed=True,
+        exact=True,
+    )
+    engine = "fused"
+
+    def estimate(self, index: "Index", query: "Query", metric: Metric) -> CostEstimate:
+        n = index.cardinality
+        d = index.dimensionality
+        effective = _effective_dimensions(query, d)
+        reads = _batch_read_factor(query.batch_size, shared=True)
+        survivors = max(8 * query.k, int(0.005 * n))
+        filter_bytes = BOND_PRUNE_FRACTION * n * effective * COMPRESSED_BYTES * reads
+        refine_bytes = survivors * d * DOUBLE_BYTES * query.batch_size
+        # Interval accumulation maintains a lower AND an upper partial score.
+        ops = 2.0 * BOND_PRUNE_FRACTION * n * effective * query.batch_size
+        return CostEstimate(
+            bytes_read=filter_bytes + refine_bytes,
+            arithmetic_ops=ops,
+            detail=f"1-byte filter + exact refine of ~{survivors} survivors",
+        )
+
+    def create(self, index: "Index", metric: Metric) -> CompressedBondSearcher:
+        return CompressedBondSearcher(index.compressed, metric=metric)
+
+
+class VAFileBackend(Backend):
+    """Full VA-file approximation scan plus exact refinement."""
+
+    capabilities = Capabilities(
+        backend="vafile",
+        description="full VA-file approximation scan + exact refine",
+        metrics=frozenset(
+            {
+                "histogram_intersection",
+                "squared_euclidean",
+                "euclidean_similarity",
+                "weighted_squared_euclidean",
+            }
+        ),
+        modes=frozenset({"compressed", "approx"}),
+        weighted=True,
+        subspace=True,
+        batched=True,
+        compressed=True,
+        exact=True,
+    )
+    engine = "filter+refine"
+
+    def estimate(self, index: "Index", query: "Query", metric: Metric) -> CostEstimate:
+        n, d = index.cardinality, index.dimensionality
+        survivors = max(8 * query.k, int(0.005 * n))
+        # The approximation pass reads every code regardless of the query, so
+        # a batch shares one pass; refinement is per query.
+        return CostEstimate(
+            bytes_read=float(n * d * COMPRESSED_BYTES)
+            + survivors * d * DOUBLE_BYTES * query.batch_size,
+            arithmetic_ops=2.0 * n * d * query.batch_size,
+            detail=f"full approximation scan + exact refine of ~{survivors} survivors",
+        )
+
+    def create(self, index: "Index", metric: Metric) -> VAFile:
+        return VAFile(index.compressed, metric=metric)
+
+
+#: The built-in backends, in planner tie-break order (the paper's preferred
+#: methods first).
+BUILTIN_BACKENDS = tuple(
+    register_backend(backend)
+    for backend in (
+        BondBackend(),
+        CompressedBondBackend(),
+        SequentialScanBackend(),
+        VAFileBackend(),
+        PartialAbandonBackend(),
+        RTreeBackend(),
+    )
+)

@@ -1,0 +1,149 @@
+"""Backend capability descriptors and the backend registry.
+
+Every physical searcher the facade can dispatch to registers itself with a
+:class:`Capabilities` descriptor saying *what it can do* — which metrics,
+whether it handles weighted / subspace queries, whether it has native
+(shared-read) batching, whether it runs on compressed fragments, and what
+exactness it guarantees.  The :class:`~repro.api.planner.QueryPlanner` never
+special-cases a backend: eligibility is decided entirely from these
+declarations plus each backend's cost-model hook, so adding a backend (a
+sharded engine, an asyncio front end, a genuinely approximate index) is one
+``register()`` call away from participating in planning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar, Iterator
+
+from repro.errors import PlanError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.api.backends import Backend
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What one registered backend declares it can answer.
+
+    Attributes
+    ----------
+    backend:
+        Registry name of the backend (``"bond"``, ``"vafile"``, ...).
+    description:
+        One-line human description used in ``explain()`` transcripts.
+    metrics:
+        Supported ``Metric.name`` values; an **empty** frozenset means the
+        backend is metric-generic (any decomposable metric works).
+    modes:
+        Query modes (see :data:`repro.api.query.QUERY_MODES`) the backend can
+        serve.
+    weighted:
+        Whether weighted (Definition 3) queries are supported.
+    subspace:
+        Whether subspace-restricted queries are supported.
+    batched:
+        Whether ``search_batch`` shares storage reads across the queries of a
+        batch (every backend *answers* batches — the protocol is total — but
+        only natively batched ones get the shared-read discount in the cost
+        model).
+    compressed:
+        Whether the filter runs on the 8-bit quantised fragments.
+    exact:
+        Whether returned top-k sets are guaranteed exact.
+    """
+
+    backend: str
+    description: str
+    metrics: frozenset[str]
+    modes: frozenset[str]
+    weighted: bool = False
+    subspace: bool = False
+    batched: bool = False
+    compressed: bool = False
+    exact: bool = True
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """A backend's pre-execution cost estimate for one query.
+
+    The planner ranks eligible backends by :attr:`score` — estimated bytes
+    crossing the storage boundary plus the arithmetic volume expressed in
+    byte-equivalents (one double touched per operation), so a backend that
+    reads little but computes a lot does not win on bytes alone.
+    """
+
+    bytes_read: float
+    arithmetic_ops: float = 0.0
+    detail: str = ""
+
+    #: Bytes one arithmetic operation is weighted as when ranking backends.
+    ARITHMETIC_BYTES: ClassVar[float] = 8.0
+
+    @property
+    def score(self) -> float:
+        """The scalar the planner minimises."""
+        return self.bytes_read + self.ARITHMETIC_BYTES * self.arithmetic_ops
+
+    def summary(self) -> str:
+        """Compact rendering for ``explain()`` transcripts."""
+        text = f"est {self.bytes_read / 1e6:8.2f} MB read, {self.arithmetic_ops / 1e6:8.2f} Mops"
+        if self.detail:
+            text += f"  [{self.detail}]"
+        return text
+
+
+class BackendRegistry:
+    """Ordered name -> backend mapping the planner consults.
+
+    Registration order is the tie-break order: when two backends produce the
+    same cost score, the earlier registration wins, so the default registry
+    lists the paper's preferred methods first.
+    """
+
+    def __init__(self) -> None:
+        self._backends: dict[str, "Backend"] = {}
+
+    def register(self, backend: "Backend") -> "Backend":
+        """Add a backend under its capabilities' name (returns it, so the
+        call composes as a decorator on backend *instances*)."""
+        name = backend.capabilities.backend
+        if name in self._backends:
+            raise PlanError(f"a backend named {name!r} is already registered")
+        self._backends[name] = backend
+        return backend
+
+    def get(self, name: str) -> "Backend":
+        """Look up one backend by name."""
+        try:
+            return self._backends[name]
+        except KeyError:
+            raise PlanError(
+                f"no backend named {name!r}; registered: {sorted(self._backends)}"
+            ) from None
+
+    def names(self) -> list[str]:
+        """Registered backend names, in registration order."""
+        return list(self._backends)
+
+    def __iter__(self) -> Iterator["Backend"]:
+        return iter(self._backends.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._backends
+
+    def __len__(self) -> int:
+        return len(self._backends)
+
+
+#: The process-wide default registry; populated by :mod:`repro.api.backends`
+#: at import time.  Pass a private :class:`BackendRegistry` to
+#: :class:`~repro.api.index.Index` to plan against a different backend set
+#: (the planner unit tests do exactly that).
+DEFAULT_REGISTRY = BackendRegistry()
+
+
+def register_backend(backend: "Backend") -> "Backend":
+    """Register a backend with the process-wide default registry."""
+    return DEFAULT_REGISTRY.register(backend)

@@ -1,0 +1,231 @@
+"""The :class:`Index` facade: one object that owns the stores and answers
+declarative queries.
+
+An :class:`Index` wraps a feature-vector collection and lazily materialises
+every physical representation a registered backend might need — the
+horizontal :class:`~repro.storage.rowstore.RowStore`, the vertically
+decomposed :class:`~repro.storage.decomposed.DecomposedStore`, and the 8-bit
+:class:`~repro.storage.compressed.CompressedStore` — against a single shared
+cost model.  ``answer(query)`` plans the query with the capability-driven
+:class:`~repro.api.planner.QueryPlanner` and executes it on the chosen
+backend; ``explain(query)`` shows the decision without executing anything.
+
+Typical usage::
+
+    from repro.api import Index, Query
+
+    index = Index.build(histograms, name="corel")
+    result = index.answer(Query(histograms[42], k=10, metric="histogram"))
+    print(index.explain(Query(histograms[42], k=10, mode="compressed")))
+
+Facade answers are **bitwise identical** to direct searcher calls: the
+backends construct the underlying searchers with exactly the defaults a
+direct caller would get and invoke the same ``search`` / ``search_batch``
+entry points (the equivalence suite in ``tests/test_api_facade.py`` pins
+this for every registered backend and mode).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.api.capabilities import BackendRegistry
+from repro.api.planner import Plan, QueryPlanner
+from repro.api.query import Query
+from repro.core.result import BatchSearchResult, SearchResult
+from repro.engine.cost import CostModel
+from repro.errors import QueryError
+from repro.metrics.base import Metric
+from repro.storage.compressed import CompressedStore
+from repro.storage.decomposed import DecomposedStore
+from repro.storage.persistence import load_decomposed, load_manifest, save_decomposed
+from repro.storage.rowstore import RowStore
+
+# Importing the backends module registers the built-ins with the default
+# registry; the import is for its side effect.
+import repro.api.backends  # noqa: F401
+
+
+class Index:
+    """Facade over one vector collection and every way of searching it.
+
+    Parameters
+    ----------
+    vectors:
+        The ``|X| x N`` matrix of feature vectors.
+    name:
+        Label used in store names and persisted manifests.
+    bits:
+        Bits per coefficient of the lazily built compressed representation
+        (the paper uses 8).
+    cost:
+        Shared cost model every store and backend charges; a private model is
+        created when omitted, so all work done through one index accumulates
+        in one place.
+    registry:
+        Backend registry to plan against (defaults to the built-ins).
+    """
+
+    def __init__(
+        self,
+        vectors: np.ndarray,
+        *,
+        name: str = "collection",
+        bits: int = 8,
+        cost: CostModel | None = None,
+        registry: BackendRegistry | None = None,
+    ) -> None:
+        matrix = np.asarray(vectors, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] == 0 or matrix.shape[1] == 0:
+            raise QueryError(f"an index needs a non-empty 2-D vector matrix, got {matrix.shape}")
+        self._vectors = matrix
+        self._name = name
+        self._bits = bits
+        self._cost = cost if cost is not None else CostModel()
+        self._planner = QueryPlanner(self, registry=registry)
+        # Lazily materialised physical representations.
+        self._row_store: RowStore | None = None
+        self._decomposed: DecomposedStore | None = None
+        self._compressed: CompressedStore | None = None
+        # Caches keyed by the query's metric specification so repeated
+        # answers reuse metric instances and (expensive-to-build) searchers.
+        self._metrics: dict[tuple, Metric] = {}
+        self._searchers: dict[tuple[str, tuple], object] = {}
+
+    # -- construction / persistence ----------------------------------------------
+
+    @classmethod
+    def build(cls, vectors: np.ndarray, **opts) -> "Index":
+        """Build an index over an in-memory collection (see ``__init__``)."""
+        return cls(vectors, **opts)
+
+    @classmethod
+    def open(cls, path: str | pathlib.Path, **opts) -> "Index":
+        """Open a collection persisted by :meth:`save`.
+
+        Build options recorded in the manifest (name, compression bits) are
+        restored; explicit keyword arguments override them.
+        """
+        manifest = load_manifest(path)
+        saved = dict(manifest.get("index", {}))
+        saved["name"] = str(manifest.get("name", pathlib.Path(path).name))
+        saved.update(opts)
+        cost = saved.pop("cost", None)
+        store = load_decomposed(path, cost=cost)
+        index = cls(store.matrix, cost=store.cost, **saved)
+        index._decomposed = store  # reuse the loaded fragments
+        return index
+
+    def save(self, path: str | pathlib.Path, *, overwrite: bool = False) -> pathlib.Path:
+        """Persist the collection plus the facade's build options."""
+        return save_decomposed(
+            self.decomposed,
+            path,
+            overwrite=overwrite,
+            extra_manifest={"index": {"bits": self._bits}},
+        )
+
+    # -- shape / shared state -----------------------------------------------------
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """The raw collection matrix (no cost charged)."""
+        return self._vectors
+
+    @property
+    def name(self) -> str:
+        """Collection label."""
+        return self._name
+
+    @property
+    def cardinality(self) -> int:
+        """Number of vectors."""
+        return int(self._vectors.shape[0])
+
+    @property
+    def dimensionality(self) -> int:
+        """Number of dimensions per vector."""
+        return int(self._vectors.shape[1])
+
+    def __len__(self) -> int:
+        return self.cardinality
+
+    @property
+    def cost(self) -> CostModel:
+        """The shared cost model every store and backend charges."""
+        return self._cost
+
+    @property
+    def planner(self) -> QueryPlanner:
+        """The capability-driven planner answering queries."""
+        return self._planner
+
+    # -- lazily materialised stores ----------------------------------------------
+
+    @property
+    def row_store(self) -> RowStore:
+        """The horizontal (NSM) representation, built on first use."""
+        if self._row_store is None:
+            self._row_store = RowStore(self._vectors, cost=self._cost, name=self._name)
+        return self._row_store
+
+    @property
+    def decomposed(self) -> DecomposedStore:
+        """The vertically decomposed representation, built on first use."""
+        if self._decomposed is None:
+            self._decomposed = DecomposedStore(self._vectors, cost=self._cost, name=self._name)
+        return self._decomposed
+
+    @property
+    def compressed(self) -> CompressedStore:
+        """The 8-bit quantised representation, built on first use."""
+        if self._compressed is None:
+            self._compressed = CompressedStore(self.decomposed, bits=self._bits)
+        return self._compressed
+
+    # -- planning and answering ---------------------------------------------------
+
+    def resolved_metric(self, query: Query) -> Metric:
+        """The metric instance for ``query``, cached per specification."""
+        key = query.metric_spec_key()
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = query.resolve_metric()
+            self._metrics[key] = metric
+        return metric
+
+    def searcher_for(self, backend, query: Query, metric: Metric):
+        """The (cached) underlying searcher of ``backend`` for this metric.
+
+        Caching is what keeps expensive backends affordable through the
+        facade: the R-tree is bulk-loaded once, the compressed store is
+        quantised once, and BOND's reusable scratch buffers persist across
+        ``answer()`` calls exactly as they would for a long-lived directly
+        constructed searcher.
+        """
+        key = (backend.name, query.metric_spec_key())
+        searcher = self._searchers.get(key)
+        if searcher is None:
+            searcher = backend.create(self, metric)
+            self._searchers[key] = searcher
+        return searcher
+
+    def plan(self, query: Query) -> Plan:
+        """Plan ``query`` without executing it."""
+        return self._planner.plan(query)
+
+    def explain(self, query: Query) -> str:
+        """The planning transcript for ``query`` (nothing is executed)."""
+        return self._planner.explain(query)
+
+    def answer(self, query: Query) -> SearchResult | BatchSearchResult:
+        """Plan and execute ``query`` on the cheapest capable backend.
+
+        Returns a :class:`~repro.core.result.SearchResult` for single-vector
+        queries and a :class:`~repro.core.result.BatchSearchResult` for
+        batches, exactly as the underlying searcher would.
+        """
+        plan = self._planner.plan(query)
+        return plan.backend.answer(self, query, plan.metric)

@@ -1,0 +1,168 @@
+"""Capability-driven query planning.
+
+The :class:`QueryPlanner` turns a declarative :class:`~repro.api.query.Query`
+into a physical :class:`Plan`: it walks the backend registry, rejects the
+backends whose :class:`~repro.api.capabilities.Capabilities` cannot serve the
+query (wrong mode, unsupported metric, no weighted support, ...), asks every
+eligible backend's cost-model hook for an estimate, and picks the cheapest.
+``explain()`` renders the whole decision — every candidate with its estimate
+or rejection reason — as a transcript, so "why did my query run on that
+backend?" is always one call away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.api.capabilities import BackendRegistry, CostEstimate, DEFAULT_REGISTRY
+from repro.api.query import Query
+from repro.errors import PlanError, QueryError
+from repro.metrics.base import Metric
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.backends import Backend
+    from repro.api.index import Index
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """One backend's fate during planning: an estimate or a rejection."""
+
+    backend: str
+    estimate: CostEstimate | None
+    rejection: str | None
+
+    @property
+    def eligible(self) -> bool:
+        """Whether the backend could have served the query."""
+        return self.rejection is None
+
+
+@dataclass(frozen=True)
+class Plan:
+    """The physical answer strategy chosen for one query."""
+
+    query: Query
+    metric: Metric
+    backend: "Backend"
+    estimate: CostEstimate
+    candidates: tuple[PlanCandidate, ...]
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the chosen backend."""
+        return self.backend.name
+
+    @property
+    def engine(self) -> str:
+        """Execution-engine label of the chosen backend."""
+        return self.backend.engine
+
+    def describe(self) -> str:
+        """The ``explain()`` transcript: query, candidates, decision."""
+        lines = [self.query.describe(), "candidates:"]
+        for candidate in self.candidates:
+            if candidate.eligible:
+                assert candidate.estimate is not None
+                status = candidate.estimate.summary()
+                marker = "->" if candidate.backend == self.backend_name else "  "
+            else:
+                status = f"rejected: {candidate.rejection}"
+                marker = "  "
+            lines.append(f"  {marker} {candidate.backend:<16} {status}")
+        lines.append(
+            f"chosen: {self.backend_name} (engine={self.engine}), "
+            f"{self.estimate.summary()}"
+        )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+class QueryPlanner:
+    """Chooses the cheapest capable backend for each query.
+
+    Parameters
+    ----------
+    index:
+        The index whose shape (cardinality, dimensionality) the cost
+        estimates are computed over.
+    registry:
+        Backend registry to plan against; defaults to the process-wide
+        registry holding the built-in backends.
+    """
+
+    def __init__(self, index: "Index", *, registry: BackendRegistry | None = None) -> None:
+        self._index = index
+        self._registry = registry if registry is not None else DEFAULT_REGISTRY
+
+    @property
+    def registry(self) -> BackendRegistry:
+        """The backend registry consulted during planning."""
+        return self._registry
+
+    def plan(self, query: Query) -> Plan:
+        """Resolve the metric, score every capable backend, pick the cheapest.
+
+        Raises
+        ------
+        QueryError
+            If the query's dimensionality does not match the index.
+        PlanError
+            If no registered backend can serve the query (the message lists
+            every backend's rejection reason), or if a ``query.backend`` hint
+            names a backend that cannot serve it.
+        """
+        if query.dimensionality != self._index.dimensionality:
+            raise QueryError(
+                f"query has {query.dimensionality} dimensions, "
+                f"the index has {self._index.dimensionality}"
+            )
+        metric = self._index.resolved_metric(query)
+
+        candidates: list[PlanCandidate] = []
+        best: tuple[float, "Backend", CostEstimate] | None = None
+        for backend in self._registry:
+            rejection = backend.rejection_reason(query, metric)
+            if rejection is not None:
+                candidates.append(PlanCandidate(backend.name, None, rejection))
+                continue
+            estimate = backend.estimate(self._index, query, metric)
+            candidates.append(PlanCandidate(backend.name, estimate, None))
+            if query.backend is not None and backend.name != query.backend:
+                continue
+            if best is None or estimate.score < best[0]:
+                best = (estimate.score, backend, estimate)
+
+        if query.backend is not None:
+            if query.backend not in self._registry:
+                raise PlanError(
+                    f"query pins unknown backend {query.backend!r}; "
+                    f"registered: {self._registry.names()}"
+                )
+            pinned = next(c for c in candidates if c.backend == query.backend)
+            if not pinned.eligible:
+                raise PlanError(
+                    f"query pins backend {query.backend!r}, which cannot serve it: "
+                    f"{pinned.rejection}"
+                )
+
+        if best is None:
+            reasons = "; ".join(
+                f"{candidate.backend}: {candidate.rejection}" for candidate in candidates
+            )
+            raise PlanError(f"no registered backend can serve {query.describe()} ({reasons})")
+        _, backend, estimate = best
+        return Plan(
+            query=query,
+            metric=metric,
+            backend=backend,
+            estimate=estimate,
+            candidates=tuple(candidates),
+        )
+
+    def explain(self, query: Query) -> str:
+        """The planning transcript for ``query`` (see :meth:`Plan.describe`)."""
+        return self.plan(query).describe()

@@ -1,0 +1,33 @@
+"""The uniform, keyword-only :class:`Searcher` protocol.
+
+Every single-feature searcher in the package — BOND, the compressed filter,
+the sequential scans, the VA-file and the R-tree — satisfies this structural
+protocol: a ``search`` taking the vector, ``k`` and a keyword-only optional
+``trace``, and a ``search_batch`` answering a query matrix.  The facade's
+backends rely on exactly this surface, and future layers (parallel shards,
+the asyncio serving front end) should target it rather than any concrete
+searcher class.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.result import BatchSearchResult, PruningTrace, SearchResult
+
+
+@runtime_checkable
+class Searcher(Protocol):
+    """Structural protocol of every single-feature k-NN searcher."""
+
+    def search(
+        self, query: np.ndarray, k: int, *, trace: PruningTrace | None = None
+    ) -> SearchResult:
+        """Answer one query vector."""
+        ...  # pragma: no cover - protocol body
+
+    def search_batch(self, queries: np.ndarray, k: int) -> BatchSearchResult:
+        """Answer a ``(batch, N)`` matrix of query vectors."""
+        ...  # pragma: no cover - protocol body

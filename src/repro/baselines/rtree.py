@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.result import SearchResult
+from repro.core.result import BatchSearchResult, PruningTrace, SearchResult
 from repro.engine.cost import CostModel, DOUBLE_BYTES
 from repro.errors import QueryError
 from repro.metrics.euclidean import SquaredEuclidean
@@ -139,8 +139,17 @@ class RTreeIndex:
         """The cost model node accesses are charged to."""
         return self._cost
 
-    def search(self, query: np.ndarray, k: int) -> SearchResult:
-        """Best-first k-NN (squared Euclidean distance, exact)."""
+    def search(
+        self, query: np.ndarray, k: int, *, trace: PruningTrace | None = None
+    ) -> SearchResult:
+        """Best-first k-NN (squared Euclidean distance, exact).
+
+        ``trace`` optionally receives the (degenerate) candidate curve of the
+        tree traversal, matching the uniform :class:`repro.api.Searcher`
+        signature: the best-first algorithm maintains a priority queue rather
+        than a shrinking candidate set, so the curve records only the start
+        and end points.
+        """
         started = time.perf_counter()
         query = np.asarray(query, dtype=np.float64)
         if query.shape != (self._matrix.shape[1],):
@@ -189,16 +198,41 @@ class RTreeIndex:
         ordered = sorted(((-negated, oid) for negated, oid in results))
         oids = np.asarray([oid for _, oid in ordered], dtype=np.int64)
         scores = np.asarray([distance for distance, _ in ordered], dtype=np.float64)
+        trace = trace if trace is not None else PruningTrace()
+        trace.record(0, self._matrix.shape[0])
+        trace.record(self._matrix.shape[1], int(oids.shape[0]))
         result = SearchResult(
             oids=oids,
             scores=scores,
             dimensions_processed=self._matrix.shape[1],
             full_scan_dimensions=0,
+            candidate_trace=trace,
             cost=self._cost.since(checkpoint),
             elapsed_seconds=time.perf_counter() - started,
         )
         result.nodes_visited = nodes_visited  # type: ignore[attr-defined]
         return result
+
+    def search_batch(self, queries: np.ndarray, k: int) -> BatchSearchResult:
+        """Answer a batch of queries with a per-query loop.
+
+        Best-first traversal follows each query's own MINDIST frontier
+        through the tree, so there is no fragment read to share between
+        queries; the batch entry point exists so the index satisfies the
+        uniform :class:`repro.api.Searcher` protocol.  Each per-query result
+        is exactly what :meth:`search` returns.
+        """
+        started = time.perf_counter()
+        query_matrix = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if query_matrix.ndim != 2:
+            raise QueryError(f"queries must form a 2-D matrix, got shape {query_matrix.shape}")
+        checkpoint = self._cost.checkpoint()
+        results = [self.search(query, k) for query in query_matrix]
+        return BatchSearchResult(
+            results=results,
+            cost=self._cost.since(checkpoint),
+            elapsed_seconds=time.perf_counter() - started,
+        )
 
     @staticmethod
     def _mindist(query: np.ndarray, node: _Node) -> float:

@@ -26,6 +26,7 @@ import time
 
 import numpy as np
 
+from repro._compat import apply_legacy_positionals
 from repro.core.compressed import contribution_interval
 from repro.core.result import BatchSearchResult, PruningTrace, SearchResult
 from repro.errors import QueryError
@@ -37,7 +38,10 @@ from repro.storage.compressed import CompressedStore
 class VAFile:
     """Filter-and-refine search over per-dimension scalar quantisation."""
 
-    def __init__(self, store: CompressedStore, metric: Metric | None = None) -> None:
+    def __init__(self, store: CompressedStore, *legacy, metric: Metric | None = None) -> None:
+        (metric,) = apply_legacy_positionals(
+            "VAFile(store, *, metric=...)", legacy, ("metric",), (metric,)
+        )
         self._store = store
         self._metric = metric if metric is not None else SquaredEuclidean()
 
@@ -51,8 +55,15 @@ class VAFile:
         """The similarity / distance metric in use."""
         return self._metric
 
-    def search(self, query: np.ndarray, k: int) -> SearchResult:
-        """Return the exact k nearest neighbours via the two-step VA-file plan."""
+    def search(
+        self, query: np.ndarray, k: int, *, trace: PruningTrace | None = None
+    ) -> SearchResult:
+        """Return the exact k nearest neighbours via the two-step VA-file plan.
+
+        ``trace`` optionally receives the filter's two-point pruning curve
+        (everything in, survivors out), matching the uniform
+        :class:`repro.api.Searcher` signature.
+        """
         started = time.perf_counter()
         query = self._metric.validate_query(query)
         if query.shape[0] != self._store.dimensionality:
@@ -72,7 +83,7 @@ class VAFile:
             scores=scores,
             dimensions_processed=self._store.dimensionality,
             full_scan_dimensions=self._store.dimensionality,
-            candidate_trace=self._filter_trace(candidates),
+            candidate_trace=self._filter_trace(candidates, into=trace),
             cost=cost.since(checkpoint),
             elapsed_seconds=time.perf_counter() - started,
         )
@@ -156,14 +167,15 @@ class VAFile:
 
     # -- internals ----------------------------------------------------------------
 
-    def _filter_trace(self, candidates: np.ndarray) -> PruningTrace:
+    def _filter_trace(self, candidates: np.ndarray, *, into: PruningTrace | None = None) -> PruningTrace:
         """The VA-file's two-point pruning curve: everything in, survivors out.
 
         Recording the filter's survivor count on the result lets Table 4
         style reports read it for free instead of re-running the filter via
-        :meth:`filter_candidate_count`.
+        :meth:`filter_candidate_count`.  ``into`` records the curve into a
+        caller-supplied trace instead of a fresh one.
         """
-        trace = PruningTrace()
+        trace = into if into is not None else PruningTrace()
         trace.record(0, self._store.cardinality)
         trace.record(self._store.dimensionality, int(candidates.shape[0]))
         return trace

@@ -42,6 +42,7 @@ import time
 
 import numpy as np
 
+from repro._compat import apply_legacy_positionals
 from repro.bounds.base import OrderStatistics, PartialState, PruningBound
 from repro.bounds.euclidean import EvBound
 from repro.bounds.histogram import HqBound
@@ -109,6 +110,11 @@ class BondSearcher:
 
     Notes
     -----
+    All configuration parameters are keyword-only (the uniform
+    :class:`repro.api.Searcher` construction surface); the historical
+    positional shape ``BondSearcher(store, metric, bound)`` still works but
+    emits a :class:`DeprecationWarning`.
+
     A searcher owns reusable scratch buffers (kernel workspace, pruning
     bounds), so one instance must not run concurrent searches from multiple
     threads; create one searcher per thread (they can share the store).
@@ -117,15 +123,21 @@ class BondSearcher:
     def __init__(
         self,
         store: DecomposedStore,
+        *legacy,
         metric: Metric | None = None,
         bound: PruningBound | None = None,
-        *,
         ordering: DimensionOrdering | None = None,
         schedule: PruningSchedule | None = None,
         candidate_mode: str = "auto",
         switch_selectivity: float = 0.05,
         engine: str = "fused",
     ) -> None:
+        metric, bound = apply_legacy_positionals(
+            "BondSearcher(store, *, metric=..., bound=...)",
+            legacy,
+            ("metric", "bound"),
+            (metric, bound),
+        )
         if engine not in ("fused", "loop"):
             raise QueryError("engine must be 'fused' or 'loop'")
         self._store = store

@@ -41,6 +41,7 @@ import time
 
 import numpy as np
 
+from repro._compat import apply_legacy_positionals
 from repro.core.batch import CompressedBatchEngine, CompressedQueryRun
 from repro.core.ordering import DecreasingQueryOrdering, DimensionOrdering
 from repro.core.planner import FixedPeriodSchedule, PruningSchedule
@@ -110,12 +111,15 @@ class CompressedBondSearcher:
     def __init__(
         self,
         store: CompressedStore,
+        *legacy,
         metric: Metric | None = None,
-        *,
         ordering: DimensionOrdering | None = None,
         schedule: PruningSchedule | None = None,
         engine: str = "fused",
     ) -> None:
+        (metric,) = apply_legacy_positionals(
+            "CompressedBondSearcher(store, *, metric=...)", legacy, ("metric",), (metric,)
+        )
         if engine not in ("fused", "loop"):
             raise QueryError("engine must be 'fused' or 'loop'")
         self._store = store

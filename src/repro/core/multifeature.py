@@ -403,7 +403,9 @@ class StreamMergingSearcher:
         """Per-component ranked (oids, similarities) streams of the given depth."""
         streams = []
         for component, query in zip(self._components, queries):
-            searcher = BondSearcher(component.store, component.metric, component.resolved_bound())
+            searcher = BondSearcher(
+                component.store, metric=component.metric, bound=component.resolved_bound()
+            )
             result = searcher.search(query, depth)
             streams.append((result.oids, component.to_similarity(result.scores)))
         return streams

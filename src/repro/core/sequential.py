@@ -20,6 +20,7 @@ import time
 
 import numpy as np
 
+from repro._compat import apply_legacy_positionals
 from repro.core.result import BatchSearchResult, PruningTrace, SearchResult
 from repro.errors import QueryError
 from repro.metrics.base import Metric, MetricKind
@@ -30,7 +31,16 @@ from repro.storage.rowstore import RowStore
 class SequentialScan:
     """Algorithm 1: full scan with a k-best heap (the SSH / SSE baselines)."""
 
-    def __init__(self, store: RowStore, metric: Metric | None = None, *, batch_size: int = 4096) -> None:
+    def __init__(
+        self,
+        store: RowStore,
+        *legacy,
+        metric: Metric | None = None,
+        batch_size: int = 4096,
+    ) -> None:
+        (metric,) = apply_legacy_positionals(
+            "SequentialScan(store, *, metric=...)", legacy, ("metric",), (metric,)
+        )
         self._store = store
         self._metric = metric if metric is not None else HistogramIntersection()
         self._batch_size = batch_size
@@ -45,17 +55,25 @@ class SequentialScan:
         """The similarity / distance metric in use."""
         return self._metric
 
-    def search(self, query: np.ndarray, k: int) -> SearchResult:
+    def search(
+        self, query: np.ndarray, k: int, *, trace: PruningTrace | None = None
+    ) -> SearchResult:
         """Return the k nearest neighbours of ``query`` by scanning everything.
 
         Implemented as a batch of one so there is exactly one copy of the
         scan loop; the per-query result inherits the batch's cost account and
-        wall-clock time.
+        wall-clock time.  ``trace`` optionally receives the (trivial) pruning
+        curve of the scan — nothing is ever pruned — so the scan satisfies
+        the uniform :class:`repro.api.Searcher` signature.
         """
         started = time.perf_counter()
         query = self._metric.validate_query(query)
         batch = self.search_batch(query[None, :], k)
         result = batch[0]
+        if trace is not None:
+            for dimensions, remaining in zip(*result.candidate_trace.as_arrays()):
+                trace.record(int(dimensions), int(remaining))
+            result.candidate_trace = trace
         result.cost = batch.cost
         result.elapsed_seconds = time.perf_counter() - started
         return result
@@ -145,17 +163,32 @@ class PartialAbandonScan:
     def __init__(
         self,
         store: RowStore,
+        *legacy,
         metric: Metric | None = None,
-        *,
         check_period: int = 16,
     ) -> None:
+        (metric,) = apply_legacy_positionals(
+            "PartialAbandonScan(store, *, metric=...)", legacy, ("metric",), (metric,)
+        )
         if check_period < 1:
             raise QueryError("check_period must be at least 1")
         self._store = store
         self._metric = metric if metric is not None else HistogramIntersection()
         self._check_period = check_period
 
-    def search(self, query: np.ndarray, k: int) -> SearchResult:
+    @property
+    def store(self) -> RowStore:
+        """The row store being scanned."""
+        return self._store
+
+    @property
+    def metric(self) -> Metric:
+        """The similarity / distance metric in use."""
+        return self._metric
+
+    def search(
+        self, query: np.ndarray, k: int, *, trace: PruningTrace | None = None
+    ) -> SearchResult:
         """Return the k nearest neighbours, abandoning hopeless vectors early."""
         started = time.perf_counter()
         query = self._metric.validate_query(query)
@@ -178,6 +211,7 @@ class PartialAbandonScan:
         best_scores: list[float] = []
         threshold: float | None = None
         values_touched = 0
+        survivors = 0
 
         for oid in range(self._store.cardinality):
             row = matrix[oid]
@@ -202,6 +236,7 @@ class PartialAbandonScan:
                             break
             if abandoned:
                 continue
+            survivors += 1
             best_oids.append(oid)
             best_scores.append(score)
             if len(best_scores) > k:
@@ -218,11 +253,37 @@ class PartialAbandonScan:
         order = self._metric.best_first(np.asarray(best_scores))[:k]
         oids = np.asarray([best_oids[index] for index in order], dtype=np.int64)
         scores = np.asarray([best_scores[index] for index in order], dtype=np.float64)
+        trace = trace if trace is not None else PruningTrace()
+        trace.record(0, self._store.cardinality)
+        trace.record(self._store.dimensionality, survivors)
         return SearchResult(
             oids=oids,
             scores=scores,
             dimensions_processed=self._store.dimensionality,
             full_scan_dimensions=self._store.dimensionality,
+            candidate_trace=trace,
+            cost=self._store.cost.since(cost_checkpoint),
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    def search_batch(self, queries: np.ndarray, k: int) -> BatchSearchResult:
+        """Answer a batch of queries with a per-query loop.
+
+        The partial-abandon scan keeps a per-vector running score against
+        *one* threshold, so there is nothing to share between queries — the
+        abandonment decision of one query tells another query nothing.  The
+        batch entry point exists so the searcher satisfies the uniform
+        :class:`repro.api.Searcher` protocol; each per-query result is
+        exactly what :meth:`search` returns.
+        """
+        started = time.perf_counter()
+        query_matrix = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if query_matrix.ndim != 2:
+            raise QueryError(f"queries must form a 2-D matrix, got shape {query_matrix.shape}")
+        cost_checkpoint = self._store.cost.checkpoint()
+        results = [self.search(query, k) for query in query_matrix]
+        return BatchSearchResult(
+            results=results,
             cost=self._store.cost.since(cost_checkpoint),
             elapsed_seconds=time.perf_counter() - started,
         )

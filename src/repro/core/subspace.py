@@ -42,8 +42,8 @@ def subspace_search(
     metric = WeightedSquaredEuclidean.for_subspace(store.dimensionality, np.asarray(dimensions))
     searcher = BondSearcher(
         store,
-        metric,
-        WeightedEuclideanBound(),
+        metric=metric,
+        bound=WeightedEuclideanBound(),
         ordering=ordering,
         schedule=schedule,
     )

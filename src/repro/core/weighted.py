@@ -51,8 +51,8 @@ def weighted_search(
     metric = WeightedSquaredEuclidean(weights, normalize_to_dimensionality=normalize_weights)
     searcher = BondSearcher(
         store,
-        metric,
-        WeightedEuclideanBound(),
+        metric=metric,
+        bound=WeightedEuclideanBound(),
         ordering=ordering,
         schedule=schedule,
     )
@@ -71,8 +71,8 @@ def make_weighted_searcher(
     metric = WeightedSquaredEuclidean(weights, normalize_to_dimensionality=normalize_weights)
     return BondSearcher(
         store,
-        metric,
-        WeightedEuclideanBound(),
+        metric=metric,
+        bound=WeightedEuclideanBound(),
         ordering=ordering,
         schedule=schedule,
     )

@@ -41,6 +41,10 @@ class QueryError(ReproError):
     """Raised for invalid query specifications (bad k, bad weights, ...)."""
 
 
+class PlanError(QueryError):
+    """Raised when the query planner cannot find a capable backend."""
+
+
 class DatasetError(ReproError):
     """Raised by the synthetic dataset generators on invalid parameters."""
 

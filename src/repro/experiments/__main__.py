@@ -10,6 +10,12 @@ pytest::
 
 Each experiment prints its table; ``--output`` additionally writes one text
 file per experiment id.
+
+``--explain`` goes through the unified :mod:`repro.api` facade instead of
+running experiments: it builds an :class:`~repro.api.Index` over a Corel-like
+collection at the chosen scale and prints the planner transcript for the
+canonical query shapes (exact, compressed, weighted, subspace, batched) —
+the quickest way to see which backend would answer what, and why.
 """
 
 from __future__ import annotations
@@ -46,6 +52,47 @@ def run_experiment(experiment_id: str, scale: str) -> ExperimentReport:
     return module.run(scale)
 
 
+def explain_plans(scale: str) -> str:
+    """Planner transcripts for the canonical query shapes at ``scale``.
+
+    Builds an :class:`~repro.api.Index` over a Corel-like collection of the
+    scale's cardinality and asks the capability-driven planner to explain —
+    without executing anything — how it would answer each representative
+    query of the paper's workloads.
+    """
+    import numpy as np
+
+    from repro.api import Index, Query
+    from repro.datasets.corel import make_corel_like
+    from repro.datasets.weights import make_skewed_weights
+    from repro.experiments.base import resolve_scale
+
+    resolved = resolve_scale(scale)
+    histograms = make_corel_like(
+        cardinality=resolved.corel_cardinality, dimensionality=166, seed=7
+    )
+    index = Index.build(histograms, name=f"corel-{resolved.name}")
+    query = histograms[0]
+    weights = make_skewed_weights(166, heavy_fraction=0.1, heavy_mass=0.9, seed=5)
+    shapes = [
+        ("exact 10-NN (histogram intersection)", Query(query, k=10, metric="histogram")),
+        ("compressed 10-NN (8-bit filter + refine)", Query(query, k=10, mode="compressed")),
+        ("exact 10-NN (squared Euclidean)", Query(query, k=10, metric="euclidean")),
+        ("weighted 10-NN (skewed weights)", Query(query, k=10, weights=weights)),
+        ("subspace 10-NN (12 dimensions)", Query(query, k=10, subspace=np.arange(12))),
+        (
+            f"batched exact 10-NN ({resolved.num_queries} queries)",
+            Query(histograms[: resolved.num_queries], k=10, metric="histogram"),
+        ),
+    ]
+    sections = [
+        f"index: {index.cardinality} x {index.dimensionality} ({resolved.name} scale)"
+    ]
+    for label, shape in shapes:
+        sections.append(f"--- {label}\n{index.explain(shape)}")
+    return "\n\n".join(sections)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -54,6 +101,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("experiments", nargs="*", help="experiment ids (see --list)")
     parser.add_argument("--all", action="store_true", help="run every experiment")
     parser.add_argument("--list", action="store_true", help="list the available experiment ids")
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the query planner's transcript for the canonical query shapes",
+    )
     parser.add_argument(
         "--scale", default="small", help="small (default), medium, or paper collection sizes"
     )
@@ -65,9 +117,13 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{experiment_id:8s} {module}")
         return 0
 
+    if arguments.explain:
+        print(explain_plans(arguments.scale))
+        return 0
+
     chosen = list(EXPERIMENT_MODULES) if arguments.all else arguments.experiments
     if not chosen:
-        parser.error("give one or more experiment ids, or --all / --list")
+        parser.error("give one or more experiment ids, or --all / --list / --explain")
     unknown = [experiment_id for experiment_id in chosen if experiment_id not in EXPERIMENT_MODULES]
     if unknown:
         parser.error(f"unknown experiment id(s): {', '.join(unknown)} (use --list)")

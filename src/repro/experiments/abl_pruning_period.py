@@ -34,7 +34,7 @@ def run(
 
     report = ExperimentReport(experiment_id="abl-m", title="Choice of the pruning period m (Hq)")
     for label, schedule in schedules.items():
-        searcher = BondSearcher(store, metric, HqBound(), schedule=schedule)
+        searcher = BondSearcher(store, metric=metric, bound=HqBound(), schedule=schedule)
         work, elapsed, comparisons = [], [], []
         for query in workload:
             result = searcher.search(query, k)

@@ -45,8 +45,8 @@ def run(
         rtree = RTreeIndex(collection)
         store = DecomposedStore(collection)
         row_store = RowStore(collection)
-        bond = BondSearcher(store, metric, EvBound())
-        scan = SequentialScan(row_store, metric)
+        bond = BondSearcher(store, metric=metric, bound=EvBound())
+        scan = SequentialScan(row_store, metric=metric)
 
         rtree_bytes, scan_bytes, bond_bytes = [], [], []
         for query in workload:

@@ -41,9 +41,9 @@ def run(
     metric = HistogramIntersection()
     schedule = FixedPeriodSchedule(period)
 
-    exact_searcher = BondSearcher(store, metric, HqBound(), schedule=schedule)
+    exact_searcher = BondSearcher(store, metric=metric, bound=HqBound(), schedule=schedule)
     approx_searcher = CompressedBondSearcher(
-        compressed, metric, schedule=FixedPeriodSchedule(period), engine=engine
+        compressed, metric=metric, schedule=FixedPeriodSchedule(period), engine=engine
     )
 
     collectors = {

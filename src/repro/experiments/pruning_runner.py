@@ -24,7 +24,7 @@ def collect_pruning_curves(
     grid_step: int = 8,
 ) -> PruningCurveCollector:
     """Run BOND for every query in the workload and aggregate the pruning traces."""
-    searcher = BondSearcher(store, metric, bound, ordering=ordering, schedule=schedule)
+    searcher = BondSearcher(store, metric=metric, bound=bound, ordering=ordering, schedule=schedule)
     collector = PruningCurveCollector(
         dimensionality=store.dimensionality,
         collection_size=store.cardinality,

@@ -34,11 +34,11 @@ def run(scale: str | ExperimentScale = "small", *, k: int = 10) -> ExperimentRep
     euclidean_metric = SquaredEuclidean()
 
     methods = {
-        "BOND-Hq": BondSearcher(store, histogram_metric, HqBound()),
-        "BOND-Hh": BondSearcher(store, histogram_metric, HhBound()),
-        "BOND-Ev": BondSearcher(store, euclidean_metric, EvBound()),
-        "SSH": SequentialScan(row_store, histogram_metric),
-        "SSE": SequentialScan(row_store, euclidean_metric),
+        "BOND-Hq": BondSearcher(store, metric=histogram_metric, bound=HqBound()),
+        "BOND-Hh": BondSearcher(store, metric=histogram_metric, bound=HhBound()),
+        "BOND-Ev": BondSearcher(store, metric=euclidean_metric, bound=EvBound()),
+        "SSH": SequentialScan(row_store, metric=histogram_metric),
+        "SSE": SequentialScan(row_store, metric=euclidean_metric),
     }
     baselines = {"BOND-Hq": "SSH", "BOND-Hh": "SSH", "BOND-Ev": "SSE"}
 

@@ -34,9 +34,9 @@ def run(
     metric = HistogramIntersection()
     compressed = CompressedStore(store, bits=bits)
 
-    bond = CompressedBondSearcher(compressed, metric, engine=engine)
-    vafile = VAFile(compressed, metric)
-    scan = SequentialScan(row_store, metric)
+    bond = CompressedBondSearcher(compressed, metric=metric, engine=engine)
+    vafile = VAFile(compressed, metric=metric)
+    scan = SequentialScan(row_store, metric=metric)
 
     timings = {"BOND-Hq (8-bit)": [], "VA-file": [], "SSH (exact scan)": []}
     work = {"BOND-Hq (8-bit)": [], "VA-file": []}
@@ -61,7 +61,7 @@ def run(
     # whole workload; per-query wall clock is the batch time divided evenly.
     # Batch rounds always run the fused interval kernels, so the row is
     # timed on an explicitly fused searcher no matter what ``engine`` says.
-    batched_bond = CompressedBondSearcher(compressed, metric, engine="fused")
+    batched_bond = CompressedBondSearcher(compressed, metric=metric, engine="fused")
     batch = batched_bond.search_batch(list(workload), k)
     batch_seconds = [batch.elapsed_seconds / max(len(batch), 1)] * max(len(batch), 1)
     timings["BOND-Hq (8-bit, batched)"] = batch_seconds

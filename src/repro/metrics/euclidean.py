@@ -25,6 +25,11 @@ class SquaredEuclidean(Metric):
         self._require_unit_box = require_unit_box
 
     @property
+    def require_unit_box(self) -> bool:
+        """Whether queries are validated against the unit hyper-box."""
+        return self._require_unit_box
+
+    @property
     def kind(self) -> MetricKind:
         """A distance: smaller is better."""
         return MetricKind.DISTANCE

@@ -28,6 +28,11 @@ class HistogramIntersection(Metric):
         self._require_normalized = require_normalized
 
     @property
+    def require_normalized(self) -> bool:
+        """Whether queries are validated as L1-normalised histograms."""
+        return self._require_normalized
+
+    @property
     def kind(self) -> MetricKind:
         """Histogram intersection is a similarity: larger is better."""
         return MetricKind.SIMILARITY

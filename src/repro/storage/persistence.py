@@ -37,7 +37,13 @@ def fragment_file_name(dimension: int) -> str:
     return f"dim_{dimension:05d}.col"
 
 
-def save_decomposed(store: DecomposedStore, directory: str | pathlib.Path, *, overwrite: bool = False) -> pathlib.Path:
+def save_decomposed(
+    store: DecomposedStore,
+    directory: str | pathlib.Path,
+    *,
+    overwrite: bool = False,
+    extra_manifest: dict | None = None,
+) -> pathlib.Path:
     """Write a decomposed store to ``directory`` (one file per fragment).
 
     Parameters
@@ -49,6 +55,11 @@ def save_decomposed(store: DecomposedStore, directory: str | pathlib.Path, *, ov
         Target directory; created if missing.
     overwrite:
         Allow writing into a directory that already contains a manifest.
+    extra_manifest:
+        Additional manifest entries merged in next to the layout keys (the
+        :class:`repro.api.Index` facade records its build options under an
+        ``"index"`` key so ``Index.open`` can restore them).  Keys must not
+        collide with the layout's own.
     """
     if store.pending_updates:
         raise StorageError(
@@ -82,6 +93,11 @@ def save_decomposed(store: DecomposedStore, directory: str | pathlib.Path, *, ov
         "dtype": "<f8",
         "has_row_sums": has_row_sums,
     }
+    if extra_manifest:
+        collisions = sorted(set(extra_manifest) & set(manifest))
+        if collisions:
+            raise StorageError(f"extra manifest keys collide with the layout's: {collisions}")
+        manifest.update(extra_manifest)
     manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
     return path
 

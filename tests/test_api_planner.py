@@ -1,0 +1,208 @@
+"""Planner unit tests: capability matching, cost-based choice, pinning,
+rejection transcripts, and Capabilities combinations over fake backends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    Backend,
+    BackendRegistry,
+    Capabilities,
+    CostEstimate,
+    Index,
+    Query,
+)
+from repro.errors import PlanError, QueryError
+
+
+class FakeBackend(Backend):
+    """A backend whose capabilities and cost are fully scripted."""
+
+    def __init__(
+        self,
+        name: str,
+        score: float,
+        *,
+        metrics: tuple[str, ...] = (),
+        modes: tuple[str, ...] = ("exact", "approx"),
+        weighted: bool = False,
+        subspace: bool = False,
+        batched: bool = False,
+    ) -> None:
+        self.capabilities = Capabilities(
+            backend=name,
+            description=f"fake backend {name}",
+            metrics=frozenset(metrics),
+            modes=frozenset(modes),
+            weighted=weighted,
+            subspace=subspace,
+            batched=batched,
+        )
+        self._score = score
+        self.created = 0
+
+    def estimate(self, index, query, metric) -> CostEstimate:
+        return CostEstimate(bytes_read=self._score, detail="scripted")
+
+    def create(self, index, metric):
+        self.created += 1
+        return object()
+
+
+@pytest.fixture(scope="module")
+def small_vectors() -> np.ndarray:
+    rng = np.random.default_rng(11)
+    histograms = rng.random((200, 16))
+    return histograms / histograms.sum(axis=1, keepdims=True)
+
+
+def make_index(small_vectors, *backends) -> Index:
+    registry = BackendRegistry()
+    for backend in backends:
+        registry.register(backend)
+    return Index.build(small_vectors, registry=registry)
+
+
+class TestBuiltinPlanning:
+    def test_exact_histogram_chooses_bond(self, small_vectors):
+        index = Index.build(small_vectors)
+        plan = index.plan(Query(small_vectors[0], k=5, metric="histogram"))
+        assert plan.backend_name == "bond"
+        assert plan.engine == "fused"
+
+    def test_compressed_mode_chooses_compressed_bond(self, small_vectors):
+        index = Index.build(small_vectors)
+        plan = index.plan(Query(small_vectors[0], k=5, mode="compressed"))
+        assert plan.backend_name == "compressed_bond"
+
+    def test_low_dimensional_euclidean_chooses_rtree(self):
+        rng = np.random.default_rng(3)
+        index = Index.build(rng.random((500, 4)))
+        plan = index.plan(Query(np.full(4, 0.5), k=5, metric="euclidean"))
+        assert plan.backend_name == "rtree"
+
+    def test_high_dimensional_euclidean_avoids_rtree(self):
+        rng = np.random.default_rng(3)
+        index = Index.build(rng.random((500, 64)))
+        plan = index.plan(Query(np.full(64, 0.5), k=5, metric="euclidean"))
+        assert plan.backend_name == "bond"
+
+    def test_weighted_query_rejects_incapable_backends(self, small_vectors):
+        index = Index.build(small_vectors)
+        plan = index.plan(
+            Query(small_vectors[0], k=5, weights=np.ones(small_vectors.shape[1]))
+        )
+        rejections = {c.backend: c.rejection for c in plan.candidates if not c.eligible}
+        assert "partial_abandon" in rejections
+        assert "weighted" in rejections["partial_abandon"]
+        assert plan.backend_name == "bond"
+
+    def test_dimensionality_mismatch(self, small_vectors):
+        index = Index.build(small_vectors)
+        with pytest.raises(QueryError):
+            index.plan(Query(np.ones(small_vectors.shape[1] + 1), k=5))
+
+    def test_pinned_backend_is_honoured(self, small_vectors):
+        index = Index.build(small_vectors)
+        plan = index.plan(Query(small_vectors[0], k=5, backend="sequential_scan"))
+        assert plan.backend_name == "sequential_scan"
+
+    def test_pinned_incapable_backend_fails(self, small_vectors):
+        index = Index.build(small_vectors)
+        with pytest.raises(PlanError):
+            index.plan(Query(small_vectors[0], k=5, metric="histogram", backend="rtree"))
+
+    def test_unknown_pinned_backend_fails(self, small_vectors):
+        index = Index.build(small_vectors)
+        with pytest.raises(PlanError):
+            index.plan(Query(small_vectors[0], k=5, backend="quantum"))
+
+    def test_explain_reports_choice_and_estimate(self, small_vectors):
+        index = Index.build(small_vectors)
+        transcript = index.explain(Query(small_vectors[0], k=5))
+        assert "chosen: bond (engine=fused)" in transcript
+        assert "MB read" in transcript
+        assert "rejected" in transcript  # at least the compressed backends
+
+    def test_explain_executes_nothing(self, small_vectors):
+        backend = FakeBackend("lazy", 1.0)
+        index = make_index(small_vectors, backend)
+        index.explain(Query(small_vectors[0], k=5))
+        assert backend.created == 0
+
+
+class TestCapabilitiesCombinations:
+    def test_cheapest_eligible_wins(self, small_vectors):
+        cheap = FakeBackend("cheap", 10.0)
+        pricey = FakeBackend("pricey", 1000.0)
+        index = make_index(small_vectors, pricey, cheap)
+        assert index.plan(Query(small_vectors[0], k=5)).backend_name == "cheap"
+
+    def test_tie_breaks_by_registration_order(self, small_vectors):
+        first = FakeBackend("first", 10.0)
+        second = FakeBackend("second", 10.0)
+        index = make_index(small_vectors, first, second)
+        assert index.plan(Query(small_vectors[0], k=5)).backend_name == "first"
+
+    def test_mode_filter(self, small_vectors):
+        exact_only = FakeBackend("exact_only", 1.0, modes=("exact",))
+        compressed_only = FakeBackend("compressed_only", 100.0, modes=("compressed",))
+        index = make_index(small_vectors, exact_only, compressed_only)
+        assert (
+            index.plan(Query(small_vectors[0], k=5, mode="compressed")).backend_name
+            == "compressed_only"
+        )
+
+    def test_metric_filter(self, small_vectors):
+        euclid_only = FakeBackend("euclid_only", 1.0, metrics=("squared_euclidean",))
+        generic = FakeBackend("generic", 100.0)
+        index = make_index(small_vectors, euclid_only, generic)
+        plan = index.plan(Query(small_vectors[0], k=5, metric="histogram"))
+        assert plan.backend_name == "generic"
+        plan = index.plan(Query(small_vectors[0], k=5, metric="euclidean"))
+        assert plan.backend_name == "euclid_only"
+
+    def test_weighted_and_subspace_filters(self, small_vectors):
+        rigid = FakeBackend("rigid", 1.0)
+        flexible = FakeBackend(
+            "flexible",
+            100.0,
+            metrics=("weighted_squared_euclidean",),
+            weighted=True,
+            subspace=True,
+        )
+        index = make_index(small_vectors, rigid, flexible)
+        weights = np.ones(small_vectors.shape[1])
+        assert (
+            index.plan(Query(small_vectors[0], k=5, weights=weights)).backend_name
+            == "flexible"
+        )
+        assert (
+            index.plan(Query(small_vectors[0], k=5, subspace=[0, 1])).backend_name
+            == "flexible"
+        )
+
+    def test_no_capable_backend_lists_all_reasons(self, small_vectors):
+        a = FakeBackend("alpha", 1.0, modes=("exact",))
+        b = FakeBackend("beta", 1.0, modes=("exact",))
+        index = make_index(small_vectors, a, b)
+        with pytest.raises(PlanError) as excinfo:
+            index.plan(Query(small_vectors[0], k=5, mode="compressed"))
+        message = str(excinfo.value)
+        assert "alpha" in message and "beta" in message
+
+    def test_duplicate_registration_rejected(self):
+        registry = BackendRegistry()
+        registry.register(FakeBackend("dup", 1.0))
+        with pytest.raises(PlanError):
+            registry.register(FakeBackend("dup", 2.0))
+
+    def test_batch_share_discount_in_builtin_estimates(self, small_vectors):
+        """Natively batched backends report sub-linear batch read growth."""
+        index = Index.build(small_vectors)
+        single = index.plan(Query(small_vectors[0], k=5))
+        batch = index.plan(Query(small_vectors[:8], k=5))
+        assert batch.estimate.bytes_read < 8 * single.estimate.bytes_read
+        assert batch.estimate.arithmetic_ops == 8 * single.estimate.arithmetic_ops
