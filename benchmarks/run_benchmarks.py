@@ -17,6 +17,16 @@ Times k-NN search over the default Corel-like synthetic dataset (the paper's
   dispatch) adds on top of the direct call; the acceptance bar is < 2%
   overhead with bitwise-identical results.
 
+The ``sharded`` axis measures the parallel shard layer of
+:mod:`repro.core.parallel`: for each worker count (shards == workers), the
+collection is cut into contiguous row shards, every shard runs the fused
+batch engine with cache-aware tile rounds on a thread pool, and the per-query
+top-k heaps are merged deterministically.  Reported against both the seed and
+the single-thread ``batched`` axis; every worker count's top-k must be
+bitwise identical to the seed before numbers are written.  A
+``sharded_compressed`` row does the same over the 8-bit filter-and-refine
+engine.
+
 The compressed filter-and-refine axis measures the same engine split over
 8-bit quantised fragments:
 
@@ -62,6 +72,10 @@ from repro.api import Index, Query  # noqa: E402
 from repro.baselines.vafile import VAFile  # noqa: E402
 from repro.core.bond import BondSearcher  # noqa: E402
 from repro.core.compressed import CompressedBondSearcher  # noqa: E402
+from repro.core.parallel import (  # noqa: E402
+    ShardedBondSearcher,
+    ShardedCompressedBondSearcher,
+)
 from repro.core.sequential import SequentialScan  # noqa: E402
 from repro.datasets.corel import make_corel_like  # noqa: E402
 from repro.metrics.histogram import HistogramIntersection  # noqa: E402
@@ -100,6 +114,7 @@ def run_compressed_benchmark(
     k: int,
     repeats: int,
     num_queries: int,
+    reference: list | None = None,
 ) -> dict:
     """The compressed (8-bit filter-and-refine) engine axis."""
     print("\ncompressed filter-and-refine (8-bit fragments):")
@@ -113,7 +128,8 @@ def run_compressed_benchmark(
     # -- correctness first: filter-and-refine is exact, so every engine must
     # return brute force's top-k bit for bit (refinement scores vectors the
     # same way brute force does, so even tie-breaks agree).
-    reference = [exact_top_k(data, query, k, metric) for query in queries]
+    if reference is None:
+        reference = [exact_top_k(data, query, k, metric) for query in queries]
     identical = {
         "seed": _results_identical(
             reference, [seed_searcher.search(query, k) for query in queries]
@@ -183,6 +199,88 @@ def run_compressed_benchmark(
     }
 
 
+def run_sharded_benchmark(
+    *,
+    data: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    repeats: int,
+    num_queries: int,
+    reference: list,
+    seed_seconds: float,
+    batched_seconds: float,
+    compressed_reference: list,
+    compressed_batched_seconds: float,
+    workers_axis: tuple[int, ...],
+) -> dict:
+    """The sharded parallel engine axis (shards == workers, tile rounds)."""
+    print("\nsharded parallel engine (shards == workers, cache-aware tile rounds):")
+    rows = {}
+    identical = {}
+    for workers in workers_axis:
+        searcher = ShardedBondSearcher(
+            DecomposedStore(data), shards=workers, workers=workers
+        )
+        ok = _results_identical(reference, list(searcher.search_batch(queries, k)))
+        identical[f"sharded_w{workers}"] = ok
+        seconds = _time_per_query(
+            lambda s=searcher: s.search_batch(queries, k), num_queries, repeats
+        )
+        searcher.close()
+        rows[str(workers)] = {
+            "seconds_per_query": seconds,
+            "queries_per_second": 1.0 / seconds,
+            "speedup_vs_seed": seed_seconds / seconds,
+            "speedup_vs_batched": batched_seconds / seconds,
+            "identical_topk_vs_seed": ok,
+        }
+    # The compressed filter-and-refine engine, sharded at the widest setting.
+    max_workers = max(workers_axis)
+    compressed_searcher = ShardedCompressedBondSearcher(
+        CompressedStore(DecomposedStore(data), bits=8),
+        shards=max_workers,
+        workers=max_workers,
+    )
+    compressed_ok = _results_identical(
+        compressed_reference, list(compressed_searcher.search_batch(queries, k))
+    )
+    identical["sharded_compressed"] = compressed_ok
+    compressed_seconds = _time_per_query(
+        lambda: compressed_searcher.search_batch(queries, k), num_queries, repeats
+    )
+    compressed_searcher.close()
+
+    print(f"  {'workers':<10} {'qps':>10} {'vs seed':>10} {'vs batched':>12} {'top-k':>8}")
+    for workers, row in rows.items():
+        marker = "ok" if row["identical_topk_vs_seed"] else "MISMATCH"
+        print(
+            f"  {workers:<10} {row['queries_per_second']:>10.1f} "
+            f"{row['speedup_vs_seed']:>9.2f}x {row['speedup_vs_batched']:>11.2f}x {marker:>8}"
+        )
+    print(
+        f"  {'compressed':<10} {1.0 / compressed_seconds:>10.1f} "
+        f"{'':>10} {compressed_batched_seconds / compressed_seconds:>11.2f}x "
+        f"{'ok' if compressed_ok else 'MISMATCH':>8}  (x{max_workers} workers, vs compressed_batched)"
+    )
+    best = max(rows.values(), key=lambda row: row["speedup_vs_batched"])
+    return {
+        "config": {"workers_axis": list(workers_axis), "tile_rows": "default"},
+        "workers": rows,
+        "compressed": {
+            "workers": max_workers,
+            "seconds_per_query": compressed_seconds,
+            "queries_per_second": 1.0 / compressed_seconds,
+            "speedup_vs_compressed_batched": compressed_batched_seconds / compressed_seconds,
+            "identical_topk": compressed_ok,
+        },
+        "identical_topk": identical,
+        "best_speedup_vs_batched": best["speedup_vs_batched"],
+        "meets_2_5x_target": bool(
+            best["speedup_vs_batched"] >= 2.5 and all(identical.values())
+        ),
+    }
+
+
 def run_benchmark(
     *,
     cardinality: int,
@@ -191,6 +289,7 @@ def run_benchmark(
     k: int,
     repeats: int,
     seed: int,
+    sharded_workers: tuple[int, ...] = (1, 2, 4),
 ) -> dict:
     print(
         f"dataset: {cardinality} x {dimensionality} Corel-like histograms, "
@@ -287,8 +386,30 @@ def run_benchmark(
         f"\n  facade overhead vs direct BondSearcher.search_batch: "
         f"{facade_overhead_pct:+.2f}% (target < 2%)"
     )
+    compressed_metric = HistogramIntersection()
+    compressed_reference = [exact_top_k(data, query, k, compressed_metric) for query in queries]
     compressed = run_compressed_benchmark(
-        data=data, queries=queries, k=k, repeats=repeats, num_queries=num_queries
+        data=data,
+        queries=queries,
+        k=k,
+        repeats=repeats,
+        num_queries=num_queries,
+        reference=compressed_reference,
+    )
+    sharded = run_sharded_benchmark(
+        data=data,
+        queries=queries,
+        k=k,
+        repeats=repeats,
+        num_queries=num_queries,
+        reference=reference,
+        seed_seconds=seed_seconds,
+        batched_seconds=timings["batched"],
+        compressed_reference=compressed_reference,
+        compressed_batched_seconds=compressed["engines"]["compressed_batched"][
+            "seconds_per_query"
+        ],
+        workers_axis=sharded_workers,
     )
     return {
         "benchmark": "BENCH_knn",
@@ -313,6 +434,7 @@ def run_benchmark(
             "identical_topk_vs_seed": identical["facade_batched"],
         },
         "compressed": compressed,
+        "sharded": sharded,
     }
 
 
@@ -328,12 +450,34 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--output", type=pathlib.Path, default=None)
+    parser.add_argument(
+        "--sharded-workers",
+        type=str,
+        default=None,
+        help="comma-separated worker counts of the sharded axis "
+        "(default: 1,2,4; quick runs use 1,2)",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
         args.cardinality = min(args.cardinality, 4_000)
         args.queries = min(args.queries, 8)
         args.repeats = min(args.repeats, 2)
+    if args.sharded_workers is not None:
+        try:
+            sharded_workers = tuple(
+                int(workers) for workers in args.sharded_workers.split(",") if workers.strip()
+            )
+        except ValueError:
+            parser.error(f"--sharded-workers must be comma-separated integers, got {args.sharded_workers!r}")
+        # Fail fast: a bad axis must not surface only after the exact and
+        # compressed axes have already burned minutes of benchmark time.
+        if not sharded_workers or any(workers < 1 for workers in sharded_workers):
+            parser.error(
+                f"--sharded-workers needs at least one worker count >= 1, got {args.sharded_workers!r}"
+            )
+    else:
+        sharded_workers = (1, 2) if args.quick else (1, 2, 4)
     if args.output is None:
         # A quick smoke run must not overwrite the tracked full-scale numbers.
         args.output = REPO_ROOT / "BENCH_knn.quick.json" if args.quick else DEFAULT_OUTPUT
@@ -345,6 +489,7 @@ def main(argv: list[str] | None = None) -> int:
         k=args.k,
         repeats=args.repeats,
         seed=args.seed,
+        sharded_workers=sharded_workers,
     )
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {args.output}")
@@ -354,6 +499,9 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if not all(report["compressed"]["identical_topk_vs_brute_force"].values()):
         print("ERROR: a compressed engine diverged from the brute-force top-k", file=sys.stderr)
+        return 1
+    if not all(report["sharded"]["identical_topk"].values()):
+        print("ERROR: a sharded engine diverged from the reference top-k", file=sys.stderr)
         return 1
     print(
         f"batched speedup vs seed: {report['batched_speedup_vs_seed']:.2f}x "
@@ -369,6 +517,12 @@ def main(argv: list[str] | None = None) -> int:
         f"facade overhead vs direct batched search: "
         f"{facade['overhead_vs_direct_batched_pct']:+.2f}% "
         f"(target < 2%: {'met' if facade['meets_2pct_overhead_target'] else 'NOT met'})"
+    )
+    sharded = report["sharded"]
+    print(
+        f"sharded best speedup vs single-thread batched: "
+        f"{sharded['best_speedup_vs_batched']:.2f}x "
+        f"(target >= 2.5x: {'met' if sharded['meets_2_5x_target'] else 'NOT met'})"
     )
     return 0
 

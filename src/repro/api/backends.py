@@ -6,6 +6,7 @@ Each backend adapts one existing searcher to the uniform facade surface:
 registry name      underlying searcher                             modes
 =================  ==============================================  =========
 bond               :class:`repro.core.bond.BondSearcher`           exact
+sharded_bond       :class:`repro.core.parallel.ShardedSearcher`    exact+compressed
 sequential_scan    :class:`repro.core.sequential.SequentialScan`   exact
 partial_abandon    :class:`repro.core.sequential.PartialAbandonScan`  exact
 rtree              :class:`repro.baselines.rtree.RTreeIndex`       exact
@@ -38,9 +39,10 @@ from repro.baselines.rtree import RTreeIndex
 from repro.baselines.vafile import VAFile
 from repro.core.bond import BondSearcher
 from repro.core.compressed import CompressedBondSearcher
+from repro.core.parallel import ShardedSearcher
 from repro.core.result import BatchSearchResult, PruningTrace, SearchResult
 from repro.core.sequential import PartialAbandonScan, SequentialScan
-from repro.engine.cost import COMPRESSED_BYTES, DOUBLE_BYTES
+from repro.engine.cost import COMPRESSED_BYTES, DOUBLE_BYTES, OID_BYTES
 from repro.metrics.base import Metric
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -299,6 +301,89 @@ class CompressedBondBackend(Backend):
         return CompressedBondSearcher(index.compressed, metric=metric)
 
 
+class ShardedBondBackend(Backend):
+    """Row-sharded parallel BOND: the fused batch engine per shard, merged.
+
+    Serves both the exact and the compressed mode through one registration —
+    ``exact`` / ``approx`` queries run
+    :class:`~repro.core.parallel.ShardedBondSearcher` over decomposed shard
+    slices, ``compressed`` queries run
+    :class:`~repro.core.parallel.ShardedCompressedBondSearcher` over
+    grid-sharing compressed shard views.  Results are bitwise identical to
+    the unsharded engines (deterministic top-k merge), so the planner may
+    substitute this backend freely whenever its estimate wins.
+    """
+
+    capabilities = Capabilities(
+        backend="sharded_bond",
+        description="row-sharded parallel BOND (tile rounds per shard, merged top-k)",
+        metrics=frozenset(
+            {"histogram_intersection", "squared_euclidean", "weighted_squared_euclidean"}
+        ),
+        modes=frozenset({"exact", "compressed", "approx"}),
+        weighted=True,
+        subspace=True,
+        batched=True,
+        compressed=True,
+        exact=True,
+    )
+    engine = "sharded"
+
+    #: Per-shard, per-query coordination charge (round dispatch, pool
+    #: hand-off) in arithmetic-op equivalents.  Keeps a one-shard plan from
+    #: ever undercutting the unsharded engines: with nothing to parallelise,
+    #: the sharded backend estimates strictly worse than ``bond`` /
+    #: ``compressed_bond``, which is exactly when it should lose.
+    COORDINATION_OPS = 2_000.0
+
+    def estimate(self, index: "Index", query: "Query", metric: Metric) -> CostEstimate:
+        """Critical-path estimate: one shard's scan volume plus the merge.
+
+        The shards run concurrently, so the latency-relevant read volume is
+        the per-shard share of the unsharded engine's traffic (the paper's
+        pruning behaviour is row-local and survives sharding).  On top sit
+        the top-k merge (``shards * k`` candidates per query re-ranked at the
+        coordinator) and a fixed per-shard coordination charge.
+        """
+        n = index.cardinality
+        d = index.dimensionality
+        effective = _effective_dimensions(query, d)
+        shards = index.shard_plan.num_shards
+        reads = _batch_read_factor(query.batch_size, shared=True)
+        if query.mode == "compressed":
+            survivors = max(8 * query.k, int(0.005 * n))
+            scan_bytes = (
+                BOND_PRUNE_FRACTION * n * effective * COMPRESSED_BYTES * reads
+                + survivors * d * DOUBLE_BYTES * query.batch_size
+            ) / shards
+            scan_ops = 2.0 * BOND_PRUNE_FRACTION * n * effective * query.batch_size / shards
+        else:
+            scan_bytes = BOND_PRUNE_FRACTION * n * effective * DOUBLE_BYTES * reads / shards
+            scan_ops = BOND_PRUNE_FRACTION * n * effective * query.batch_size / shards
+        merge_candidates = float(query.batch_size * shards * query.k)
+        merge_bytes = merge_candidates * (DOUBLE_BYTES + OID_BYTES)
+        coordination = self.COORDINATION_OPS * shards * query.batch_size
+        return CostEstimate(
+            bytes_read=scan_bytes + merge_bytes,
+            arithmetic_ops=scan_ops + merge_candidates + coordination,
+            detail=f"critical path of {shards} parallel shards + top-k merge",
+        )
+
+    def create(self, index: "Index", metric: Metric) -> ShardedSearcher:
+        return ShardedSearcher(index, metric)
+
+    def answer(
+        self, index: "Index", query: "Query", metric: Metric
+    ) -> SearchResult | BatchSearchResult:
+        """Route the query to the mode-matching sharded engine."""
+        searcher = index.searcher_for(self, query, metric)
+        engine = searcher.engine_for_mode(query.mode)
+        if query.is_batch:
+            return engine.search_batch(query.query_matrix, query.k)
+        trace = PruningTrace() if query.trace else None
+        return engine.search(query.single_vector, query.k, trace=trace)
+
+
 class VAFileBackend(Backend):
     """Full VA-file approximation scan plus exact refinement."""
 
@@ -345,6 +430,7 @@ BUILTIN_BACKENDS = tuple(
     for backend in (
         BondBackend(),
         CompressedBondBackend(),
+        ShardedBondBackend(),
         SequentialScanBackend(),
         VAFileBackend(),
         PartialAbandonBackend(),

@@ -42,6 +42,7 @@ from repro.storage.compressed import CompressedStore
 from repro.storage.decomposed import DecomposedStore
 from repro.storage.persistence import load_decomposed, load_manifest, save_decomposed
 from repro.storage.rowstore import RowStore
+from repro.storage.sharding import ShardPlan
 
 # Importing the backends module registers the built-ins with the default
 # registry; the import is for its side effect.
@@ -66,6 +67,12 @@ class Index:
         in one place.
     registry:
         Backend registry to plan against (defaults to the built-ins).
+    shards:
+        Row-shard count of the parallel ``sharded_bond`` backend (default 1:
+        unsharded, so the single-store engines keep winning the plan).  The
+        resulting balanced :class:`~repro.storage.sharding.ShardPlan` is
+        persisted in the manifest by :meth:`save` and restored by
+        :meth:`open`.
     """
 
     def __init__(
@@ -76,13 +83,18 @@ class Index:
         bits: int = 8,
         cost: CostModel | None = None,
         registry: BackendRegistry | None = None,
+        shards: int = 1,
     ) -> None:
         matrix = np.asarray(vectors, dtype=np.float64)
         if matrix.ndim != 2 or matrix.shape[0] == 0 or matrix.shape[1] == 0:
             raise QueryError(f"an index needs a non-empty 2-D vector matrix, got {matrix.shape}")
+        if shards < 1:
+            raise QueryError("shards must be at least 1")
         self._vectors = matrix
         self._name = name
         self._bits = bits
+        self._shards = int(shards)
+        self._shard_plan: ShardPlan | None = None
         self._cost = cost if cost is not None else CostModel()
         self._planner = QueryPlanner(self, registry=registry)
         # Lazily materialised physical representations.
@@ -116,15 +128,27 @@ class Index:
         store = load_decomposed(path, cost=cost)
         index = cls(store.matrix, cost=store.cost, **saved)
         index._decomposed = store  # reuse the loaded fragments
+        if "sharding" in manifest and "shards" not in opts:
+            # Restore the exact persisted shard layout (an explicit shards=
+            # override recomputes a fresh balanced plan instead).
+            index._shard_plan = ShardPlan.from_manifest(manifest["sharding"])
         return index
 
     def save(self, path: str | pathlib.Path, *, overwrite: bool = False) -> pathlib.Path:
-        """Persist the collection plus the facade's build options."""
+        """Persist the collection plus the facade's build options.
+
+        The manifest records the build options under ``"index"`` and the
+        shard layout under ``"sharding"``, so :meth:`open` restores both the
+        shard count and the exact row boundaries.
+        """
         return save_decomposed(
             self.decomposed,
             path,
             overwrite=overwrite,
-            extra_manifest={"index": {"bits": self._bits}},
+            extra_manifest={
+                "index": {"bits": self._bits, "shards": self._shards},
+                "sharding": self.shard_plan.to_manifest(),
+            },
         )
 
     # -- shape / shared state -----------------------------------------------------
@@ -156,6 +180,22 @@ class Index:
     def cost(self) -> CostModel:
         """The shared cost model every store and backend charges."""
         return self._cost
+
+    @property
+    def shards(self) -> int:
+        """The row-shard count the index was built with."""
+        return self._shards
+
+    @property
+    def shard_plan(self) -> ShardPlan:
+        """The row partition of the ``sharded_bond`` backend.
+
+        A balanced plan over :attr:`shards` shards, computed on first use —
+        or the exact layout restored from a persisted manifest.
+        """
+        if self._shard_plan is None:
+            self._shard_plan = ShardPlan.balanced(self.cardinality, self._shards)
+        return self._shard_plan
 
     @property
     def planner(self) -> QueryPlanner:

@@ -14,7 +14,10 @@
 * :mod:`~repro.core.multifeature` — synchronized multi-feature search and the
   stream-merging baseline it is compared against (Section 8.2);
 * :mod:`~repro.core.mil` — BOND expressed as the Section 6.1 MIL program over
-  the engine algebra, for demonstrating the relational implementation.
+  the engine algebra, for demonstrating the relational implementation;
+* :mod:`~repro.core.parallel` — sharded parallel execution with cache-aware
+  tile rounds (:class:`~repro.core.parallel.ShardedBondSearcher` and the
+  compressed variant), bitwise identical to the single-shard engines.
 """
 
 from repro.core.result import BatchSearchResult, SearchResult
@@ -35,6 +38,12 @@ from repro.core.planner import (
 from repro.core.bond import BondSearcher
 from repro.core.sequential import PartialAbandonScan, SequentialScan
 from repro.core.compressed import CompressedBondSearcher
+from repro.core.parallel import (
+    ShardedBondSearcher,
+    ShardedCompressedBondSearcher,
+    TiledBatchQueryEngine,
+    TiledCompressedBatchEngine,
+)
 from repro.core.weighted import weighted_search
 from repro.core.subspace import subspace_search
 from repro.core.multifeature import (
@@ -61,7 +70,11 @@ __all__ = [
     "RandomOrdering",
     "SearchResult",
     "SequentialScan",
+    "ShardedBondSearcher",
+    "ShardedCompressedBondSearcher",
     "StreamMergingSearcher",
+    "TiledBatchQueryEngine",
+    "TiledCompressedBatchEngine",
     "subspace_search",
     "recommend_period",
     "weighted_search",

@@ -155,19 +155,35 @@ class BatchQueryEngine:
         if scanning:
             union = np.unique(np.concatenate([block for _, block in scanning]))
             self._store.cost.charge_block_scan(self._store.cardinality, int(union.size))
-            for run, block_dimensions in scanning:
-                self._advance(run, block_dimensions, charge_storage=False)
+            self._scan_round(scanning)
         for run, block_dimensions in positional:
             self._advance(run, block_dimensions, charge_storage=True)
+
+    def _scan_round(self, scanning: list[tuple[QueryRun, np.ndarray]]) -> None:
+        """Advance the round's full-scanning queries (the shared read is
+        already charged).  The tile-round engine overrides exactly this hook,
+        so the round's classification and charging logic has a single copy."""
+        for run, block_dimensions in scanning:
+            self._advance(run, block_dimensions, charge_storage=False)
 
     def _advance(
         self, run: QueryRun, block_dimensions: np.ndarray, *, charge_storage: bool
     ) -> None:
         """Fold one block into a query's state and attempt its prune."""
-        searcher = self._searcher
-        searcher._scan_block(
+        self._searcher._scan_block(
             run.candidates, run.query, block_dimensions, charge_storage=charge_storage
         )
+        self._after_block(run, block_dimensions)
+
+    def _after_block(self, run: QueryRun, block_dimensions: np.ndarray) -> None:
+        """Post-scan bookkeeping of one block: counters and the prune attempt.
+
+        Split out of :meth:`_advance` so the tile-round engine
+        (:class:`repro.core.parallel.TiledBatchQueryEngine`) can interleave
+        the scans of several queries tile by tile and still run exactly this
+        checkpoint logic per query afterwards.
+        """
+        searcher = self._searcher
         if run.candidates.mode is CandidateMode.BITMAP:
             run.full_scan_dimensions += int(block_dimensions.shape[0])
         run.processed += int(block_dimensions.shape[0])
@@ -230,6 +246,10 @@ class CompressedQueryRun:
     oids: np.ndarray
     score_lower: np.ndarray
     score_upper: np.ndarray
+    #: Early-out mask over all dimensions: True where the interval
+    #: contribution is provably zero for every candidate (None when no
+    #: dimension qualifies), see :func:`repro.kernels.interval.provably_zero_dimensions`.
+    zero_dimensions: np.ndarray | None = None
     trace: PruningTrace = field(default_factory=PruningTrace)
     processed: int = 0
     full_scan_dimensions: int = 0
@@ -301,14 +321,41 @@ class CompressedBatchEngine:
             (run, run.next_block()) for run in live if searcher._is_positional(run)
         ]
         if scanning:
-            union = np.unique(np.concatenate([block for _, block in scanning]))
-            self._store.cost.charge_block_scan(
-                self._store.cardinality, int(union.size), COMPRESSED_BYTES
-            )
-            for run, block_dimensions in scanning:
-                searcher._advance(run, block_dimensions, charge_storage=False)
+            self._charge_shared_read(scanning)
+            self._scan_round(scanning)
         for run, block_dimensions in positional:
             searcher._advance(run, block_dimensions, charge_storage=True)
+
+    def _scan_round(self, scanning: list[tuple[CompressedQueryRun, np.ndarray]]) -> None:
+        """Advance the round's full-scanning queries (the shared read is
+        already charged).  The tile-round engine overrides exactly this hook,
+        so the round's classification and charging logic has a single copy."""
+        for run, block_dimensions in scanning:
+            self._searcher._advance(run, block_dimensions, charge_storage=False)
+
+    def _charge_shared_read(
+        self, scanning: list[tuple[CompressedQueryRun, np.ndarray]]
+    ) -> None:
+        """Charge one shared read of the round's fragment union.
+
+        Only the dimensions at least one query actually consumes count: the
+        query-side early-out (see
+        :func:`repro.kernels.interval.provably_zero_dimensions`) removes
+        provably-zero dimensions from each query's block before it reaches a
+        kernel, so they cost nothing here either — the same accounting the
+        single-query path applies.
+        """
+        searcher = self._searcher
+        active_blocks = [
+            searcher._active_block(run, block) for run, block in scanning
+        ]
+        active_blocks = [block for block in active_blocks if block.size]
+        if not active_blocks:
+            return
+        union = np.unique(np.concatenate(active_blocks))
+        self._store.cost.charge_block_scan(
+            self._store.cardinality, int(union.size), COMPRESSED_BYTES
+        )
 
     @property
     def runs(self) -> list[CompressedQueryRun]:

@@ -47,7 +47,12 @@ from repro.core.ordering import DecreasingQueryOrdering, DimensionOrdering
 from repro.core.planner import FixedPeriodSchedule, PruningSchedule
 from repro.core.result import BatchSearchResult, PruningTrace, SearchResult
 from repro.errors import QueryError
-from repro.kernels.interval import IntervalBlockKernel, IntervalWorkspace, interval_kernel_for
+from repro.kernels.interval import (
+    IntervalBlockKernel,
+    IntervalWorkspace,
+    interval_kernel_for,
+    provably_zero_dimensions,
+)
 from repro.metrics.base import Metric
 from repro.metrics.histogram import HistogramIntersection
 from repro.metrics.weighted import WeightedSquaredEuclidean
@@ -238,6 +243,16 @@ class CompressedBondSearcher:
         if weights is not None:
             order = order[weights[order] > 0.0]
 
+        # Query-side early-out: dimensions whose interval contribution is
+        # provably zero for every candidate add 0.0 to both accumulators, so
+        # the engines skip their fetch and math entirely (results unchanged).
+        zero_mask = provably_zero_dimensions(
+            self._metric,
+            self._store.minimums,
+            self._store.maximums,
+            self._store.cell_widths,
+            query,
+        )
         # Adaptive schedules carry per-search state, so every run gets its
         # own (shallow — schedules hold only scalar configuration) copy.
         schedule = copy.copy(self._schedule)
@@ -251,6 +266,7 @@ class CompressedBondSearcher:
             oids=np.arange(self._store.cardinality, dtype=np.int64),
             score_lower=np.zeros(self._store.cardinality, dtype=np.float64),
             score_upper=np.zeros(self._store.cardinality, dtype=np.float64),
+            zero_dimensions=zero_mask if bool(zero_mask.any()) else None,
             trace=trace if trace is not None else PruningTrace(),
         )
         run.trace.record(0, len(run.oids))
@@ -260,6 +276,21 @@ class CompressedBondSearcher:
     def _is_positional(self, run: CompressedQueryRun) -> bool:
         """Whether a run fetches candidate codes instead of whole fragments."""
         return run.oids.shape[0] <= self._positional_threshold
+
+    def _active_block(
+        self, run: CompressedQueryRun, block_dimensions: np.ndarray
+    ) -> np.ndarray:
+        """The block's dimensions minus the run's provably-zero ones.
+
+        Skipped dimensions still count as *processed* (they sit in the
+        dimension order and the pruning bounds treat them as consumed), but
+        they are never fetched, dequantised, accumulated or charged — their
+        contribution is exactly 0.0 for every candidate, so the accumulated
+        floats are unchanged.
+        """
+        if run.zero_dimensions is None:
+            return block_dimensions
+        return block_dimensions[~run.zero_dimensions[block_dimensions]]
 
     def _advance(
         self,
@@ -281,28 +312,15 @@ class CompressedBondSearcher:
         """
         store = self._store
         count = run.oids.shape[0]
-        block_size = int(block_dimensions.shape[0])
+        active = self._active_block(run, block_dimensions)
         positional = self._is_positional(run)
-        if not positional:
-            run.full_scan_dimensions += block_size
-        minimums = store.minimums[block_dimensions]
-        cell_widths = store.cell_widths[block_dimensions]
-        query_values = run.query[block_dimensions]
         if count == store.cardinality:
-            # Full-collection phase: stream the whole code columns in place,
-            # no gather needed.
-            code_columns = store.code_columns(block_dimensions, charge=charge_storage)
-            self._interval_kernel.accumulate_block(
-                code_columns,
-                minimums,
-                cell_widths,
-                query_values,
-                block_dimensions,
-                run.score_lower,
-                run.score_upper,
-                self._workspace,
-            )
-        else:
+            if active.size:
+                # Full-collection phase: stream the whole code columns in
+                # place, no gather needed.
+                code_columns = store.code_columns(active, charge=charge_storage)
+                self._fold_full_columns(run, active, code_columns, 0, count)
+        elif active.size:
             # Restricted phase: gather the candidates' codes (1 byte each —
             # bitwise identical to the loop's slice-after-dequantise but 8x
             # lighter per value) into one row block and process the whole
@@ -311,21 +329,63 @@ class CompressedBondSearcher:
                 charge = "positional" if positional else "full"
             else:
                 charge = None
-            code_rows = store.code_row_block(block_dimensions, run.oids, charge=charge)
+            code_rows = store.code_row_block(active, run.oids, charge=charge)
             self._interval_kernel.accumulate_row_block(
                 code_rows,
-                minimums,
-                cell_widths,
-                query_values,
-                block_dimensions,
+                store.minimums[active],
+                store.cell_widths[active],
+                run.query[active],
+                active,
                 run.score_lower,
                 run.score_upper,
                 self._workspace,
             )
-        store.cost.charge_arithmetic(
-            2 * count * block_size * self._metric.arithmetic_ops_per_value()
+        self._finish_block(run, block_dimensions, active, positional=positional)
+
+    def _fold_full_columns(
+        self,
+        run: CompressedQueryRun,
+        active: np.ndarray,
+        code_columns: list[np.ndarray],
+        start: int,
+        stop: int,
+    ) -> None:
+        """One full-phase kernel call over the row range ``[start, stop)``.
+
+        The tile-round engine calls this once per row tile (the interval
+        kernels are elementwise per row, so tiling the rows changes nothing
+        about the accumulated floats); the single-query path calls it once
+        for the whole collection.
+        """
+        self._interval_kernel.accumulate_block(
+            [column[start:stop] for column in code_columns],
+            self._store.minimums[active],
+            self._store.cell_widths[active],
+            run.query[active],
+            active,
+            run.score_lower[start:stop],
+            run.score_upper[start:stop],
+            self._workspace,
         )
-        run.processed += block_size
+
+    def _finish_block(
+        self,
+        run: CompressedQueryRun,
+        block_dimensions: np.ndarray,
+        active: np.ndarray,
+        *,
+        positional: bool,
+    ) -> None:
+        """Post-scan bookkeeping of one pruning period: charges, counters and
+        the prune attempt.  Shared by :meth:`_advance` and the tile-round
+        engine, so both account and prune identically."""
+        store = self._store
+        if not positional:
+            run.full_scan_dimensions += int(active.shape[0])
+        store.cost.charge_arithmetic(
+            2 * run.oids.shape[0] * int(active.shape[0]) * self._metric.arithmetic_ops_per_value()
+        )
+        run.processed += int(block_dimensions.shape[0])
 
         if run.processed >= run.next_attempt or run.processed == run.total_dimensions:
             self._prune(run)
@@ -353,6 +413,14 @@ class CompressedBondSearcher:
         cost = self._store.cost
         while run.processed < run.total_dimensions and len(run.oids) > run.k:
             dimension = int(run.order[run.processed])
+            if run.zero_dimensions is not None and run.zero_dimensions[dimension]:
+                # Query-side early-out: the contribution is provably 0.0 for
+                # every candidate — consume the dimension without touching it
+                # (same skip, same accounting as the fused engine).
+                run.processed += 1
+                if run.processed >= run.next_attempt or run.processed == run.total_dimensions:
+                    self._prune(run)
+                continue
             if self._is_positional(run):
                 value_lower, value_upper = self._store.bounded_fragment_for(dimension, run.oids)
             else:

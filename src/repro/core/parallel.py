@@ -1,0 +1,606 @@
+"""Sharded parallel batch execution with cache-aware tile rounds.
+
+This is the scaling layer over the fused batch engines of
+:mod:`repro.core.batch`: the collection is cut into contiguous row shards
+(:mod:`repro.storage.sharding`), every shard runs the existing engine on a
+worker-pool thread against its **private** store and cost model, and the
+per-shard top-k lists are merged with a deterministic tie-break — so the
+merged answers are bitwise identical to the single-shard engines while the
+scan itself uses every core the pool is given.  NumPy releases the GIL inside
+the large block operations the kernels issue, so plain threads already buy
+real parallelism; a process-pool variant can slot in behind the same
+interface later.
+
+Cache-aware tile rounds
+-----------------------
+Within one shard, the batch engines advance all live queries in lockstep
+rounds.  The plain engines let each query stream its whole fragment block
+before the next query runs, so a round touches the round's fragment union
+once **per query**.  The tiled engines here instead walk the shard in
+row-range tiles: every query of the round consumes a tile while it is
+cache-resident, then the round moves to the next tile.  Only the *row* axis
+is tiled — each query still folds its dimensions left to right in its own
+order, and because score accumulation is elementwise per row, tiling the rows
+changes not a single accumulated float (dimension-major tiling would reorder
+the per-row additions and is deliberately off the table).
+
+Deterministic merge
+-------------------
+Per query, every shard returns its local top-k (local OIDs are offset by the
+shard's start row).  The merge concatenates the shard candidates, orders them
+by ascending global OID and applies :meth:`~repro.metrics.base.Metric.best_first`
+— a stable sort, so ties between equal scores resolve exactly as the
+unsharded searcher resolves them over its ascending-OID candidate list.  A
+candidate a shard dropped from its local top-k cannot reappear in the global
+top-k: the k shard-mates that beat it are all in the merged pool and beat it
+there too.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.batch import BatchQueryEngine, CompressedBatchEngine, CompressedQueryRun, QueryRun
+from repro.core.bond import BondSearcher
+from repro.core.compressed import CompressedBondSearcher
+from repro.core.ordering import DimensionOrdering
+from repro.core.planner import PruningSchedule
+from repro.core.result import BatchSearchResult, PruningTrace, SearchResult
+from repro.engine.cost import CostModel
+from repro.errors import QueryError
+from repro.metrics.base import Metric
+from repro.metrics.histogram import HistogramIntersection
+from repro.storage.compressed import CompressedStore
+from repro.storage.decomposed import DecomposedStore
+from repro.storage.sharding import ShardPlan, shard_compressed, shard_decomposed
+
+#: Default row-tile height of the cache-aware rounds: a pruning period of the
+#: paper's m = 8 fragments over 8192 float64 rows is 512 KiB — comfortably
+#: L2-resident while every query of a round consumes it.
+DEFAULT_TILE_ROWS = 8192
+
+
+class TiledBatchQueryEngine(BatchQueryEngine):
+    """The exact batch engine with cache-aware tile rounds.
+
+    Identical to :class:`~repro.core.batch.BatchQueryEngine` except in the
+    full-bitmap phase of a round: the queries that still stream whole
+    fragments consume the shard tile by tile (every query folds a tile's
+    columns while the tile is cache-resident) instead of each streaming the
+    whole shard on its own.  Results, pruning decisions and accounted costs
+    are bitwise identical.
+    """
+
+    def __init__(
+        self,
+        searcher: BondSearcher,
+        queries: np.ndarray,
+        k: int,
+        *,
+        tile_rows: int = DEFAULT_TILE_ROWS,
+    ) -> None:
+        super().__init__(searcher, queries, k)
+        self._tile_rows = max(1, int(tile_rows))
+
+    def _scan_round(self, scanning: list[tuple[QueryRun, np.ndarray]]) -> None:
+        # Only queries whose candidate set still covers the whole shard can
+        # share tiles (their score rows align with the tile rows);
+        # bitmap-mode queries that already pruned fall back to the plain
+        # per-query block gather.
+        tiled = [(run, block) for run, block in scanning if run.candidates.is_full()]
+        direct = [(run, block) for run, block in scanning if not run.candidates.is_full()]
+        if tiled:
+            self._tiled_scan(tiled)
+        for run, block_dimensions in direct:
+            self._advance(run, block_dimensions, charge_storage=False)
+
+    def _tiled_scan(self, runs: list[tuple[QueryRun, np.ndarray]]) -> None:
+        """Advance every full-bitmap query of the round, one row tile at a time."""
+        searcher = self._searcher
+        store = self._store
+        rows = store.cardinality
+        kernel = searcher.kernel
+        ops_per_value = searcher._metric.arithmetic_ops_per_value()
+        prepared = []
+        for run, block in runs:
+            columns = store.fragment_columns(block, charge=False)
+            store.cost.charge_arithmetic(rows * int(block.shape[0]) * ops_per_value)
+            prepared.append((run, block, columns, run.query[block]))
+        if searcher._scan_workspace.shape[0] < rows:
+            searcher._scan_workspace = np.empty(rows, dtype=np.float64)
+        tile = self._tile_rows
+        for start in range(0, rows, tile):
+            stop = min(start + tile, rows)
+            workspace = searcher._scan_workspace[: stop - start]
+            rows_slice = slice(start, stop)
+            for run, block, columns, query_values in prepared:
+                tile_columns = [column[start:stop] for column in columns]
+                kernel.accumulate_scan(
+                    tile_columns,
+                    query_values,
+                    block,
+                    run.candidates.partial_scores[start:stop],
+                    workspace,
+                )
+                run.candidates.accumulate_value_columns(tile_columns, rows=rows_slice)
+        for run, block, _columns, _query_values in prepared:
+            self._after_block(run, block)
+
+
+class TiledCompressedBatchEngine(CompressedBatchEngine):
+    """The compressed batch engine with cache-aware tile rounds.
+
+    Same protocol as :class:`TiledBatchQueryEngine`, applied to the
+    filter-and-refine engine: full-collection queries of a round dequantise
+    and accumulate each 1-byte code tile while it is cache-resident.  The
+    query-side early-out applies exactly as in the plain engines (skipped
+    dimensions are neither read nor charged).
+    """
+
+    def __init__(
+        self,
+        searcher: CompressedBondSearcher,
+        queries: np.ndarray,
+        k: int,
+        *,
+        tile_rows: int = DEFAULT_TILE_ROWS,
+    ) -> None:
+        super().__init__(searcher, queries, k)
+        self._tile_rows = max(1, int(tile_rows))
+
+    def _scan_round(self, scanning: list[tuple[CompressedQueryRun, np.ndarray]]) -> None:
+        cardinality = self._store.cardinality
+        tiled = [
+            (run, block) for run, block in scanning if run.oids.shape[0] == cardinality
+        ]
+        direct = [
+            (run, block) for run, block in scanning if run.oids.shape[0] != cardinality
+        ]
+        if tiled:
+            self._tiled_scan(tiled)
+        for run, block_dimensions in direct:
+            self._searcher._advance(run, block_dimensions, charge_storage=False)
+
+    def _tiled_scan(self, runs: list[tuple[CompressedQueryRun, np.ndarray]]) -> None:
+        """Advance every full-collection query of the round, tile by tile."""
+        searcher = self._searcher
+        store = self._store
+        rows = store.cardinality
+        prepared = []
+        finishing = []
+        for run, block in runs:
+            active = searcher._active_block(run, block)
+            finishing.append((run, block, active))
+            if active.size:
+                prepared.append((run, active, store.code_columns(active, charge=False)))
+        tile = self._tile_rows
+        for start in range(0, rows, tile):
+            stop = min(start + tile, rows)
+            for run, active, code_columns in prepared:
+                searcher._fold_full_columns(run, active, code_columns, start, stop)
+        for run, block, active in finishing:
+            searcher._finish_block(run, block, active, positional=False)
+
+
+def merge_shard_results(
+    metric: Metric,
+    shard_results: Sequence[SearchResult],
+    plan: ShardPlan,
+    k: int,
+    *,
+    cost: CostModel | None = None,
+) -> SearchResult:
+    """Merge one query's per-shard top-k lists into the global top-k.
+
+    Shard OIDs are local; each is offset by its shard's start row before the
+    pool is ordered by ascending global OID and ranked with the metric's
+    stable :meth:`~repro.metrics.base.Metric.best_first` — the same
+    score-then-ascending-OID tie-break the unsharded searchers apply, so the
+    merged (OIDs, scores) are bitwise identical to a single-store search.
+
+    The merged result's ``dimensions_processed`` is the deepest shard's count
+    (the critical path), ``full_scan_dimensions`` is the total full-fragment
+    volume across shards, and the trace sums the shards' surviving-candidate
+    curves over the union of their recorded checkpoints.
+    """
+    offset_oids = [
+        shard.oids + start
+        for shard, start in zip(shard_results, plan.starts)
+    ]
+    oids = np.concatenate(offset_oids)
+    scores = np.concatenate([shard.scores for shard in shard_results])
+    if cost is not None:
+        cost.charge_heap(int(oids.shape[0]))
+        cost.charge_comparisons(int(oids.shape[0]))
+    by_oid = np.argsort(oids, kind="stable")
+    best = by_oid[metric.best_first(scores[by_oid])[:k]]
+    return SearchResult(
+        oids=oids[best],
+        scores=scores[best],
+        dimensions_processed=max(shard.dimensions_processed for shard in shard_results),
+        full_scan_dimensions=sum(shard.full_scan_dimensions for shard in shard_results),
+        candidate_trace=merge_traces([shard.candidate_trace for shard in shard_results]),
+    )
+
+
+def merge_traces(traces: Sequence[PruningTrace]) -> PruningTrace:
+    """Sum per-shard pruning curves over the union of their checkpoints.
+
+    At each recorded dimension count, every shard contributes its last known
+    surviving-candidate count at or before that point, so the merged curve
+    reads as "candidates alive across all shards after m dimensions".
+    """
+    merged = PruningTrace()
+    points = sorted({point for trace in traces for point in trace.dimensions_processed})
+    for point in points:
+        total = 0
+        for trace in traces:
+            count = trace.candidates_remaining[0] if trace.candidates_remaining else 0
+            for dimensions, remaining in zip(
+                trace.dimensions_processed, trace.candidates_remaining
+            ):
+                if dimensions <= point:
+                    count = remaining
+                else:
+                    break
+            total += count
+        merged.record(point, total)
+    return merged
+
+
+class _ShardedEngineBase:
+    """Shard bookkeeping, worker-pool plumbing and the full search/merge
+    protocol shared by the sharded searchers.
+
+    Subclasses populate ``_store`` (the parent store whose cost model is the
+    merge target), ``_metric``, ``_shard_stores`` / ``_searchers`` (aligned
+    with the plan) and ``_tile_rows``, and implement :meth:`_batch_engine`;
+    everything else — per-shard checkpointing, the pool dispatch, cost-delta
+    merging and the deterministic top-k merge — lives here exactly once, so
+    the exact and compressed engines cannot drift apart.
+    """
+
+    def __init__(self, plan: ShardPlan, workers: int | None) -> None:
+        self._plan = plan
+        self._workers = plan.num_shards if workers is None else max(1, int(workers))
+        self._executor: ThreadPoolExecutor | None = None
+
+    @property
+    def shard_plan(self) -> ShardPlan:
+        """The row partition the engine runs over."""
+        return self._plan
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards."""
+        return self._plan.num_shards
+
+    @property
+    def workers(self) -> int:
+        """Worker-thread budget of the pool."""
+        return self._workers
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; a later call re-creates it)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "_ShardedEngineBase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _map_shards(self, task: Callable[[int], object]) -> list:
+        """Run ``task(shard_index)`` for every shard, in the pool when it helps."""
+        if self._workers <= 1 or self._plan.num_shards == 1:
+            return [task(shard) for shard in range(self._plan.num_shards)]
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=min(self._workers, self._plan.num_shards),
+                thread_name_prefix="repro-shard",
+            )
+        return list(self._executor.map(task, range(self._plan.num_shards)))
+
+    def _merge_shard_costs(self, parent: CostModel, deltas: Sequence) -> None:
+        """Fold every shard's private delta into the parent model, once each."""
+        for delta in deltas:
+            parent.merge_account(delta)
+
+    def _batch_engine(self, shard: int, queries: np.ndarray, k: int):
+        """Build one shard's tiled batch engine (subclass hook)."""
+        raise NotImplementedError
+
+    def search(self, query: np.ndarray, k: int, *, trace: PruningTrace | None = None) -> SearchResult:
+        """Exact k nearest neighbours, searched shard-parallel and merged.
+
+        Bitwise identical to the corresponding unsharded searcher's
+        ``search`` (see :func:`merge_shard_results`)."""
+        started = time.perf_counter()
+        parent_cost = self._store.cost
+        checkpoint = parent_cost.checkpoint()
+
+        def run_shard(shard: int):
+            shard_cost = self._shard_stores[shard].cost
+            shard_checkpoint = shard_cost.checkpoint()
+            result = self._searchers[shard].search(query, k)
+            return result, shard_cost.since(shard_checkpoint)
+
+        outputs = self._map_shards(run_shard)
+        self._merge_shard_costs(parent_cost, [delta for _, delta in outputs])
+        merged = merge_shard_results(
+            self._metric, [result for result, _ in outputs], self._plan, k, cost=parent_cost
+        )
+        if trace is not None:
+            trace.dimensions_processed.extend(merged.candidate_trace.dimensions_processed)
+            trace.candidates_remaining.extend(merged.candidate_trace.candidates_remaining)
+            merged.candidate_trace = trace
+        merged.cost = parent_cost.since(checkpoint)
+        merged.elapsed_seconds = time.perf_counter() - started
+        return merged
+
+    def search_batch(self, queries: np.ndarray, k: int) -> BatchSearchResult:
+        """Answer a whole batch shard-parallel: every shard runs its tiled
+        batch engine over all queries, then each query's shard top-k lists
+        are merged.  Bitwise identical to the unsharded ``search_batch``."""
+        started = time.perf_counter()
+        query_matrix = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if query_matrix.ndim != 2:
+            raise QueryError(f"queries must form a 2-D matrix, got shape {query_matrix.shape}")
+        parent_cost = self._store.cost
+        checkpoint = parent_cost.checkpoint()
+
+        def run_shard(shard: int):
+            shard_cost = self._shard_stores[shard].cost
+            shard_checkpoint = shard_cost.checkpoint()
+            results = self._batch_engine(shard, query_matrix, k).run()
+            return results, shard_cost.since(shard_checkpoint)
+
+        outputs = self._map_shards(run_shard)
+        self._merge_shard_costs(parent_cost, [delta for _, delta in outputs])
+        per_shard = [results for results, _ in outputs]
+        merged = [
+            merge_shard_results(
+                self._metric,
+                [shard_results[query_index] for shard_results in per_shard],
+                self._plan,
+                k,
+                cost=parent_cost,
+            )
+            for query_index in range(query_matrix.shape[0])
+        ]
+        return BatchSearchResult(
+            results=merged,
+            cost=parent_cost.since(checkpoint),
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+
+class ShardedBondSearcher(_ShardedEngineBase):
+    """Parallel BOND over contiguous row shards, merged to the global top-k.
+
+    Each shard holds a private :class:`~repro.storage.decomposed.DecomposedStore`
+    slice (own fragments, own cost model) searched by its own
+    :class:`~repro.core.bond.BondSearcher` through the tile-round batch
+    engine; per-query results are merged with the deterministic tie-break of
+    :func:`merge_shard_results`, so answers are bitwise identical to the
+    unsharded fused engine.
+
+    Parameters
+    ----------
+    store:
+        The parent decomposed store.  Its cost model becomes the *parent*
+        account: per-shard charges are merged into it after every call, plus
+        the merge's own heap/comparison work.
+    shards:
+        Shard count or a ready :class:`~repro.storage.sharding.ShardPlan`.
+    workers:
+        Worker-thread budget (default: one per shard).  ``workers=1`` runs
+        the shards sequentially on the calling thread — still useful, because
+        the tile rounds alone improve cache behaviour.
+    tile_rows:
+        Row-tile height of the cache-aware rounds.
+    metric / bound / ordering / schedule / candidate_mode / switch_selectivity:
+        Forwarded to every per-shard :class:`~repro.core.bond.BondSearcher`
+        (bounds and schedules are copied per shard so worker threads never
+        share mutable scratch).
+    """
+
+    def __init__(
+        self,
+        store: DecomposedStore,
+        *,
+        metric: Metric | None = None,
+        bound=None,
+        ordering: DimensionOrdering | None = None,
+        schedule: PruningSchedule | None = None,
+        candidate_mode: str = "auto",
+        switch_selectivity: float = 0.05,
+        shards: int | ShardPlan = 2,
+        workers: int | None = None,
+        tile_rows: int = DEFAULT_TILE_ROWS,
+    ) -> None:
+        plan = shards if isinstance(shards, ShardPlan) else ShardPlan.balanced(
+            store.cardinality, int(shards)
+        )
+        super().__init__(plan, workers)
+        self._store = store
+        self._metric = metric if metric is not None else HistogramIntersection()
+        self._tile_rows = max(1, int(tile_rows))
+        self._shard_stores = shard_decomposed(store, plan)
+        self._searchers = [
+            BondSearcher(
+                shard_store,
+                metric=self._metric,
+                bound=copy.copy(bound) if bound is not None else None,
+                ordering=ordering,
+                schedule=copy.copy(schedule) if schedule is not None else None,
+                candidate_mode=candidate_mode,
+                switch_selectivity=switch_selectivity,
+            )
+            for shard_store in self._shard_stores
+        ]
+
+    @property
+    def store(self) -> DecomposedStore:
+        """The parent store (cost-account owner)."""
+        return self._store
+
+    @property
+    def metric(self) -> Metric:
+        """The similarity / distance metric in use."""
+        return self._metric
+
+    @property
+    def shard_searchers(self) -> list[BondSearcher]:
+        """The per-shard searchers (introspection / tests)."""
+        return self._searchers
+
+    def _batch_engine(self, shard: int, queries: np.ndarray, k: int) -> TiledBatchQueryEngine:
+        return TiledBatchQueryEngine(
+            self._searchers[shard], queries, k, tile_rows=self._tile_rows
+        )
+
+
+class ShardedCompressedBondSearcher(_ShardedEngineBase):
+    """Parallel filter-and-refine over contiguous row shards.
+
+    The compressed analogue of :class:`ShardedBondSearcher`: every shard is a
+    :meth:`~repro.storage.compressed.CompressedStore.row_slice` view keeping
+    the parent's global quantisation grid, filtered and refined by its own
+    :class:`~repro.core.compressed.CompressedBondSearcher` through the tiled
+    compressed batch engine, merged with the same deterministic tie-break —
+    bitwise identical to the unsharded fused filter-and-refine engine.
+    """
+
+    def __init__(
+        self,
+        store: CompressedStore,
+        *,
+        metric: Metric | None = None,
+        ordering: DimensionOrdering | None = None,
+        schedule: PruningSchedule | None = None,
+        shards: int | ShardPlan = 2,
+        workers: int | None = None,
+        tile_rows: int = DEFAULT_TILE_ROWS,
+    ) -> None:
+        plan = shards if isinstance(shards, ShardPlan) else ShardPlan.balanced(
+            store.cardinality, int(shards)
+        )
+        super().__init__(plan, workers)
+        self._store = store
+        self._metric = metric if metric is not None else HistogramIntersection()
+        self._tile_rows = max(1, int(tile_rows))
+        self._shard_stores = shard_compressed(store, plan)
+        self._searchers = [
+            CompressedBondSearcher(
+                shard_store,
+                metric=self._metric,
+                ordering=ordering,
+                schedule=copy.copy(schedule) if schedule is not None else None,
+            )
+            for shard_store in self._shard_stores
+        ]
+
+    @property
+    def store(self) -> CompressedStore:
+        """The parent compressed store (cost-account owner)."""
+        return self._store
+
+    @property
+    def metric(self) -> Metric:
+        """The similarity / distance metric in use."""
+        return self._metric
+
+    @property
+    def shard_searchers(self) -> list[CompressedBondSearcher]:
+        """The per-shard searchers (introspection / tests)."""
+        return self._searchers
+
+    def _batch_engine(
+        self, shard: int, queries: np.ndarray, k: int
+    ) -> TiledCompressedBatchEngine:
+        return TiledCompressedBatchEngine(
+            self._searchers[shard], queries, k, tile_rows=self._tile_rows
+        )
+
+
+class ShardedSearcher:
+    """Mode dispatcher the ``sharded_bond`` backend hands to the facade.
+
+    One instance per (index, metric): the exact and compressed sharded
+    engines are built lazily against the index's stores and shard plan, so an
+    index that only ever answers exact queries never quantises its fragments.
+    The :class:`~repro.api.backends.ShardedBondBackend` routes ``exact`` /
+    ``approx`` queries to the exact engine and ``compressed`` queries to the
+    compressed one; used directly, the object satisfies the
+    :class:`repro.api.Searcher` protocol with the exact engine.
+    """
+
+    def __init__(
+        self,
+        index,
+        metric: Metric,
+        *,
+        workers: int | None = None,
+        tile_rows: int = DEFAULT_TILE_ROWS,
+    ) -> None:
+        self._index = index
+        self._metric = metric
+        self._workers = workers
+        self._tile_rows = tile_rows
+        self._exact: ShardedBondSearcher | None = None
+        self._compressed: ShardedCompressedBondSearcher | None = None
+
+    @property
+    def exact_engine(self) -> ShardedBondSearcher:
+        """The sharded engine over the exact decomposed fragments."""
+        if self._exact is None:
+            self._exact = ShardedBondSearcher(
+                self._index.decomposed,
+                metric=self._metric,
+                shards=self._index.shard_plan,
+                workers=self._workers,
+                tile_rows=self._tile_rows,
+            )
+        return self._exact
+
+    @property
+    def compressed_engine(self) -> ShardedCompressedBondSearcher:
+        """The sharded engine over the 8-bit quantised fragments."""
+        if self._compressed is None:
+            self._compressed = ShardedCompressedBondSearcher(
+                self._index.compressed,
+                metric=self._metric,
+                shards=self._index.shard_plan,
+                workers=self._workers,
+                tile_rows=self._tile_rows,
+            )
+        return self._compressed
+
+    def engine_for_mode(self, mode: str):
+        """The engine serving one query mode (``compressed`` vs the rest)."""
+        if mode == "compressed":
+            return self.compressed_engine
+        return self.exact_engine
+
+    def search(self, query: np.ndarray, k: int, *, trace: PruningTrace | None = None) -> SearchResult:
+        """Protocol entry point: exact-mode sharded search."""
+        return self.exact_engine.search(query, k, trace=trace)
+
+    def search_batch(self, queries: np.ndarray, k: int) -> BatchSearchResult:
+        """Protocol entry point: exact-mode sharded batch search."""
+        return self.exact_engine.search_batch(queries, k)
+
+    def close(self) -> None:
+        """Shut down both engines' worker pools."""
+        if self._exact is not None:
+            self._exact.close()
+        if self._compressed is not None:
+            self._compressed.close()

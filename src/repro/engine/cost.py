@@ -16,6 +16,7 @@ double is 8 bytes, and a compressed (VA-file style) coefficient is 1 byte.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 #: Size in bytes of an object identifier, as assumed in footnote 4 of the paper.
@@ -57,6 +58,26 @@ class CostAccount:
     heap_operations: int = 0
     random_accesses: int = 0
     sequential_accesses: int = 0
+
+    def add(self, other: "CostAccount") -> None:
+        """Fold ``other``'s counters into this account, in place."""
+        self.bytes_read += other.bytes_read
+        self.tuples_scanned += other.tuples_scanned
+        self.arithmetic_ops += other.arithmetic_ops
+        self.comparisons += other.comparisons
+        self.heap_operations += other.heap_operations
+        self.random_accesses += other.random_accesses
+        self.sequential_accesses += other.sequential_accesses
+
+    def copy_from(self, other: "CostAccount") -> None:
+        """Overwrite every counter with ``other``'s values, in place."""
+        self.bytes_read = other.bytes_read
+        self.tuples_scanned = other.tuples_scanned
+        self.arithmetic_ops = other.arithmetic_ops
+        self.comparisons = other.comparisons
+        self.heap_operations = other.heap_operations
+        self.random_accesses = other.random_accesses
+        self.sequential_accesses = other.sequential_accesses
 
     def merged_with(self, other: "CostAccount") -> "CostAccount":
         """Return a new account holding the sum of ``self`` and ``other``."""
@@ -121,10 +142,22 @@ class CostModel:
     searcher; everything charges into the same account.  Use
     :meth:`checkpoint` / :meth:`since` to isolate the cost of one query, or
     :meth:`reset` between experiments.
+
+    Threading contract
+    ------------------
+    The ``charge_*`` hot path is lock-free, so a model must have a single
+    charging owner at any point in time (the sharded engines give every shard
+    store its own model for exactly this reason).  The aggregation surface is
+    safe across threads: :meth:`merge_account` folds a child model's delta
+    into this one under a lock, and :meth:`restore` / :meth:`reset` mutate the
+    live account in place — references handed out through :attr:`account`
+    never go stale, so a rollback on one thread cannot orphan the account
+    another holder is still charging into.
     """
 
     def __init__(self) -> None:
         self._account = CostAccount()
+        self._merge_lock = threading.Lock()
 
     # -- charging -----------------------------------------------------------
 
@@ -179,13 +212,29 @@ class CostModel:
         """Return an immutable copy of the current counters."""
         return CostAccount(**self._account.as_dict())
 
+    def merge_account(self, account: CostAccount) -> None:
+        """Fold a child model's delta into this model, exactly once.
+
+        This is how per-shard accounts reach the parent model without
+        double-charging: shard stores charge their *private* models while the
+        workers run, and the coordinator merges each shard's
+        :meth:`since`-delta here afterwards.  The merge is locked, so several
+        workers may merge into a shared parent concurrently.
+        """
+        with self._merge_lock:
+            self._account.add(account)
+
     def restore(self, checkpoint: CostAccount) -> None:
         """Roll every counter back to a previously taken :meth:`checkpoint`.
 
         Lets diagnostic probes (e.g. ``VAFile.filter_candidate_count``) run
-        real engine code without polluting an experiment's accounting.
+        real engine code without polluting an experiment's accounting.  The
+        rollback mutates the live account in place (it never rebinds it), so
+        :attr:`account` references held elsewhere — including by worker
+        threads — keep targeting the same object.
         """
-        self._account = CostAccount(**checkpoint.as_dict())
+        with self._merge_lock:
+            self._account.copy_from(checkpoint)
 
     def since(self, checkpoint: CostAccount) -> CostAccount:
         """Return the costs accumulated after ``checkpoint`` was taken."""
@@ -201,8 +250,9 @@ class CostModel:
         )
 
     def reset(self) -> None:
-        """Zero every counter."""
-        self._account = CostAccount()
+        """Zero every counter (in place — see the threading contract)."""
+        with self._merge_lock:
+            self._account.copy_from(CostAccount())
 
     def report(self, label: str) -> CostReport:
         """Return a labelled snapshot of the current counters."""

@@ -513,6 +513,47 @@ class GenericIntervalKernel(IntervalBlockKernel):
             score_upper += contribution_upper
 
 
+def provably_zero_dimensions(
+    metric: Metric,
+    minimums: np.ndarray,
+    maximums: np.ndarray,
+    cell_widths: np.ndarray,
+    query: np.ndarray,
+) -> np.ndarray:
+    """Dimensions whose interval contribution is exactly zero for **every**
+    candidate, decidable from the quantisation grid and the query alone.
+
+    This is the query-side early-out of the compressed filter: a dimension in
+    the mask adds ``0.0`` to both the lower and the upper accumulator of every
+    candidate, so the engines may skip its fetch, dequantisation and
+    accumulation entirely without changing a single accumulated float.  The
+    conditions are deliberately conservative (sufficient, not necessary):
+
+    * **histogram intersection** — the query coefficient is 0 and even the
+      lowest dequantised bound is non-negative (``minimum - cell/2 >= 0``),
+      so ``min(v, 0) == 0`` for every representable value;
+    * **(weighted) squared Euclidean** — the dimension is constant
+      (``cell width == 0``) and equals the query coefficient, so both interval
+      endpoints sit on the query and ``(v - q)^2 == 0``; for the weighted
+      metric a zero weight also qualifies (``w (v - q)^2 == 0``), though
+      zero-weight dimensions are normally dropped from the processing order
+      before they reach a kernel.
+
+    Metrics without a provable condition get an all-false mask.
+    """
+    minimums = np.asarray(minimums, dtype=np.float64)
+    cell_widths = np.asarray(cell_widths, dtype=np.float64)
+    query = np.asarray(query, dtype=np.float64)
+    if isinstance(metric, HistogramIntersection):
+        return (query == 0.0) & (minimums - cell_widths / 2.0 >= 0.0)
+    if isinstance(metric, WeightedSquaredEuclidean):
+        constant_on_query = (cell_widths == 0.0) & (minimums == query)
+        return constant_on_query | (metric.weights == 0.0)
+    if isinstance(metric, (SquaredEuclidean, EuclideanSimilarity)):
+        return (cell_widths == 0.0) & (minimums == query)
+    return np.zeros(query.shape[0], dtype=bool)
+
+
 def interval_kernel_for(metric: Metric) -> IntervalBlockKernel:
     """The fused interval kernel matching a metric (generic fallback otherwise)."""
     if isinstance(metric, WeightedSquaredEuclidean):

@@ -17,18 +17,26 @@ Three stores are provided:
 * :class:`~repro.storage.compressed.CompressedStore` — 8-bit scalar-quantised
   dimension fragments (the approximation of Section 7.4 / Figure 9), with the
   exact store retained for the refinement step.
+
+:mod:`~repro.storage.sharding` cuts either store into contiguous row shards
+(:class:`~repro.storage.sharding.ShardPlan`) for the parallel engines of
+:mod:`repro.core.parallel`.
 """
 
 from repro.storage.decomposed import DecomposedStore
 from repro.storage.rowstore import RowStore
 from repro.storage.compressed import CompressedFragment, CompressedStore
 from repro.storage.persistence import load_decomposed, save_decomposed
+from repro.storage.sharding import ShardPlan, shard_compressed, shard_decomposed
 
 __all__ = [
     "CompressedFragment",
     "CompressedStore",
     "DecomposedStore",
     "RowStore",
+    "ShardPlan",
     "load_decomposed",
     "save_decomposed",
+    "shard_compressed",
+    "shard_decomposed",
 ]

@@ -139,6 +139,68 @@ class CompressedStore:
             [fragment.cell_width for fragment in self._fragments], dtype=np.float64
         )
 
+    @classmethod
+    def row_slice(
+        cls,
+        parent: "CompressedStore",
+        start: int,
+        stop: int,
+        *,
+        exact: DecomposedStore,
+        cost: CostModel | None = None,
+    ) -> "CompressedStore":
+        """A shard view over rows ``[start, stop)`` of ``parent``.
+
+        The slice keeps the **parent's quantisation grid**: its code columns
+        are zero-copy slices of the parent's code arrays and its per-dimension
+        minimums / maximums / cell widths are the parent's (global) ones.
+        Re-quantising the shard rows independently would move every cell
+        boundary, so a sharded filter would accumulate different interval
+        scores than the unsharded one — sharing the grid is what keeps
+        sharded filter-and-refine results bitwise identical to the
+        single-store engine.
+
+        Parameters
+        ----------
+        parent:
+            The store being sharded.
+        start / stop:
+            The shard's contiguous row range.
+        exact:
+            The shard's exact store (same rows) used for refinement; shard
+            OIDs are local to this range.
+        cost:
+            Cost model for the shard's approximate reads; defaults to the
+            exact shard's model so filter and refinement accumulate together.
+        """
+        if not (0 <= start < stop <= parent.cardinality):
+            raise StorageError(
+                f"row slice [{start}, {stop}) outside collection of size {parent.cardinality}"
+            )
+        if exact.cardinality != stop - start or exact.dimensionality != parent.dimensionality:
+            raise StorageError(
+                "the exact shard's shape does not match the requested row slice"
+            )
+        shard = object.__new__(cls)
+        shard._exact = exact
+        shard._bits = parent._bits
+        shard._cost = cost if cost is not None else exact.cost
+        shard._fragments = [
+            CompressedFragment(
+                codes=fragment.codes[start:stop],
+                minimum=fragment.minimum,
+                maximum=fragment.maximum,
+                bits=fragment.bits,
+            )
+            for fragment in parent._fragments
+        ]
+        shard._code_tails = [fragment.codes for fragment in shard._fragments]
+        # Global grids, shared with the parent (read-only by contract).
+        shard._minimums = parent._minimums
+        shard._maximums = parent._maximums
+        shard._cell_widths = parent._cell_widths
+        return shard
+
     @property
     def exact(self) -> DecomposedStore:
         """The exact store used for refinement."""

@@ -240,6 +240,11 @@ class DecomposedStore:
         for dimension in dimensions:
             yield dimension, self.fragment(dimension)
 
+    @property
+    def has_row_sums(self) -> bool:
+        """Whether the ``T(v)`` column is materialised (no cost charged)."""
+        return self._row_sums is not None
+
     def row_sums(self) -> BAT:
         """The materialised ``T(v)`` column (per-vector total).
 

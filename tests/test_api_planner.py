@@ -133,6 +133,85 @@ class TestBuiltinPlanning:
         assert backend.created == 0
 
 
+class TestShardedPlanning:
+    """The sharded_bond backend wins exactly when its cost estimate says so."""
+
+    def test_unsharded_index_never_plans_sharded(self, small_vectors):
+        index = Index.build(small_vectors)  # shards=1
+        for mode in ("exact", "compressed"):
+            plan = index.plan(Query(small_vectors[0], k=5, mode=mode))
+            assert plan.backend_name != "sharded_bond"
+            sharded = next(c for c in plan.candidates if c.backend == "sharded_bond")
+            # eligible but strictly pricier: one shard parallelises nothing,
+            # the merge and coordination overhead remain.
+            assert sharded.eligible
+            assert sharded.estimate.score > plan.estimate.score
+
+    def test_sharded_index_plans_sharded_in_both_modes(self):
+        # Paper-scale shape (plans never materialise stores, so zeros do):
+        # at 59619 x 166 the per-shard scan dwarfs merge + coordination.
+        vectors = np.zeros((59_619, 166))
+        index = Index.build(vectors, shards=4)
+        query = np.zeros((8, 166))
+        assert index.plan(Query(query, k=10)).backend_name == "sharded_bond"
+        assert (
+            index.plan(Query(query, k=10, mode="compressed")).backend_name
+            == "sharded_bond"
+        )
+
+    def test_sharding_a_tiny_collection_still_loses(self, small_vectors):
+        # 200 rows split four ways: coordination overhead exceeds the scan
+        # savings, so the planner honestly keeps the unsharded engine.
+        index = Index.build(small_vectors, shards=4)
+        plan = index.plan(Query(small_vectors[0], k=5))
+        assert plan.backend_name == "bond"
+
+    def test_estimate_scales_with_shard_count(self):
+        vectors = np.zeros((59_619, 166))
+        query = Query(np.zeros((8, 166)), k=10)
+
+        def sharded_score(shards: int) -> float:
+            index = Index.build(vectors, shards=shards)
+            plan = index.plan(query)
+            return next(
+                c for c in plan.candidates if c.backend == "sharded_bond"
+            ).estimate.score
+
+        assert sharded_score(4) < sharded_score(2) < sharded_score(1)
+
+    def test_pinned_sharded_backend_executes_identically(self, small_vectors):
+        from repro.core.bond import BondSearcher
+        from repro.storage.decomposed import DecomposedStore
+
+        index = Index.build(small_vectors)
+        facade = index.answer(Query(small_vectors[:4], k=6, backend="sharded_bond"))
+        direct = BondSearcher(DecomposedStore(small_vectors)).search_batch(
+            small_vectors[:4], 6
+        )
+        assert all(
+            np.array_equal(a.oids, b.oids) and np.array_equal(a.scores, b.scores)
+            for a, b in zip(facade, direct)
+        )
+
+    def test_sharded_rejects_unsupported_metric(self, small_vectors):
+        index = Index.build(small_vectors, shards=4)
+        plan = index.plan(
+            Query(small_vectors[0], k=5, metric="euclidean_similarity", mode="compressed")
+        )
+        # euclidean_similarity has no exact-mode BOND bound, so the sharded
+        # backend does not declare it; the unsharded compressed engine serves.
+        assert plan.backend_name == "compressed_bond"
+        sharded = next(c for c in plan.candidates if c.backend == "sharded_bond")
+        assert not sharded.eligible
+
+    def test_explain_transcript_shows_shard_count(self):
+        index = Index.build(np.zeros((59_619, 166)), shards=4)
+        transcript = index.explain(Query(np.zeros((8, 166)), k=10))
+        assert "sharded_bond" in transcript
+        assert "4 parallel shards" in transcript
+        assert "chosen: sharded_bond (engine=sharded)" in transcript
+
+
 class TestCapabilitiesCombinations:
     def test_cheapest_eligible_wins(self, small_vectors):
         cheap = FakeBackend("cheap", 10.0)
