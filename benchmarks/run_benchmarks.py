@@ -41,6 +41,14 @@ The compressed filter-and-refine axis measures the same engine split over
 * ``vafile``             — the VA-file scan over the same approximations,
   measured as context.
 
+The ``serving`` axis measures the asyncio front end of
+:mod:`repro.serving`: a closed loop (submit, await, submit — the honest
+one-query-per-submit baseline), saturated open-loop bursts under the fifo and
+overlap admission policies, and a seeded Poisson open-loop replay.  Each row
+reports throughput, mean micro-batch size and p50/p99 request latency, and
+every served answer is verified bitwise against the direct ``Index.answer``
+call before numbers are written.
+
 The sequential-scan baseline (SSH) and its batched variant are measured as
 context.  Every engine's top-k (OIDs *and* scores) is verified to be
 identical to the seed path (brute force for the compressed axis) before any
@@ -56,6 +64,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import pathlib
 import sys
@@ -79,9 +88,11 @@ from repro.core.parallel import (  # noqa: E402
 from repro.core.sequential import SequentialScan  # noqa: E402
 from repro.datasets.corel import make_corel_like  # noqa: E402
 from repro.metrics.histogram import HistogramIntersection  # noqa: E402
+from repro.serving import SearchService, ServingConfig, replay_open_loop  # noqa: E402
 from repro.storage.compressed import CompressedStore  # noqa: E402
 from repro.storage.decomposed import DecomposedStore  # noqa: E402
 from repro.storage.rowstore import RowStore  # noqa: E402
+from repro.workload.arrivals import burst_arrivals, poisson_arrivals  # noqa: E402
 from repro.workload.ground_truth import exact_top_k  # noqa: E402
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -281,6 +292,149 @@ def run_sharded_benchmark(
     }
 
 
+def _serve_workload(index, queries, k: int, *, config: ServingConfig, schedule=None):
+    """Serve every query through one SearchService life.
+
+    ``schedule=None`` runs the closed loop (submit, await, submit the next —
+    batch formation is impossible by construction); an
+    :class:`~repro.workload.arrivals.ArrivalSchedule` replays open-loop load,
+    submitting query ``i`` at its scheduled offset regardless of completions.
+    Returns (results, stats, wall_seconds).
+    """
+
+    async def run():
+        async with SearchService(index, config=config) as service:
+            loop = asyncio.get_running_loop()
+            started = loop.time()
+            if schedule is None:
+                results = []
+                for query in queries:
+                    results.append(await service.submit(query, k=k, metric="histogram"))
+            else:
+                results = await replay_open_loop(
+                    service, queries, schedule, k=k, metric="histogram"
+                )
+            wall = loop.time() - started
+        return results, service.stats(), wall
+
+    return asyncio.run(run())
+
+
+def run_serving_benchmark(
+    *,
+    data: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    repeats: int,
+    num_queries: int,
+) -> dict:
+    """The asyncio serving axis: micro-batched admission vs one-at-a-time.
+
+    ``closed_loop`` submits sequentially with a zero latency budget — the
+    honest one-query-per-submit baseline.  The ``burst_*`` rows offer the
+    whole workload at once (the saturated open-loop upper bound) under the
+    fifo and overlap admission policies, and ``open_loop_fifo`` replays a
+    seeded Poisson arrival process at roughly twice the closed-loop service
+    rate.  Every row's served answers are checked bitwise against direct
+    ``Index.answer`` calls before any number is reported.
+    """
+    print("\nasyncio serving (latency-budget micro-batching, admission control):")
+    index = Index.build(data)
+    direct = [index.answer(Query(query, k=k, metric="histogram")) for query in queries]
+    max_batch = min(16, num_queries)
+    budget = 0.005
+
+    def measure(config, schedule=None):
+        best = None
+        for _ in range(max(1, repeats)):
+            results, stats, wall = _serve_workload(
+                index, queries, k, config=config, schedule=schedule
+            )
+            if best is None or wall < best[2]:
+                best = (results, stats, wall)
+        return best
+
+    rows = {}
+    identical = {}
+
+    closed_results, closed_stats, closed_wall = measure(
+        ServingConfig(latency_budget=0.0, max_batch_size=1)
+    )
+    closed_qps = num_queries / closed_wall
+
+    scenarios = {
+        "serving_closed_loop": (closed_results, closed_stats, closed_wall, None),
+    }
+    for policy in ("fifo", "overlap"):
+        config = ServingConfig(
+            latency_budget=budget, max_batch_size=max_batch, admission=policy
+        )
+        scenarios[f"serving_burst_{policy}"] = (
+            *measure(config, schedule=burst_arrivals(num_queries)),
+            policy,
+        )
+    open_schedule = poisson_arrivals(num_queries, rate=2.0 * closed_qps, seed=13)
+    scenarios["serving_open_loop_fifo"] = (
+        *measure(
+            ServingConfig(latency_budget=budget, max_batch_size=max_batch),
+            schedule=open_schedule,
+        ),
+        "fifo",
+    )
+
+    for name, (results, stats, wall, policy) in scenarios.items():
+        ok = _results_identical(direct, results)
+        identical[name] = ok
+        rows[name] = {
+            "policy": policy or "fifo",
+            "queries_per_second": num_queries / wall,
+            "wall_seconds": wall,
+            "mean_batch_size": stats.mean_batch_size,
+            "max_batch_size": stats.max_batch_size,
+            "batches": stats.batches,
+            "request_seconds_p50": stats.request_seconds_p50,
+            "request_seconds_p99": stats.request_seconds_p99,
+            "queue_wait_p50": stats.queue_wait_p50,
+            "queue_wait_p99": stats.queue_wait_p99,
+            "identical_vs_direct": ok,
+        }
+
+    print(
+        f"  {'scenario':<24} {'qps':>9} {'mean batch':>11} "
+        f"{'p50 ms':>8} {'p99 ms':>8} {'served':>8}"
+    )
+    for name, row in rows.items():
+        marker = "ok" if row["identical_vs_direct"] else "MISMATCH"
+        print(
+            f"  {name:<24} {row['queries_per_second']:>9.1f} "
+            f"{row['mean_batch_size']:>11.1f} "
+            f"{1e3 * row['request_seconds_p50']:>8.2f} "
+            f"{1e3 * row['request_seconds_p99']:>8.2f} {marker:>8}"
+        )
+
+    burst = rows["serving_burst_fifo"]
+    speedup = burst["queries_per_second"] / rows["serving_closed_loop"]["queries_per_second"]
+    print(
+        f"  micro-batched burst vs one-query-per-submit: {speedup:.2f}x qps "
+        f"at mean batch {burst['mean_batch_size']:.1f}"
+    )
+    return {
+        "config": {
+            "latency_budget": budget,
+            "max_batch_size": max_batch,
+            "open_loop_rate_qps": 2.0 * closed_qps,
+        },
+        "rows": rows,
+        "identical_served_vs_direct": identical,
+        "burst_speedup_vs_closed_loop": speedup,
+        "meets_batching_target": bool(
+            speedup > 1.0
+            and burst["mean_batch_size"] >= min(8, num_queries)
+            and all(identical.values())
+        ),
+    }
+
+
 def run_benchmark(
     *,
     cardinality: int,
@@ -411,6 +565,13 @@ def run_benchmark(
         ],
         workers_axis=sharded_workers,
     )
+    serving = run_serving_benchmark(
+        data=data,
+        queries=queries,
+        k=k,
+        repeats=repeats,
+        num_queries=num_queries,
+    )
     return {
         "benchmark": "BENCH_knn",
         "config": {
@@ -435,6 +596,7 @@ def run_benchmark(
         },
         "compressed": compressed,
         "sharded": sharded,
+        "serving": serving,
     }
 
 
@@ -445,7 +607,10 @@ def main(argv: list[str] | None = None) -> int:
     # with 166 bins (Section 7.1).
     parser.add_argument("--cardinality", type=int, default=59_619)
     parser.add_argument("--dimensionality", type=int, default=166)
-    parser.add_argument("--queries", type=int, default=32)
+    # None means "use the scale's default" (32, or 8 under --quick); an
+    # explicit --queries wins even in quick mode, so CI can smoke wider
+    # serving batch shapes without paying full cardinality.
+    parser.add_argument("--queries", type=int, default=None)
     parser.add_argument("--k", type=int, default=10)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--seed", type=int, default=7)
@@ -461,8 +626,11 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.quick:
         args.cardinality = min(args.cardinality, 4_000)
-        args.queries = min(args.queries, 8)
         args.repeats = min(args.repeats, 2)
+    if args.queries is None:
+        args.queries = 8 if args.quick else 32
+    elif args.queries < 1:
+        parser.error(f"--queries must be positive, got {args.queries}")
     if args.sharded_workers is not None:
         try:
             sharded_workers = tuple(
@@ -503,6 +671,12 @@ def main(argv: list[str] | None = None) -> int:
     if not all(report["sharded"]["identical_topk"].values()):
         print("ERROR: a sharded engine diverged from the reference top-k", file=sys.stderr)
         return 1
+    if not all(report["serving"]["identical_served_vs_direct"].values()):
+        print(
+            "ERROR: a served answer diverged from the direct Index.answer result",
+            file=sys.stderr,
+        )
+        return 1
     print(
         f"batched speedup vs seed: {report['batched_speedup_vs_seed']:.2f}x "
         f"(target >= 3x: {'met' if report['meets_3x_target'] else 'NOT met'})"
@@ -523,6 +697,13 @@ def main(argv: list[str] | None = None) -> int:
         f"sharded best speedup vs single-thread batched: "
         f"{sharded['best_speedup_vs_batched']:.2f}x "
         f"(target >= 2.5x: {'met' if sharded['meets_2_5x_target'] else 'NOT met'})"
+    )
+    serving = report["serving"]
+    print(
+        f"serving burst speedup vs one-query-per-submit: "
+        f"{serving['burst_speedup_vs_closed_loop']:.2f}x "
+        f"(micro-batching target > 1x at batch >= 8: "
+        f"{'met' if serving['meets_batching_target'] else 'NOT met'})"
     )
     return 0
 

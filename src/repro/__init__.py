@@ -68,7 +68,7 @@ from repro.datasets import (
     make_subspace_weights,
 )
 from repro.engine import CostModel
-from repro.errors import ReproError
+from repro.errors import QueueFull, ReproError, ServiceClosed, ServingError
 from repro.metrics import (
     AverageAggregate,
     EuclideanSimilarity,
@@ -79,6 +79,13 @@ from repro.metrics import (
     WeightedAverageAggregate,
     WeightedSquaredEuclidean,
 )
+from repro.serving import (
+    FifoAdmission,
+    OverlapAdmission,
+    SearchService,
+    ServingConfig,
+    ServingStats,
+)
 from repro.storage import (
     CompressedStore,
     DecomposedStore,
@@ -86,13 +93,22 @@ from repro.storage import (
     load_decomposed,
     save_decomposed,
 )
-from repro.workload import QueryWorkload, exact_top_k, sample_queries
+from repro.workload import (
+    ArrivalSchedule,
+    QueryWorkload,
+    burst_arrivals,
+    exact_top_k,
+    poisson_arrivals,
+    sample_queries,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArrivalSchedule",
     "AverageAggregate",
     "BatchSearchResult",
+    "burst_arrivals",
     "BondSearcher",
     "Capabilities",
     "CompressedBondSearcher",
@@ -107,6 +123,7 @@ __all__ = [
     "EvBound",
     "exact_top_k",
     "FeatureComponent",
+    "FifoAdmission",
     "FixedPeriodSchedule",
     "FuzzyMaxAggregate",
     "FuzzyMinAggregate",
@@ -122,13 +139,16 @@ __all__ = [
     "make_skewed_weights",
     "make_subspace_weights",
     "MultiFeatureBondSearcher",
+    "OverlapAdmission",
     "PartialAbandonScan",
     "PartialState",
     "Plan",
+    "poisson_arrivals",
     "PruningBound",
     "Query",
     "QueryPlanner",
     "QueryWorkload",
+    "QueueFull",
     "RandomOrdering",
     "ReproError",
     "RowStore",
@@ -137,7 +157,12 @@ __all__ = [
     "save_decomposed",
     "Searcher",
     "SearchResult",
+    "SearchService",
     "SequentialScan",
+    "ServiceClosed",
+    "ServingConfig",
+    "ServingError",
+    "ServingStats",
     "SimilarityNetwork",
     "SquaredEuclidean",
     "StreamMergingSearcher",

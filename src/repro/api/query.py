@@ -134,6 +134,17 @@ class Query:
             )
         if vectors.size == 0:
             raise QueryError("query vectors must not be empty")
+        if not np.isfinite(vectors).all():
+            # Catch NaN/inf at the facade boundary: a non-finite coefficient
+            # poisons every partial score and pruning bound downstream, and
+            # the resulting garbage ranking would surface with no hint of the
+            # cause.  (NaN comparisons are False, so a NaN query can even
+            # "pass" pruning while scoring nothing correctly.)
+            bad = int(np.size(vectors) - np.count_nonzero(np.isfinite(vectors)))
+            raise QueryError(
+                f"query vectors must be finite; found {bad} non-finite "
+                "(NaN/inf) coefficient(s)"
+            )
         if self.batch is False and vectors.ndim == 2:
             raise QueryError("batch=False conflicts with a 2-D query matrix")
         if self.batch is True and vectors.ndim == 1:

@@ -212,6 +212,30 @@ class CostModel:
         """Return an immutable copy of the current counters."""
         return CostAccount(**self._account.as_dict())
 
+    def snapshot(self) -> CostAccount:
+        """Return a copy of the current counters, taken under the merge lock.
+
+        Same payload as :meth:`checkpoint`, but serialised against concurrent
+        :meth:`merge_account` / :meth:`restore` calls, so cross-thread readers
+        (the serving layer snapshots the live model around every micro-batch)
+        never observe a half-merged account.  The lock-free ``charge_*`` hot
+        path is unaffected — the single-charging-owner contract still holds.
+        """
+        with self._merge_lock:
+            return self.checkpoint()
+
+    def delta_since(self, snapshot: CostAccount) -> CostAccount:
+        """Return the costs accumulated after ``snapshot``, under the lock.
+
+        The locked counterpart of :meth:`since`: paired with
+        :meth:`snapshot`, it attributes the cost of one micro-batch without
+        mutating the live account — the serving layer folds the returned
+        delta into its *own* statistics model via :meth:`merge_account`,
+        leaving the index's account untouched.
+        """
+        with self._merge_lock:
+            return self.since(snapshot)
+
     def merge_account(self, account: CostAccount) -> None:
         """Fold a child model's delta into this model, exactly once.
 

@@ -45,6 +45,24 @@ class PlanError(QueryError):
     """Raised when the query planner cannot find a capable backend."""
 
 
+class ServingError(ReproError):
+    """Raised by the asyncio serving layer on invalid use of a service."""
+
+
+class QueueFull(ServingError):
+    """Raised when a submission is rejected by admission control.
+
+    The serving queue is bounded (see
+    :class:`repro.serving.ServingConfig.max_queue`); rejecting the overflow
+    explicitly — instead of queueing unboundedly — is what lets callers shed
+    load at the edge.
+    """
+
+
+class ServiceClosed(ServingError):
+    """Raised when submitting to a service that is not accepting requests."""
+
+
 class DatasetError(ReproError):
     """Raised by the synthetic dataset generators on invalid parameters."""
 

@@ -1,0 +1,33 @@
+"""``repro.serving``: the asyncio query-serving subsystem.
+
+Turns a stream of independently arriving single queries into the micro-batches
+the batch engines are fast at, under an explicit latency budget, with bounded
+admission control and per-batch cost attribution.  See
+:mod:`repro.serving.service` for the front end,
+:mod:`repro.serving.admission` for the fifo/overlap batch-formation policies
+and :mod:`repro.serving.stats` for the statistics surface; the serving
+section of ``docs/API.md`` walks through the lifecycle and knobs.
+"""
+
+from repro.serving.admission import (
+    ADMISSION_POLICIES,
+    AdmissionPolicy,
+    FifoAdmission,
+    OverlapAdmission,
+    resolve_admission,
+)
+from repro.serving.service import SearchService, ServingConfig, replay_open_loop
+from repro.serving.stats import BatchStats, ServingStats
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "AdmissionPolicy",
+    "BatchStats",
+    "FifoAdmission",
+    "OverlapAdmission",
+    "replay_open_loop",
+    "resolve_admission",
+    "SearchService",
+    "ServingConfig",
+    "ServingStats",
+]

@@ -1,0 +1,569 @@
+"""The asyncio query-serving front end.
+
+:class:`SearchService` turns a stream of independent single-query submissions
+into the micro-batches the batch engines are fast at.  Callers ``await
+service.submit(vector, k=...)`` and get their own
+:class:`~repro.core.result.SearchResult` back; between submission and
+execution the service coalesces compatible requests (same ``k``, metric,
+mode, backend pin) under a **latency budget**: the oldest waiting request
+never waits longer than the budget for peers to share its batch, and a full
+batch flushes immediately.  Execution happens through the PR 3 platform —
+``Index.answer(Query(..., batch=True))`` on a worker executor, so the event
+loop never blocks and the planner keeps choosing the backend (including the
+sharded thread pool) exactly as it would for a direct call.  Served answers
+are therefore **bitwise identical** to direct ``Index.answer`` calls.
+
+Admission control is explicit: the waiting queue is bounded and overflow
+raises :class:`~repro.errors.QueueFull` at the submitter, the standard
+load-shedding contract of an open system.  Shutdown drains: pending requests
+flush (budget waived), in-flight batches finish, then the executor closes.
+
+Typical usage::
+
+    from repro.api import Index
+    from repro.serving import SearchService, ServingConfig
+
+    index = Index.build(histograms)
+    async with SearchService(index, config=ServingConfig(latency_budget=0.002)) as service:
+        result = await service.submit(histograms[42], k=10, metric="histogram")
+    print(service.stats())
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.api.query import Query
+from repro.core.result import BatchSearchResult, SearchResult
+from repro.errors import QueueFull, ServiceClosed, ServingError
+from repro.metrics.base import Metric
+from repro.serving.admission import AdmissionPolicy, resolve_admission
+from repro.serving.stats import BatchStats, ServingStats, StatsCollector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.index import Index
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Tuning knobs of a :class:`SearchService`.
+
+    Attributes
+    ----------
+    latency_budget:
+        Seconds the *oldest* request of a compatible run may wait for peers
+        before its micro-batch flushes regardless of size.  ``0.0`` disables
+        coalescing-by-time (every admission pass flushes whatever is
+        pending), which is the honest one-query-per-submit configuration.
+    max_batch_size:
+        Upper bound on queries per micro-batch; a compatible run reaching
+        this size flushes immediately, before the budget expires.
+    max_queue:
+        Bound on requests occupying the service — waiting for admission or
+        dispatched and still executing.  The submission that would exceed it
+        is rejected with :class:`~repro.errors.QueueFull` — the caller sheds
+        load instead of the backlog growing without bound (in the pending
+        queue or, invisibly, in the executor's).
+    admission:
+        Micro-batch formation policy: ``"fifo"``, ``"overlap"``, or a ready
+        :class:`~repro.serving.admission.AdmissionPolicy` instance.
+    executor_workers:
+        Worker threads executing batches.  The default 1 serialises batches,
+        which keeps the index's shared :class:`~repro.engine.cost.CostModel`
+        single-owner (the lock-free charging contract) and makes per-batch
+        cost deltas exact; raise it only with an index whose backends manage
+        their own accounts, or pass an executor to :class:`SearchService`.
+    """
+
+    latency_budget: float = 0.002
+    max_batch_size: int = 32
+    max_queue: int = 1024
+    admission: "str | AdmissionPolicy" = "fifo"
+    executor_workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.latency_budget < 0:
+            raise ServingError("latency_budget must be non-negative")
+        if self.max_batch_size < 1:
+            raise ServingError("max_batch_size must be at least 1")
+        if self.max_queue < 1:
+            raise ServingError("max_queue must be at least 1")
+        if self.executor_workers < 1:
+            raise ServingError("executor_workers must be at least 1")
+
+
+@dataclass(eq=False)
+class _PendingRequest:
+    """One submitted query waiting for admission (identity-hashed)."""
+
+    sequence: int
+    query: Query
+    batch_key: tuple
+    signature: tuple[int, ...] | None
+    future: asyncio.Future
+    arrival: float
+    deadline: float
+
+
+class SearchService:
+    """Latency-budget micro-batching front end over one :class:`Index`.
+
+    The service has a simple lifecycle: ``await start()`` (or ``async
+    with``), any number of concurrent :meth:`submit` calls, ``await stop()``.
+    One admission task owns the pending queue; batches execute on a worker
+    executor so the event loop stays responsive while NumPy crunches.
+    """
+
+    def __init__(
+        self,
+        index: "Index",
+        *,
+        config: ServingConfig | None = None,
+        executor: ThreadPoolExecutor | None = None,
+    ) -> None:
+        self._index = index
+        self._config = config if config is not None else ServingConfig()
+        self._policy = resolve_admission(self._config.admission)
+        self._executor = executor
+        self._owns_executor = executor is None
+        self._pending: deque[_PendingRequest] = deque()
+        self._inflight: set[asyncio.Task] = set()
+        self._inflight_requests = 0
+        self._stats = StatsCollector()
+        self._sequence = itertools.count()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._wake: asyncio.Event | None = None
+        self._admission_task: asyncio.Task | None = None
+        self._state = "new"  # new -> running -> draining -> closed
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    async def start(self) -> "SearchService":
+        """Start the admission loop (idempotence is an error: one life only)."""
+        if self._state != "new":
+            raise ServingError(f"cannot start a service in state {self._state!r}")
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._config.executor_workers,
+                thread_name_prefix="repro-serving",
+            )
+        self._state = "running"
+        self._admission_task = asyncio.create_task(
+            self._admission_loop(), name="repro-serving-admission"
+        )
+        return self
+
+    async def stop(self, *, drain: bool = True) -> None:
+        """Stop the service.
+
+        With ``drain=True`` (the default) every pending request is flushed —
+        the latency budget is waived, batches still form — and in-flight
+        batches complete before the executor shuts down.  With
+        ``drain=False`` pending requests fail with
+        :class:`~repro.errors.ServiceClosed`; batches already executing
+        still complete (their callers get real results).
+        """
+        if self._state == "new":
+            self._state = "closed"
+            return
+        if self._state == "closed":
+            return
+        self._state = "draining"
+        assert self._wake is not None and self._admission_task is not None
+        if drain:
+            self._wake.set()
+            await self._admission_task
+        else:
+            self._admission_task.cancel()
+            try:
+                await self._admission_task
+            except asyncio.CancelledError:
+                pass
+            self._fail_pending(ServiceClosed("service stopped without draining"))
+        if self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+        self._state = "closed"
+        if self._owns_executor and self._executor is not None:
+            self._executor.shutdown(wait=True)
+
+    async def __aenter__(self) -> "SearchService":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    # -- submission ---------------------------------------------------------------
+
+    async def submit(
+        self,
+        vector: np.ndarray,
+        *,
+        k: int = 10,
+        metric: "str | Metric | None" = None,
+        weights: np.ndarray | None = None,
+        subspace: np.ndarray | None = None,
+        mode: str = "exact",
+        backend: str | None = None,
+    ) -> SearchResult:
+        """Submit one query and await its result.
+
+        The arguments mirror the :class:`~repro.api.query.Query` fields; the
+        query is validated here, at the service boundary (bad ``k``, bad
+        weights, non-finite vectors all raise
+        :class:`~repro.errors.QueryError` before anything queues).  Raises
+        :class:`~repro.errors.QueueFull` when admission control rejects the
+        submission and :class:`~repro.errors.ServiceClosed` when the service
+        is not running.
+        """
+        if self._state != "running":
+            raise ServiceClosed(f"service is not accepting requests (state {self._state!r})")
+        query = Query(
+            vector,
+            k=k,
+            metric=metric,
+            weights=weights,
+            subspace=subspace,
+            mode=mode,
+            backend=backend,
+        )
+        if query.is_batch:
+            raise ServingError(
+                "submit() takes one query vector; answer whole batches "
+                "directly via Index.answer(Query(matrix, ...))"
+            )
+        if self._queued_requests() >= self._config.max_queue:
+            # A full queue may be holding slots for callers that already
+            # gave up (cancelled futures, e.g. asyncio.wait_for timeouts);
+            # purge those before rejecting live traffic on their account.
+            self._drop_dead_requests()
+        if self._queued_requests() >= self._config.max_queue:
+            self._stats.record_rejection()
+            raise QueueFull(
+                f"serving queue is full ({self._config.max_queue} requests "
+                "waiting or executing)"
+            )
+        assert self._loop is not None and self._wake is not None
+        now = self._loop.time()
+        request = _PendingRequest(
+            sequence=next(self._sequence),
+            query=query,
+            batch_key=(query.k, query.mode, query.backend, query.metric_spec_key()),
+            signature=self._policy.signature(query),
+            future=self._loop.create_future(),
+            arrival=now,
+            deadline=now + self._config.latency_budget,
+        )
+        self._pending.append(request)
+        self._stats.record_submit()
+        self._wake.set()
+        return await request.future
+
+    # -- admission ----------------------------------------------------------------
+
+    async def _admission_loop(self) -> None:
+        """Run the admission passes, containing any failure.
+
+        An exception escaping the passes (most plausibly a user-supplied
+        admission policy misbehaving) must not leave submitters awaiting
+        futures nobody will ever resolve: the service flips to ``"broken"``
+        (submissions are refused), every queued request fails with a
+        :class:`~repro.errors.ServingError` carrying the cause, and
+        :meth:`stop` still shuts the service down cleanly.
+        """
+        try:
+            await self._admission_passes()
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            if self._state == "running":
+                self._state = "broken"
+            self._fail_pending(ServingError(f"the admission loop failed: {exc!r}"))
+
+    def _fail_pending(self, error: Exception) -> None:
+        """Fail every queued request with ``error``, keeping the stats exact
+        (cancelled callers count as cancelled, the rest as failed)."""
+        failed = cancelled = 0
+        while self._pending:
+            request = self._pending.popleft()
+            if request.future.done():
+                cancelled += 1
+            else:
+                request.future.set_exception(error)
+                failed += 1
+        if cancelled:
+            self._stats.record_cancellations(cancelled)
+        if failed:
+            self._stats.record_failure(failed)
+
+    async def _admission_passes(self) -> None:
+        """Coalesce pending requests into micro-batches under the budget.
+
+        One pass per wake-up: group the queue into compatible runs, flush
+        every run that is due (full, past the oldest member's deadline, or
+        draining), otherwise sleep until the earliest deadline or the next
+        submission — a monotonic-clock timer wheel of size one.
+        """
+        assert self._loop is not None and self._wake is not None
+        while True:
+            self._drop_dead_requests()
+            if not self._pending:
+                if self._state == "draining":
+                    return
+                await self._wait_for_wake(None)
+                continue
+            now = self._loop.time()
+            runs: dict[tuple, list[_PendingRequest]] = {}
+            for request in self._pending:
+                runs.setdefault(request.batch_key, []).append(request)
+            due = [
+                run
+                for run in runs.values()
+                if self._state == "draining"
+                or len(run) >= self._config.max_batch_size
+                or now >= run[0].deadline
+            ]
+            if due:
+                for run in due:
+                    self._dispatch(run)
+                continue
+            next_deadline = min(run[0].deadline for run in runs.values())
+            await self._wait_for_wake(max(0.0, next_deadline - now))
+
+    async def _wait_for_wake(self, timeout: float | None) -> None:
+        assert self._wake is not None
+        if timeout is None:
+            await self._wake.wait()
+        else:
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout)
+            except asyncio.TimeoutError:
+                pass
+        self._wake.clear()
+
+    def _queued_requests(self) -> int:
+        """Requests occupying the bounded queue: waiting *or* dispatched.
+
+        Counting dispatched-but-unfinished requests keeps the ``max_queue``
+        backpressure contract honest under sustained overload — otherwise
+        every budget expiry would move the backlog into the (unbounded)
+        executor queue and :class:`~repro.errors.QueueFull` would never
+        fire.
+        """
+        return len(self._pending) + self._inflight_requests
+
+    def _drop_dead_requests(self) -> None:
+        """Forget queued requests whose futures are already done.
+
+        A caller that cancels its ``submit`` (a client timeout) must not keep
+        occupying a ``max_queue`` slot, ride a batch whose answer nobody
+        reads, or count as completed — the request is simply dropped.
+        """
+        dead = sum(1 for request in self._pending if request.future.done())
+        if dead:
+            self._stats.record_cancellations(dead)
+            self._pending = deque(
+                request for request in self._pending if not request.future.done()
+            )
+
+    def _dispatch(self, run: list[_PendingRequest]) -> None:
+        """Group one compatible run into micro-batches and start them."""
+        assert self._loop is not None
+        # Group before dequeuing: if a (user-supplied) policy raises, the run
+        # is still pending and the loop's failure guard can fail its futures.
+        groups = self._policy.group(
+            [request.signature for request in run],
+            max_batch_size=self._config.max_batch_size,
+        )
+        if sorted(index for group in groups for index in group) != list(range(len(run))):
+            raise ServingError(
+                f"admission policy {self._policy.name!r} returned an invalid "
+                f"partition of a {len(run)}-request run: {groups!r}"
+            )
+        members = set(run)
+        self._pending = deque(
+            request for request in self._pending if request not in members
+        )
+        for indices in groups:
+            requests = [run[index] for index in indices]
+            self._inflight_requests += len(requests)
+            task = self._loop.create_task(self._execute(requests))
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+
+    # -- execution ----------------------------------------------------------------
+
+    async def _execute(self, requests: list[_PendingRequest]) -> None:
+        """Run one micro-batch on the executor and resolve its futures."""
+        try:
+            await self._execute_batch(requests)
+        finally:
+            # Dispatched requests stop counting against max_queue only once
+            # their batch is done (see _queued_requests).
+            self._inflight_requests -= len(requests)
+
+    async def _execute_batch(self, requests: list[_PendingRequest]) -> None:
+        assert self._loop is not None
+        live = [request for request in requests if not request.future.done()]
+        if len(live) < len(requests):
+            self._stats.record_cancellations(len(requests) - len(live))
+            if not live:
+                return
+            requests = live
+        admitted = self._loop.time()
+        batch_query = self._coalesce([request.query for request in requests])
+        try:
+            batch_result, cost_delta, batch_seconds, backend = await self._loop.run_in_executor(
+                self._executor, self._answer_batch, batch_query
+            )
+        except Exception as exc:  # propagate to every rider of the batch
+            self._stats.record_failure(len(requests))
+            for request in requests:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+            return
+        done = self._loop.time()
+        delivered = 0
+        for request, result in zip(requests, batch_result.results):
+            if not request.future.done():
+                request.future.set_result(result)
+                delivered += 1
+        if delivered < len(requests):
+            # Riders abandoned mid-execution (client timeout while the batch
+            # ran) are cancellations, not completions — the work happened,
+            # but nobody received the answer.
+            self._stats.record_cancellations(len(requests) - delivered)
+        self._stats.record_batch(
+            BatchStats(
+                batch_size=len(requests),
+                sequence_numbers=tuple(request.sequence for request in requests),
+                queue_waits=tuple(admitted - request.arrival for request in requests),
+                batch_seconds=batch_seconds,
+                cost=cost_delta,
+                backend=backend,
+            ),
+            [done - request.arrival for request in requests],
+            delivered=delivered,
+        )
+
+    def _answer_batch(self, batch_query: Query) -> tuple[BatchSearchResult, object, float, str]:
+        """Worker-thread body: plan, execute, attribute cost.
+
+        The snapshot/delta pair brackets exactly this batch — with the
+        default single-worker executor batches serialise, so the delta is
+        the batch's own charge and the live account is never mutated for
+        bookkeeping (see :meth:`repro.engine.cost.CostModel.delta_since`).
+        """
+        before = self._index.cost.snapshot()
+        plan = self._index.plan(batch_query)
+        started = time.perf_counter()
+        result = plan.backend.answer(self._index, batch_query, plan.metric)
+        batch_seconds = time.perf_counter() - started
+        return result, self._index.cost.delta_since(before), batch_seconds, plan.backend_name
+
+    @staticmethod
+    def _coalesce(queries: list[Query]) -> Query:
+        """One batch query carrying every rider's vector, first rider's spec.
+
+        All riders share a batch key, so ``k`` / metric / mode / backend pin
+        are interchangeable; batches of one still take the batch path so the
+        execution shape is uniform (the batch engines are bitwise identical
+        to their single-query paths, which the serving test suite re-pins
+        end to end).
+        """
+        first = queries[0]
+        vectors = np.stack([query.single_vector for query in queries])
+        return Query(
+            vectors,
+            k=first.k,
+            metric=first.metric,
+            weights=first.weights,
+            subspace=first.subspace,
+            mode=first.mode,
+            batch=True,
+            backend=first.backend,
+            normalize_weights=first.normalize_weights,
+        )
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def index(self) -> "Index":
+        """The index every micro-batch executes against."""
+        return self._index
+
+    @property
+    def config(self) -> ServingConfig:
+        """The (frozen) serving configuration."""
+        return self._config
+
+    @property
+    def policy(self) -> AdmissionPolicy:
+        """The admission policy grouping flushed runs into batches."""
+        return self._policy
+
+    @property
+    def is_running(self) -> bool:
+        """Whether the service currently accepts submissions."""
+        return self._state == "running"
+
+    def stats(self) -> ServingStats:
+        """An immutable snapshot of the serving statistics so far."""
+        return self._stats.snapshot(pending=len(self._pending))
+
+
+async def replay_open_loop(
+    service: SearchService,
+    queries,
+    schedule,
+    **submit_kwargs,
+) -> list[SearchResult]:
+    """Replay an open-loop workload: submit query ``i`` at its offset.
+
+    ``schedule`` is an iterable of arrival offsets in seconds (an
+    :class:`~repro.workload.arrivals.ArrivalSchedule` fits directly) measured
+    from the moment this coroutine starts; it must provide exactly one offset
+    per query — a silent prefix replay would corrupt any downstream
+    query/result pairing.  Submissions happen on schedule regardless of
+    earlier completions — that is what makes the load open-loop — and the
+    results come back aligned with ``queries``.  The remaining keyword
+    arguments go to :meth:`SearchService.submit` verbatim.
+    """
+    offsets = [float(offset) for offset in schedule]
+    vectors = list(queries)
+    if len(offsets) != len(vectors):
+        raise ServingError(
+            f"the arrival schedule has {len(offsets)} offsets for "
+            f"{len(vectors)} queries; provide exactly one offset per query"
+        )
+    loop = asyncio.get_running_loop()
+    started = loop.time()
+
+    async def submit_at(offset: float, vector) -> SearchResult:
+        delay = started + offset - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        return await service.submit(vector, **submit_kwargs)
+
+    # Wait for *every* submission before surfacing a failure: bailing out on
+    # the first error would orphan the still-running sibling tasks (and
+    # swallow their exceptions).  Callers that want per-query outcomes under
+    # overload (some rejected, some served) should submit themselves and
+    # inspect each result, as examples/async_serving.py does.
+    outcomes = await asyncio.gather(
+        *(submit_at(offset, vector) for offset, vector in zip(offsets, vectors)),
+        return_exceptions=True,
+    )
+    for outcome in outcomes:
+        if isinstance(outcome, BaseException):
+            raise outcome
+    return list(outcomes)

@@ -1,0 +1,198 @@
+"""Serving statistics: per-request, per-batch and service-level views.
+
+The serving layer's value is only visible in its distributions — how long
+requests queued, how large the micro-batches came out, what each batch cost —
+so the service keeps a running collector and exposes immutable
+:class:`ServingStats` snapshots.  Batch cost is attributed with the
+:meth:`~repro.engine.cost.CostModel.snapshot` /
+:meth:`~repro.engine.cost.CostModel.delta_since` pair around every batch and
+folded into a collector-owned :class:`~repro.engine.cost.CostModel` via
+``merge_account`` — the index's live account is never mutated for
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.cost import CostAccount, CostModel
+
+#: How many per-batch records a collector retains for inspection.
+BATCH_LOG_LIMIT = 1024
+
+#: How many recent samples the latency/batch-size distributions are computed
+#: over.  A long-lived service must not grow without bound (nor pay an
+#: ever-growing percentile pass per ``stats()`` call), so the distributions
+#: are sliding windows; the scalar counters remain exact for the whole life.
+SAMPLE_WINDOW = 65536
+
+
+@dataclass(frozen=True)
+class BatchStats:
+    """One executed micro-batch.
+
+    Attributes
+    ----------
+    batch_size:
+        Number of queries the batch answered.
+    sequence_numbers:
+        Submission sequence number of every request in the batch, in batch
+        row order — what the flush-ordering tests assert on.
+    queue_waits:
+        Seconds each request waited between submission and admission.
+    batch_seconds:
+        Wall-clock seconds of the ``Index.answer`` call for the whole batch.
+    cost:
+        The cost-model delta this batch charged to the index.
+    backend:
+        Name of the backend the planner executed the batch on (``None`` when
+        the query left the choice to the planner and the plan was not
+        recorded).
+    """
+
+    batch_size: int
+    sequence_numbers: tuple[int, ...]
+    queue_waits: tuple[float, ...]
+    batch_seconds: float
+    cost: CostAccount
+    backend: str | None = None
+
+
+@dataclass(frozen=True)
+class ServingStats:
+    """An immutable service-level snapshot.
+
+    The counters (submitted / completed / rejected / cancelled / failed /
+    batches) are exact for the whole service life; the percentile and
+    batch-size aggregates are computed over a sliding window of the most
+    recent :data:`SAMPLE_WINDOW` samples, so a long-lived service stays
+    bounded in memory.  ``request_seconds`` is end-to-end (submission to
+    result, i.e. queue wait plus the batch execution the request rode in).
+    """
+
+    submitted: int
+    completed: int
+    rejected: int
+    cancelled: int
+    failed: int
+    batches: int
+    pending: int
+    mean_batch_size: float
+    max_batch_size: int
+    queue_wait_p50: float
+    queue_wait_p99: float
+    batch_seconds_p50: float
+    batch_seconds_p99: float
+    request_seconds_p50: float
+    request_seconds_p99: float
+    cost: CostAccount
+    recent_batches: tuple[BatchStats, ...] = field(repr=False, default=())
+
+    def as_dict(self) -> dict:
+        """The scalar fields as a plain dictionary (for benchmark reports)."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "cancelled": self.cancelled,
+            "failed": self.failed,
+            "batches": self.batches,
+            "pending": self.pending,
+            "mean_batch_size": self.mean_batch_size,
+            "max_batch_size": self.max_batch_size,
+            "queue_wait_p50": self.queue_wait_p50,
+            "queue_wait_p99": self.queue_wait_p99,
+            "batch_seconds_p50": self.batch_seconds_p50,
+            "batch_seconds_p99": self.batch_seconds_p99,
+            "request_seconds_p50": self.request_seconds_p50,
+            "request_seconds_p99": self.request_seconds_p99,
+            "cost": self.cost.as_dict(),
+        }
+
+
+def _percentile(samples: deque, q: float) -> float:
+    if not samples:
+        return 0.0
+    return float(np.percentile(np.asarray(samples, dtype=np.float64), q))
+
+
+class StatsCollector:
+    """Mutable accumulator behind :meth:`SearchService.stats`.
+
+    All record methods run on the event-loop thread (batch completion
+    callbacks land there), so the collector needs no locking of its own;
+    the cost fold-in goes through the locked ``merge_account``.  Sample
+    distributions are bounded rings (see :data:`SAMPLE_WINDOW`); counters
+    and the accumulated cost are exact for the whole service life.
+    """
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.rejected = 0
+        self.cancelled = 0
+        self.failed = 0
+        self.completed = 0
+        self.batches = 0
+        self._queue_waits: deque[float] = deque(maxlen=SAMPLE_WINDOW)
+        self._batch_seconds: deque[float] = deque(maxlen=SAMPLE_WINDOW)
+        self._request_seconds: deque[float] = deque(maxlen=SAMPLE_WINDOW)
+        self._batch_sizes: deque[int] = deque(maxlen=SAMPLE_WINDOW)
+        self._recent: deque[BatchStats] = deque(maxlen=BATCH_LOG_LIMIT)
+        self._cost = CostModel()
+
+    def record_submit(self) -> None:
+        self.submitted += 1
+
+    def record_rejection(self) -> None:
+        self.rejected += 1
+
+    def record_cancellations(self, count: int) -> None:
+        self.cancelled += count
+
+    def record_failure(self, batch_size: int) -> None:
+        self.failed += batch_size
+
+    def record_batch(
+        self, batch: BatchStats, request_seconds: list[float], *, delivered: int | None = None
+    ) -> None:
+        """Fold one executed micro-batch into the running aggregates.
+
+        ``delivered`` is the number of riders whose futures actually received
+        the result (riders abandoned mid-execution are counted as cancelled
+        by the service, not completed); the batch-shape aggregates still
+        describe the batch as executed.
+        """
+        self.completed += batch.batch_size if delivered is None else delivered
+        self.batches += 1
+        self._batch_sizes.append(batch.batch_size)
+        self._batch_seconds.append(batch.batch_seconds)
+        self._queue_waits.extend(batch.queue_waits)
+        self._request_seconds.extend(request_seconds)
+        self._recent.append(batch)
+        self._cost.merge_account(batch.cost)
+
+    def snapshot(self, *, pending: int) -> ServingStats:
+        """An immutable view of everything recorded so far."""
+        sizes = self._batch_sizes
+        return ServingStats(
+            submitted=self.submitted,
+            completed=self.completed,
+            rejected=self.rejected,
+            cancelled=self.cancelled,
+            failed=self.failed,
+            batches=self.batches,
+            pending=pending,
+            mean_batch_size=float(np.mean(sizes)) if sizes else 0.0,
+            max_batch_size=max(sizes) if sizes else 0,
+            queue_wait_p50=_percentile(self._queue_waits, 50),
+            queue_wait_p99=_percentile(self._queue_waits, 99),
+            batch_seconds_p50=_percentile(self._batch_seconds, 50),
+            batch_seconds_p99=_percentile(self._batch_seconds, 99),
+            request_seconds_p50=_percentile(self._request_seconds, 50),
+            request_seconds_p99=_percentile(self._request_seconds, 99),
+            cost=self._cost.checkpoint(),
+            recent_batches=tuple(self._recent),
+        )

@@ -1,11 +1,15 @@
-"""Query workloads, ground truth and quality checking."""
+"""Query workloads, arrival processes, ground truth and quality checking."""
 
-from repro.workload.queries import QueryWorkload, sample_queries
+from repro.workload.arrivals import ArrivalSchedule, burst_arrivals, poisson_arrivals
 from repro.workload.ground_truth import exact_top_k, recall, result_scores_match
+from repro.workload.queries import QueryWorkload, sample_queries
 
 __all__ = [
-    "QueryWorkload",
+    "ArrivalSchedule",
+    "burst_arrivals",
     "exact_top_k",
+    "poisson_arrivals",
+    "QueryWorkload",
     "recall",
     "result_scores_match",
     "sample_queries",

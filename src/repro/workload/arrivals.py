@@ -1,0 +1,134 @@
+"""Open-loop arrival processes for the serving layer.
+
+Closed-loop drivers (submit, wait, submit the next) can never observe
+queueing: the system is only ever asked for one thing at a time.  Serving
+behaviour — micro-batch formation, queue waits, admission-control rejections
+— only shows under *open-loop* load, where queries arrive on their own clock
+regardless of whether earlier ones have finished.  :func:`poisson_arrivals`
+generates the canonical open-loop process (exponential interarrival gaps from
+a seeded generator), and :class:`ArrivalSchedule` carries the resulting
+timeline with the slicing/scaling helpers the benchmark harness needs to
+sweep offered load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True, eq=False)
+class ArrivalSchedule:
+    """A fixed open-loop arrival timeline.
+
+    ``eq=False`` because the payload is an array (a generated ``__eq__``
+    would raise on the ambiguous element-wise comparison, exactly like
+    :class:`~repro.api.query.Query`); compare ``times`` explicitly.
+
+    Attributes
+    ----------
+    times:
+        Non-decreasing arrival offsets in seconds, relative to the instant
+        the driver starts replaying the schedule (``times[i]`` is when query
+        ``i`` is submitted).
+    """
+
+    times: np.ndarray
+
+    def __post_init__(self) -> None:
+        times = np.asarray(self.times, dtype=np.float64)
+        if times.ndim != 1 or times.size == 0:
+            raise ExperimentError("an arrival schedule needs a non-empty 1-D time array")
+        if not np.isfinite(times).all():
+            raise ExperimentError("arrival times must be finite")
+        if times[0] < 0 or np.any(np.diff(times) < 0):
+            raise ExperimentError("arrival times must be non-negative and non-decreasing")
+        object.__setattr__(self, "times", times)
+
+    def __len__(self) -> int:
+        return int(self.times.shape[0])
+
+    def __iter__(self):
+        return iter(self.times)
+
+    def __getitem__(self, item) -> "ArrivalSchedule | float":
+        """``schedule[i]`` is one offset; slices return a sub-schedule
+        re-anchored at its first arrival (so replaying a tail does not start
+        with dead time)."""
+        if isinstance(item, (int, np.integer)):
+            return float(self.times[item])
+        sliced = self.times[item]
+        if sliced.size == 0:
+            raise ExperimentError("an arrival schedule slice must keep at least one arrival")
+        return ArrivalSchedule(times=sliced - sliced[0])
+
+    @property
+    def duration(self) -> float:
+        """Seconds between the first and the last arrival."""
+        return float(self.times[-1] - self.times[0])
+
+    @property
+    def mean_rate(self) -> float:
+        """Average offered load in arrivals per second (``inf`` for a burst)."""
+        if len(self) < 2 or self.duration == 0.0:
+            return float("inf")
+        return (len(self) - 1) / self.duration
+
+    def interarrivals(self) -> np.ndarray:
+        """The gaps between consecutive arrivals (length ``len(self) - 1``)."""
+        return np.diff(self.times)
+
+    def scaled(self, factor: float) -> "ArrivalSchedule":
+        """Stretch (``factor > 1``) or compress (``< 1``) the time axis.
+
+        Compressing a schedule raises the offered load without changing the
+        arrival pattern — how the benchmark harness sweeps rate from one
+        seeded draw.
+        """
+        if factor < 0:
+            raise ExperimentError("the scale factor must be non-negative")
+        return ArrivalSchedule(times=self.times * float(factor))
+
+
+def poisson_arrivals(
+    num_arrivals: int,
+    *,
+    rate: float,
+    seed: int = 0,
+    start: float = 0.0,
+) -> ArrivalSchedule:
+    """A seeded Poisson arrival process (exponential interarrival gaps).
+
+    Parameters
+    ----------
+    num_arrivals:
+        Number of arrivals to generate.
+    rate:
+        Mean offered load in arrivals per second.
+    seed:
+        Seed of the ``numpy`` generator — equal seeds replay the exact same
+        timeline, which is what makes open-loop serving runs comparable
+        across policies.
+    start:
+        Offset of the first possible arrival (the first gap is drawn from the
+        same exponential, so the process is memoryless from ``start``).
+    """
+    if num_arrivals <= 0:
+        raise ExperimentError("num_arrivals must be positive")
+    if rate <= 0:
+        raise ExperimentError("the arrival rate must be positive")
+    if start < 0:
+        raise ExperimentError("the start offset must be non-negative")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(scale=1.0 / rate, size=num_arrivals)
+    return ArrivalSchedule(times=start + np.cumsum(gaps))
+
+
+def burst_arrivals(num_arrivals: int) -> ArrivalSchedule:
+    """Every query arrives at once — the saturated upper bound of open loop."""
+    if num_arrivals <= 0:
+        raise ExperimentError("num_arrivals must be positive")
+    return ArrivalSchedule(times=np.zeros(num_arrivals, dtype=np.float64))

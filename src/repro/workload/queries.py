@@ -44,6 +44,36 @@ class QueryWorkload:
     def __iter__(self):
         return iter(self.queries)
 
+    def __getitem__(self, item) -> "QueryWorkload | np.ndarray":
+        """``workload[i]`` is one query vector; slices and index arrays
+        return a sub-workload with its ``source_oids`` kept aligned."""
+        if isinstance(item, (int, np.integer)):
+            return self.queries[item]
+        queries = self.queries[item]
+        if queries.ndim != 2 or queries.shape[0] == 0:
+            raise ExperimentError("a workload slice must keep at least one query")
+        oids = self.source_oids[item] if self.source_oids is not None else None
+        return QueryWorkload(queries=queries, source_oids=oids)
+
+    def take(self, num_queries: int) -> "QueryWorkload":
+        """The first ``num_queries`` queries as a sub-workload."""
+        if num_queries < 1 or num_queries > len(self):
+            raise ExperimentError(
+                f"take() needs 1 <= num_queries <= {len(self)}, got {num_queries}"
+            )
+        return self[:num_queries]
+
+    def chunks(self, size: int):
+        """Iterate the workload in consecutive sub-workloads of ``size``.
+
+        The last chunk may be smaller; this is how closed-loop drivers feed
+        fixed-size batches and serving tests replay a workload wave by wave.
+        """
+        if size < 1:
+            raise ExperimentError("the chunk size must be at least 1")
+        for begin in range(0, len(self), size):
+            yield self[begin : begin + size]
+
     @property
     def dimensionality(self) -> int:
         """Dimensionality of the query vectors."""
