@@ -49,16 +49,30 @@ reports throughput, mean micro-batch size and p50/p99 request latency, and
 every served answer is verified bitwise against the direct ``Index.answer``
 call before numbers are written.
 
+The ``reliability`` axis measures the integrity layer of
+:mod:`repro.reliability` and :mod:`repro.storage.persistence`: the fault-free
+overhead of ``Index.open(verify="checksum")`` against the unverified open
+(the acceptance bar is < 5%), and — under ``--chaos`` — a set of seeded
+fault-injection scenarios replayed against the full stack (transient faults
+under the retry budget, a fault storm over it, shard loss under the partial
+degradation policy, and a corrupted on-disk fragment).  The exit code
+enforces the reliability contract: every query resolves to a bitwise
+identical answer or a typed error, never a silently wrong one.
+
 The sequential-scan baseline (SSH) and its batched variant are measured as
 context.  Every engine's top-k (OIDs *and* scores) is verified to be
 identical to the seed path (brute force for the compressed axis) before any
 number is reported, and the results are written to ``BENCH_knn.json`` at the
-repository root so the performance trajectory is tracked across PRs.
+repository root so the performance trajectory is tracked across PRs.  An
+identity failure or a broken axis no longer aborts the sweep with a
+traceback: the remaining axes still run, and the exit message names the
+axis, engine and first diverging query.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py            # default scale
     PYTHONPATH=src python benchmarks/run_benchmarks.py --quick    # CI smoke run
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --quick --chaos
 """
 
 from __future__ import annotations
@@ -67,7 +81,9 @@ import argparse
 import asyncio
 import json
 import pathlib
+import shutil
 import sys
+import tempfile
 import time
 
 import numpy as np
@@ -87,10 +103,13 @@ from repro.core.parallel import (  # noqa: E402
 )
 from repro.core.sequential import SequentialScan  # noqa: E402
 from repro.datasets.corel import make_corel_like  # noqa: E402
+from repro.errors import CorruptFragmentError, ReproError  # noqa: E402
+from repro.reliability import FaultPlan  # noqa: E402
 from repro.metrics.histogram import HistogramIntersection  # noqa: E402
 from repro.serving import SearchService, ServingConfig, replay_open_loop  # noqa: E402
 from repro.storage.compressed import CompressedStore  # noqa: E402
 from repro.storage.decomposed import DecomposedStore  # noqa: E402
+from repro.storage.persistence import fragment_file_name  # noqa: E402
 from repro.storage.rowstore import RowStore  # noqa: E402
 from repro.workload.arrivals import burst_arrivals, poisson_arrivals  # noqa: E402
 from repro.workload.ground_truth import exact_top_k  # noqa: E402
@@ -110,12 +129,46 @@ def _time_per_query(run, num_queries: int, repeats: int) -> float:
     return best / num_queries
 
 
+def _first_divergence(reference, candidate) -> str | None:
+    """``None`` if the two result lists are bitwise identical, else a
+    human-readable description of the first query that diverged — so an
+    identity failure names the query instead of surfacing as a bare boolean."""
+    for index, (a, b) in enumerate(zip(reference, candidate)):
+        if not np.array_equal(a.oids, b.oids):
+            return (
+                f"query {index}: oids {np.asarray(a.oids).tolist()} "
+                f"!= {np.asarray(b.oids).tolist()}"
+            )
+        if not np.array_equal(a.scores, b.scores):
+            worst = float(np.max(np.abs(np.asarray(a.scores) - np.asarray(b.scores))))
+            return f"query {index}: scores diverge (max abs diff {worst:.3e})"
+    return None
+
+
 def _results_identical(reference, candidate) -> bool:
     """Bitwise equality of two result lists (OIDs and scores)."""
-    return all(
-        np.array_equal(a.oids, b.oids) and np.array_equal(a.scores, b.scores)
-        for a, b in zip(reference, candidate)
-    )
+    return _first_divergence(reference, candidate) is None
+
+
+class IdentityLog:
+    """Named identity checks of one benchmark axis.
+
+    Keeps the per-engine booleans the JSON report always carried, plus the
+    first-divergence detail of every failed check, so the exit path can say
+    *which* engine diverged on *which* query instead of aborting the sweep
+    with a bare assertion.
+    """
+
+    def __init__(self) -> None:
+        self.ok: dict[str, bool] = {}
+        self.divergences: dict[str, str] = {}
+
+    def check(self, name: str, reference, candidate) -> bool:
+        detail = _first_divergence(reference, candidate)
+        self.ok[name] = detail is None
+        if detail is not None:
+            self.divergences[name] = detail
+        return detail is None
 
 
 def run_compressed_benchmark(
@@ -141,23 +194,15 @@ def run_compressed_benchmark(
     # same way brute force does, so even tie-breaks agree).
     if reference is None:
         reference = [exact_top_k(data, query, k, metric) for query in queries]
-    identical = {
-        "seed": _results_identical(
-            reference, [seed_searcher.search(query, k) for query in queries]
-        ),
-        "loop": _results_identical(
-            reference, [loop_searcher.search(query, k) for query in queries]
-        ),
-        "fused": _results_identical(
-            reference, [fused_searcher.search(query, k) for query in queries]
-        ),
-        "batched": _results_identical(
-            reference, list(fused_searcher.search_batch(queries, k))
-        ),
-        "vafile": _results_identical(reference, [vafile.search(query, k) for query in queries]),
-    }
+    log = IdentityLog()
+    log.check("seed", reference, [seed_searcher.search(query, k) for query in queries])
+    log.check("loop", reference, [loop_searcher.search(query, k) for query in queries])
+    log.check("fused", reference, [fused_searcher.search(query, k) for query in queries])
+    log.check("batched", reference, list(fused_searcher.search_batch(queries, k)))
+    log.check("vafile", reference, [vafile.search(query, k) for query in queries])
+    identical = log.ok
     for name, ok in identical.items():
-        marker = "ok" if ok else "MISMATCH"
+        marker = "ok" if ok else f"MISMATCH ({log.divergences[name]})"
         print(f"  top-k identity vs brute force [{name}]: {marker}")
 
     timings = {
@@ -202,6 +247,7 @@ def run_compressed_benchmark(
         "config": {"bits": 8, "metric": "histogram_intersection"},
         "engines": engines,
         "identical_topk_vs_brute_force": identical,
+        "divergences": log.divergences,
         "fused_speedup_vs_seed": fused_speedup,
         "batched_speedup_vs_seed": batched_speedup,
         "meets_2x_target": bool(
@@ -227,13 +273,14 @@ def run_sharded_benchmark(
     """The sharded parallel engine axis (shards == workers, tile rounds)."""
     print("\nsharded parallel engine (shards == workers, cache-aware tile rounds):")
     rows = {}
-    identical = {}
+    log = IdentityLog()
     for workers in workers_axis:
         searcher = ShardedBondSearcher(
             DecomposedStore(data), shards=workers, workers=workers
         )
-        ok = _results_identical(reference, list(searcher.search_batch(queries, k)))
-        identical[f"sharded_w{workers}"] = ok
+        ok = log.check(
+            f"sharded_w{workers}", reference, list(searcher.search_batch(queries, k))
+        )
         seconds = _time_per_query(
             lambda s=searcher: s.search_batch(queries, k), num_queries, repeats
         )
@@ -252,10 +299,12 @@ def run_sharded_benchmark(
         shards=max_workers,
         workers=max_workers,
     )
-    compressed_ok = _results_identical(
-        compressed_reference, list(compressed_searcher.search_batch(queries, k))
+    compressed_ok = log.check(
+        "sharded_compressed",
+        compressed_reference,
+        list(compressed_searcher.search_batch(queries, k)),
     )
-    identical["sharded_compressed"] = compressed_ok
+    identical = log.ok
     compressed_seconds = _time_per_query(
         lambda: compressed_searcher.search_batch(queries, k), num_queries, repeats
     )
@@ -285,6 +334,7 @@ def run_sharded_benchmark(
             "identical_topk": compressed_ok,
         },
         "identical_topk": identical,
+        "divergences": log.divergences,
         "best_speedup_vs_batched": best["speedup_vs_batched"],
         "meets_2_5x_target": bool(
             best["speedup_vs_batched"] >= 2.5 and all(identical.values())
@@ -355,7 +405,7 @@ def run_serving_benchmark(
         return best
 
     rows = {}
-    identical = {}
+    log = IdentityLog()
 
     closed_results, closed_stats, closed_wall = measure(
         ServingConfig(latency_budget=0.0, max_batch_size=1)
@@ -383,8 +433,7 @@ def run_serving_benchmark(
     )
 
     for name, (results, stats, wall, policy) in scenarios.items():
-        ok = _results_identical(direct, results)
-        identical[name] = ok
+        ok = log.check(name, direct, results)
         rows[name] = {
             "policy": policy or "fifo",
             "queries_per_second": num_queries / wall,
@@ -425,14 +474,244 @@ def run_serving_benchmark(
             "open_loop_rate_qps": 2.0 * closed_qps,
         },
         "rows": rows,
-        "identical_served_vs_direct": identical,
+        "identical_served_vs_direct": log.ok,
+        "divergences": log.divergences,
         "burst_speedup_vs_closed_loop": speedup,
         "meets_batching_target": bool(
             speedup > 1.0
             and burst["mean_batch_size"] >= min(8, num_queries)
-            and all(identical.values())
+            and all(log.ok.values())
         ),
     }
+
+
+def _chaos_serve(index, queries, k: int, *, config: ServingConfig):
+    """Serve ``queries`` sequentially, mapping each to a result or the typed
+    error it failed with (anything non-:class:`ReproError` propagates —
+    a foreign exception type under chaos is itself a defect)."""
+
+    async def run():
+        async with SearchService(index, config=config) as service:
+            outcomes = []
+            for query in queries:
+                try:
+                    outcomes.append(await service.submit(query, k=k, metric="histogram"))
+                except ReproError as error:
+                    outcomes.append(error)
+            return outcomes
+
+    return asyncio.run(run())
+
+
+def run_chaos_scenarios(
+    *,
+    index,
+    direct,
+    data: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    index_path: pathlib.Path,
+    shard_workers: int,
+) -> dict:
+    """The ``--chaos`` scenarios: seeded fault schedules replayed against the
+    full stack, holding the reliability contract — every query resolves to a
+    bitwise-identical answer or a typed error, never a silently wrong one."""
+    scenarios: dict[str, dict] = {}
+
+    # 1. Transient faults under an ample retry budget are invisible.
+    config = ServingConfig(
+        latency_budget=0.0, max_retries=8, retry_base_delay=0.001, failover=False
+    )
+    with FaultPlan(seed=23).arm("executor.dispatch", rate=0.3) as plan:
+        outcomes = _chaos_serve(index, queries, k, config=config)
+    wrong = [
+        i
+        for i, (a, b) in enumerate(zip(direct, outcomes))
+        if isinstance(b, ReproError) or _first_divergence([a], [b]) is not None
+    ]
+    scenarios["transient_under_budget"] = {
+        "faults_injected": plan.fired(),
+        "errors": 0,
+        "ok": bool(plan.fired() > 0 and not wrong),
+        "detail": "" if not wrong else f"queries {wrong} not answered identically",
+    }
+
+    # 2. A fault storm over the budget fails typed — never answers wrongly.
+    config = ServingConfig(
+        latency_budget=0.0,
+        max_retries=1,
+        retry_base_delay=0.001,
+        retry_budget=2,
+        failover=False,
+    )
+    with FaultPlan(seed=29).arm("executor.dispatch", rate=0.9) as plan:
+        outcomes = _chaos_serve(index, queries, k, config=config)
+    errors = sum(isinstance(o, ReproError) for o in outcomes)
+    wrong = [
+        i
+        for i, (a, b) in enumerate(zip(direct, outcomes))
+        if not isinstance(b, ReproError) and _first_divergence([a], [b]) is not None
+    ]
+    scenarios["fault_storm_over_budget"] = {
+        "faults_injected": plan.fired(),
+        "errors": errors,
+        "ok": bool(errors > 0 and not wrong),
+        "detail": "" if not wrong else f"queries {wrong} answered wrongly",
+    }
+
+    # 3. The same seed replays the identical fault schedule and outcomes.
+    def replay():
+        with FaultPlan(seed=23).arm("executor.dispatch", rate=0.3) as plan:
+            outcomes = _chaos_serve(
+                index,
+                queries,
+                k,
+                config=ServingConfig(
+                    latency_budget=0.0, max_retries=8, retry_base_delay=0.001, failover=False
+                ),
+            )
+        return plan.events, outcomes
+
+    events_a, outcomes_a = replay()
+    events_b, outcomes_b = replay()
+    replay_ok = events_a == events_b and all(
+        _first_divergence([a], [b]) is None
+        for a, b in zip(outcomes_a, outcomes_b)
+        if not isinstance(a, ReproError) and not isinstance(b, ReproError)
+    )
+    scenarios["replay_determinism"] = {
+        "faults_injected": len(events_a),
+        "errors": 0,
+        "ok": bool(replay_ok),
+        "detail": "" if replay_ok else "two runs of the same seed diverged",
+    }
+
+    # 4. A dead shard degrades (flagged) instead of failing, and the
+    #    surviving shards' answer never cites rows of the dead shard.
+    shards = max(2, shard_workers)
+    searcher = ShardedBondSearcher(
+        DecomposedStore(data),
+        shards=shards,
+        workers=shard_workers,
+        on_shard_failure="partial",
+    )
+    try:
+        with FaultPlan(seed=31).arm("shard.map", where={"shard": 0}):
+            degraded = searcher.search(queries[0], k)
+        plan = searcher.shard_plan
+        dead = set(range(plan.boundaries[0], plan.boundaries[1]))
+        partial_ok = (
+            degraded.degraded
+            and degraded.failed_shards == (0,)
+            and not (set(np.asarray(degraded.oids).tolist()) & dead)
+        )
+        detail = "" if partial_ok else "degraded result missing flags or citing dead rows"
+    finally:
+        searcher.close()
+    scenarios["shard_partial_degradation"] = {
+        "faults_injected": 1,
+        "errors": 0,
+        "ok": bool(partial_ok),
+        "detail": detail,
+    }
+
+    # 5. A flipped byte in a persisted fragment is caught at open time.
+    with tempfile.TemporaryDirectory(prefix="bench_chaos_") as tmp:
+        corrupt_path = pathlib.Path(tmp) / "corrupt"
+        shutil.copytree(index_path, corrupt_path)
+        victim = corrupt_path / fragment_file_name(1)
+        blob = bytearray(victim.read_bytes())
+        blob[len(blob) // 2] ^= 0x20
+        victim.write_bytes(bytes(blob))
+        try:
+            Index.open(corrupt_path, verify="checksum")
+            corruption_ok, detail = False, "corrupted fragment loaded without error"
+        except CorruptFragmentError as error:
+            corruption_ok = fragment_file_name(1) in str(error)
+            detail = "" if corruption_ok else f"error does not name the fragment: {error}"
+    scenarios["corruption_detection"] = {
+        "faults_injected": 1,
+        "errors": 1,
+        "ok": bool(corruption_ok),
+        "detail": detail,
+    }
+
+    print(f"  {'chaos scenario':<28} {'faults':>7} {'errors':>7} {'verdict':>10}")
+    for name, row in scenarios.items():
+        verdict = "ok" if row["ok"] else f"FAILED ({row['detail']})"
+        print(f"  {name:<28} {row['faults_injected']:>7} {row['errors']:>7} {verdict:>10}")
+    return {"scenarios": scenarios, "all_ok": all(row["ok"] for row in scenarios.values())}
+
+
+def run_reliability_benchmark(
+    *,
+    data: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    repeats: int,
+    chaos: bool,
+    shard_workers: int,
+) -> dict:
+    """The reliability axis: checksum-verified open overhead (always) and the
+    seeded chaos scenarios (under ``--chaos``)."""
+    print("\nreliability (checksummed storage, seeded chaos):")
+    index = Index.build(data)
+    direct = [index.answer(Query(query, k=k, metric="histogram")) for query in queries]
+
+    with tempfile.TemporaryDirectory(prefix="bench_reliability_") as tmp:
+        path = pathlib.Path(tmp) / "index"
+        index.save(path)
+        Index.open(path)  # warm the page cache so both modes read warm
+
+        def best_open(verify: str) -> float:
+            best = float("inf")
+            for _ in range(max(2, repeats + 1)):
+                started = time.perf_counter()
+                Index.open(path, verify=verify)
+                best = min(best, time.perf_counter() - started)
+            return best
+
+        plain = best_open("none")
+        checked = best_open("checksum")
+        overhead_pct = 100.0 * (checked / plain - 1.0)
+        print(
+            f"  Index.open verify='checksum': {1e3 * checked:.1f} ms vs "
+            f"{1e3 * plain:.1f} ms unverified ({overhead_pct:+.2f}%, target < 5%)"
+        )
+        report = {
+            "checksum_overhead": {
+                "open_seconds_verify_none": plain,
+                "open_seconds_verify_checksum": checked,
+                "overhead_pct": overhead_pct,
+                "meets_5pct_target": bool(overhead_pct < 5.0),
+            }
+        }
+        if chaos:
+            report["chaos"] = run_chaos_scenarios(
+                index=index,
+                direct=direct,
+                data=data,
+                queries=queries,
+                k=k,
+                index_path=path,
+                shard_workers=shard_workers,
+            )
+    return report
+
+
+def _run_axis(name: str, fn, failures: dict[str, str]):
+    """Run one benchmark axis, recording (instead of propagating) its failure.
+
+    A broken axis must not abort the whole sweep with a bare traceback: the
+    other axes still produce numbers, the report records which axis failed
+    and why, and ``main`` turns the record into a named non-zero exit.
+    """
+    try:
+        return fn()
+    except Exception as error:  # noqa: BLE001 — the whole point is isolation
+        failures[name] = f"{type(error).__name__}: {error}"
+        print(f"  ERROR: axis {name!r} failed: {failures[name]}", file=sys.stderr)
+        return None
 
 
 def run_benchmark(
@@ -444,6 +723,7 @@ def run_benchmark(
     repeats: int,
     seed: int,
     sharded_workers: tuple[int, ...] = (1, 2, 4),
+    chaos: bool = False,
 ) -> dict:
     print(
         f"dataset: {cardinality} x {dimensionality} Corel-like histograms, "
@@ -472,21 +752,15 @@ def run_benchmark(
     # its batched variant is checked against the single-query scan instead.
     reference = [seed_searcher.search(query, k) for query in queries]
     scan_reference = [scan.search(query, k) for query in queries]
-    identical = {
-        "loop": _results_identical(
-            reference, [loop_searcher.search(query, k) for query in queries]
-        ),
-        "fused": _results_identical(
-            reference, [fused_searcher.search(query, k) for query in queries]
-        ),
-        "batched": _results_identical(reference, list(fused_searcher.search_batch(queries, k))),
-        "facade_batched": _results_identical(reference, list(index.answer(facade_query))),
-        "scan_batched_vs_scan": _results_identical(
-            scan_reference, list(scan.search_batch(queries, k))
-        ),
-    }
+    core_log = IdentityLog()
+    core_log.check("loop", reference, [loop_searcher.search(query, k) for query in queries])
+    core_log.check("fused", reference, [fused_searcher.search(query, k) for query in queries])
+    core_log.check("batched", reference, list(fused_searcher.search_batch(queries, k)))
+    core_log.check("facade_batched", reference, list(index.answer(facade_query)))
+    core_log.check("scan_batched_vs_scan", scan_reference, list(scan.search_batch(queries, k)))
+    identical = core_log.ok
     for name, ok in identical.items():
-        marker = "ok" if ok else "MISMATCH"
+        marker = "ok" if ok else f"MISMATCH ({core_log.divergences[name]})"
         print(f"  top-k identity [{name}]: {marker}")
 
     # -- timing.
@@ -542,35 +816,64 @@ def run_benchmark(
     )
     compressed_metric = HistogramIntersection()
     compressed_reference = [exact_top_k(data, query, k, compressed_metric) for query in queries]
-    compressed = run_compressed_benchmark(
-        data=data,
-        queries=queries,
-        k=k,
-        repeats=repeats,
-        num_queries=num_queries,
-        reference=compressed_reference,
+    axis_failures: dict[str, str] = {}
+    compressed = _run_axis(
+        "compressed",
+        lambda: run_compressed_benchmark(
+            data=data,
+            queries=queries,
+            k=k,
+            repeats=repeats,
+            num_queries=num_queries,
+            reference=compressed_reference,
+        ),
+        axis_failures,
     )
-    sharded = run_sharded_benchmark(
-        data=data,
-        queries=queries,
-        k=k,
-        repeats=repeats,
-        num_queries=num_queries,
-        reference=reference,
-        seed_seconds=seed_seconds,
-        batched_seconds=timings["batched"],
-        compressed_reference=compressed_reference,
-        compressed_batched_seconds=compressed["engines"]["compressed_batched"][
-            "seconds_per_query"
-        ],
-        workers_axis=sharded_workers,
+    if compressed is not None:
+        sharded = _run_axis(
+            "sharded",
+            lambda: run_sharded_benchmark(
+                data=data,
+                queries=queries,
+                k=k,
+                repeats=repeats,
+                num_queries=num_queries,
+                reference=reference,
+                seed_seconds=seed_seconds,
+                batched_seconds=timings["batched"],
+                compressed_reference=compressed_reference,
+                compressed_batched_seconds=compressed["engines"]["compressed_batched"][
+                    "seconds_per_query"
+                ],
+                workers_axis=sharded_workers,
+            ),
+            axis_failures,
+        )
+    else:
+        sharded = None
+        axis_failures["sharded"] = "skipped: depends on the failed 'compressed' axis"
+    serving = _run_axis(
+        "serving",
+        lambda: run_serving_benchmark(
+            data=data,
+            queries=queries,
+            k=k,
+            repeats=repeats,
+            num_queries=num_queries,
+        ),
+        axis_failures,
     )
-    serving = run_serving_benchmark(
-        data=data,
-        queries=queries,
-        k=k,
-        repeats=repeats,
-        num_queries=num_queries,
+    reliability = _run_axis(
+        "reliability",
+        lambda: run_reliability_benchmark(
+            data=data,
+            queries=queries,
+            k=k,
+            repeats=repeats,
+            chaos=chaos,
+            shard_workers=max(sharded_workers),
+        ),
+        axis_failures,
     )
     return {
         "benchmark": "BENCH_knn",
@@ -586,6 +889,7 @@ def run_benchmark(
         },
         "engines": engines,
         "identical_topk_vs_seed": identical,
+        "divergences": core_log.divergences,
         "batched_speedup_vs_seed": batched_speedup,
         "meets_3x_target": bool(batched_speedup >= 3.0 and all(identical.values())),
         "facade": {
@@ -597,12 +901,20 @@ def run_benchmark(
         "compressed": compressed,
         "sharded": sharded,
         "serving": serving,
+        "reliability": reliability,
+        "axis_failures": axis_failures,
     }
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="small CI smoke configuration")
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="replay the seeded fault-injection scenarios of the reliability "
+        "axis (identical-answer-or-typed-error is enforced by the exit code)",
+    )
     # Default scale mirrors the paper's Corel workload: 59,619 histograms
     # with 166 bins (Section 7.1).
     parser.add_argument("--cardinality", type=int, default=59_619)
@@ -658,24 +970,45 @@ def main(argv: list[str] | None = None) -> int:
         repeats=args.repeats,
         seed=args.seed,
         sharded_workers=sharded_workers,
+        chaos=args.chaos,
     )
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {args.output}")
 
-    if not all(report["identical_topk_vs_seed"].values()):
-        print("ERROR: an engine diverged from the seed top-k", file=sys.stderr)
-        return 1
-    if not all(report["compressed"]["identical_topk_vs_brute_force"].values()):
-        print("ERROR: a compressed engine diverged from the brute-force top-k", file=sys.stderr)
-        return 1
-    if not all(report["sharded"]["identical_topk"].values()):
-        print("ERROR: a sharded engine diverged from the reference top-k", file=sys.stderr)
-        return 1
-    if not all(report["serving"]["identical_served_vs_direct"].values()):
-        print(
-            "ERROR: a served answer diverged from the direct Index.answer result",
-            file=sys.stderr,
-        )
+    failed = False
+    for axis, reason in report["axis_failures"].items():
+        print(f"ERROR: axis {axis!r} did not complete: {reason}", file=sys.stderr)
+        failed = True
+    identity_axes = {
+        "engines": (report, "identical_topk_vs_seed"),
+        "compressed": (report["compressed"], "identical_topk_vs_brute_force"),
+        "sharded": (report["sharded"], "identical_topk"),
+        "serving": (report["serving"], "identical_served_vs_direct"),
+    }
+    for axis, (section, key) in identity_axes.items():
+        if section is None:
+            continue  # already reported through axis_failures
+        divergences = section.get("divergences", {})
+        for name, ok in section[key].items():
+            if not ok:
+                detail = divergences.get(name, "no divergence detail recorded")
+                print(
+                    f"ERROR: axis {axis!r}, engine {name!r} diverged from its "
+                    f"reference: {detail}",
+                    file=sys.stderr,
+                )
+                failed = True
+    reliability = report["reliability"]
+    if reliability is not None and "chaos" in reliability:
+        for name, row in reliability["chaos"]["scenarios"].items():
+            if not row["ok"]:
+                print(
+                    f"ERROR: chaos scenario {name!r} failed: "
+                    f"{row['detail'] or 'contract violated'}",
+                    file=sys.stderr,
+                )
+                failed = True
+    if failed:
         return 1
     print(
         f"batched speedup vs seed: {report['batched_speedup_vs_seed']:.2f}x "
@@ -705,6 +1038,13 @@ def main(argv: list[str] | None = None) -> int:
         f"(micro-batching target > 1x at batch >= 8: "
         f"{'met' if serving['meets_batching_target'] else 'NOT met'})"
     )
+    overhead = report["reliability"]["checksum_overhead"]
+    print(
+        f"checksum-verified open overhead: {overhead['overhead_pct']:+.2f}% "
+        f"(target < 5%: {'met' if overhead['meets_5pct_target'] else 'NOT met'})"
+    )
+    if args.chaos:
+        print("chaos scenarios: all held (identical answer or typed error)")
     return 0
 
 

@@ -68,7 +68,29 @@ from repro.datasets import (
     make_subspace_weights,
 )
 from repro.engine import CostModel
-from repro.errors import QueueFull, ReproError, ServiceClosed, ServingError
+from repro.errors import (
+    BackendError,
+    CorruptFragmentError,
+    DeadlineExceeded,
+    FailoverExhausted,
+    ManifestVersionError,
+    PlanError,
+    QueryError,
+    QueueFull,
+    ReproError,
+    ServiceClosed,
+    ServingError,
+    StorageError,
+    TransientBackendError,
+)
+from repro.reliability import (
+    CircuitBreaker,
+    FaultPlan,
+    FaultSpec,
+    RetryBudget,
+    RetryPolicy,
+    fault_point,
+)
 from repro.metrics import (
     AverageAggregate,
     EuclideanSimilarity,
@@ -83,6 +105,7 @@ from repro.serving import (
     FifoAdmission,
     OverlapAdmission,
     SearchService,
+    ServiceHealth,
     ServingConfig,
     ServingStats,
 )
@@ -107,21 +130,29 @@ __version__ = "1.0.0"
 __all__ = [
     "ArrivalSchedule",
     "AverageAggregate",
+    "BackendError",
     "BatchSearchResult",
     "burst_arrivals",
     "BondSearcher",
     "Capabilities",
+    "CircuitBreaker",
+    "CorruptFragmentError",
     "CompressedBondSearcher",
     "CompressedStore",
     "CostModel",
     "DataSkewOrdering",
     "DecomposedStore",
+    "DeadlineExceeded",
     "DecreasingQueryOrdering",
     "describe_dataset",
     "EqBound",
     "EuclideanSimilarity",
     "EvBound",
     "exact_top_k",
+    "FailoverExhausted",
+    "fault_point",
+    "FaultPlan",
+    "FaultSpec",
     "FeatureComponent",
     "FifoAdmission",
     "FixedPeriodSchedule",
@@ -134,6 +165,7 @@ __all__ = [
     "IncreasingQueryOrdering",
     "Index",
     "load_decomposed",
+    "ManifestVersionError",
     "make_clustered",
     "make_corel_like",
     "make_skewed_weights",
@@ -143,14 +175,18 @@ __all__ = [
     "PartialAbandonScan",
     "PartialState",
     "Plan",
+    "PlanError",
     "poisson_arrivals",
     "PruningBound",
     "Query",
+    "QueryError",
     "QueryPlanner",
     "QueryWorkload",
     "QueueFull",
     "RandomOrdering",
     "ReproError",
+    "RetryBudget",
+    "RetryPolicy",
     "RowStore",
     "RTreeIndex",
     "sample_queries",
@@ -160,13 +196,16 @@ __all__ = [
     "SearchService",
     "SequentialScan",
     "ServiceClosed",
+    "ServiceHealth",
     "ServingConfig",
     "ServingError",
     "ServingStats",
     "SimilarityNetwork",
     "SquaredEuclidean",
+    "StorageError",
     "StreamMergingSearcher",
     "subspace_search",
+    "TransientBackendError",
     "VAFile",
     "weighted_search",
     "WeightedAverageAggregate",

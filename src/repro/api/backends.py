@@ -44,6 +44,7 @@ from repro.core.result import BatchSearchResult, PruningTrace, SearchResult
 from repro.core.sequential import PartialAbandonScan, SequentialScan
 from repro.engine.cost import COMPRESSED_BYTES, DOUBLE_BYTES, OID_BYTES
 from repro.metrics.base import Metric
+from repro.reliability.faults import fault_point
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.index import Index
@@ -121,6 +122,7 @@ class Backend(abc.ABC):
         which is what keeps facade answers bitwise identical to direct
         searcher calls.
         """
+        fault_point("backend.answer", backend=self.name)
         searcher = index.searcher_for(self, query, metric)
         if query.is_batch:
             return searcher.search_batch(query.query_matrix, query.k)
@@ -370,12 +372,13 @@ class ShardedBondBackend(Backend):
         )
 
     def create(self, index: "Index", metric: Metric) -> ShardedSearcher:
-        return ShardedSearcher(index, metric)
+        return ShardedSearcher(index, metric, on_shard_failure=index.on_shard_failure)
 
     def answer(
         self, index: "Index", query: "Query", metric: Metric
     ) -> SearchResult | BatchSearchResult:
         """Route the query to the mode-matching sharded engine."""
+        fault_point("backend.answer", backend=self.name)
         searcher = index.searcher_for(self, query, metric)
         engine = searcher.engine_for_mode(query.mode)
         if query.is_batch:

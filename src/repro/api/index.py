@@ -36,7 +36,7 @@ from repro.api.planner import Plan, QueryPlanner
 from repro.api.query import Query
 from repro.core.result import BatchSearchResult, SearchResult
 from repro.engine.cost import CostModel
-from repro.errors import QueryError
+from repro.errors import BackendError, FailoverExhausted, QueryError
 from repro.metrics.base import Metric
 from repro.storage.compressed import CompressedStore
 from repro.storage.decomposed import DecomposedStore
@@ -73,7 +73,14 @@ class Index:
         resulting balanced :class:`~repro.storage.sharding.ShardPlan` is
         persisted in the manifest by :meth:`save` and restored by
         :meth:`open`.
+    on_shard_failure:
+        Shard-failure policy of the sharded engines: ``"fail"`` (default)
+        re-raises a failed shard's error, ``"partial"`` merges the surviving
+        shards into a flagged degraded answer (see
+        :class:`~repro.core.parallel.ShardedBondSearcher`).
     """
+
+    SHARD_FAILURE_MODES = ("fail", "partial")
 
     def __init__(
         self,
@@ -84,15 +91,22 @@ class Index:
         cost: CostModel | None = None,
         registry: BackendRegistry | None = None,
         shards: int = 1,
+        on_shard_failure: str = "fail",
     ) -> None:
         matrix = np.asarray(vectors, dtype=np.float64)
         if matrix.ndim != 2 or matrix.shape[0] == 0 or matrix.shape[1] == 0:
             raise QueryError(f"an index needs a non-empty 2-D vector matrix, got {matrix.shape}")
         if shards < 1:
             raise QueryError("shards must be at least 1")
+        if on_shard_failure not in self.SHARD_FAILURE_MODES:
+            raise QueryError(
+                f"on_shard_failure must be one of {self.SHARD_FAILURE_MODES}, "
+                f"got {on_shard_failure!r}"
+            )
         self._vectors = matrix
         self._name = name
         self._bits = bits
+        self._on_shard_failure = on_shard_failure
         self._shards = int(shards)
         self._shard_plan: ShardPlan | None = None
         self._cost = cost if cost is not None else CostModel()
@@ -114,18 +128,22 @@ class Index:
         return cls(vectors, **opts)
 
     @classmethod
-    def open(cls, path: str | pathlib.Path, **opts) -> "Index":
+    def open(cls, path: str | pathlib.Path, *, verify: str = "none", **opts) -> "Index":
         """Open a collection persisted by :meth:`save`.
 
-        Build options recorded in the manifest (name, compression bits) are
-        restored; explicit keyword arguments override them.
+        Build options recorded in the manifest (name, compression bits,
+        shard-failure policy) are restored; explicit keyword arguments
+        override them.  ``verify="checksum"`` re-hashes every fragment file
+        against the manifest's recorded checksums while loading and raises
+        :class:`~repro.errors.CorruptFragmentError` (naming the fragment) on
+        any mismatch — see :func:`~repro.storage.persistence.load_decomposed`.
         """
         manifest = load_manifest(path)
         saved = dict(manifest.get("index", {}))
         saved["name"] = str(manifest.get("name", pathlib.Path(path).name))
         saved.update(opts)
         cost = saved.pop("cost", None)
-        store = load_decomposed(path, cost=cost)
+        store = load_decomposed(path, cost=cost, verify=verify)
         index = cls(store.matrix, cost=store.cost, **saved)
         index._decomposed = store  # reuse the loaded fragments
         if "sharding" in manifest and "shards" not in opts:
@@ -146,7 +164,11 @@ class Index:
             path,
             overwrite=overwrite,
             extra_manifest={
-                "index": {"bits": self._bits, "shards": self._shards},
+                "index": {
+                    "bits": self._bits,
+                    "shards": self._shards,
+                    "on_shard_failure": self._on_shard_failure,
+                },
                 "sharding": self.shard_plan.to_manifest(),
             },
         )
@@ -185,6 +207,11 @@ class Index:
     def shards(self) -> int:
         """The row-shard count the index was built with."""
         return self._shards
+
+    @property
+    def on_shard_failure(self) -> str:
+        """Shard-failure policy handed to the sharded engines."""
+        return self._on_shard_failure
 
     @property
     def shard_plan(self) -> ShardPlan:
@@ -260,12 +287,39 @@ class Index:
         """The planning transcript for ``query`` (nothing is executed)."""
         return self._planner.explain(query)
 
-    def answer(self, query: Query) -> SearchResult | BatchSearchResult:
+    def answer(
+        self, query: Query, *, failover: bool = False
+    ) -> SearchResult | BatchSearchResult:
         """Plan and execute ``query`` on the cheapest capable backend.
 
         Returns a :class:`~repro.core.result.SearchResult` for single-vector
         queries and a :class:`~repro.core.result.BatchSearchResult` for
         batches, exactly as the underlying searcher would.
+
+        With ``failover=True``, an execution-time
+        :class:`~repro.errors.BackendError` from the planned backend is not
+        final: the planner's :meth:`~repro.api.planner.Plan.failover_chain`
+        is walked (next-cheapest eligible backend first) until one answers.
+        Every backend is exact, so a failover answer is bitwise identical to
+        the planned one.  When the whole chain fails the per-backend errors
+        are collected into :class:`~repro.errors.FailoverExhausted`; a
+        single-entry chain re-raises the original error unchanged.
         """
         plan = self._planner.plan(query)
-        return plan.backend.answer(self, query, plan.metric)
+        if not failover:
+            return plan.backend.answer(self, query, plan.metric)
+        attempts: list[tuple[str, BackendError]] = []
+        chain = plan.failover_chain()
+        for backend_name in chain:
+            backend = self._planner.registry.get(backend_name)
+            try:
+                return backend.answer(self, query, plan.metric)
+            except BackendError as exc:
+                attempts.append((backend_name, exc))
+        if len(chain) == 1:
+            raise attempts[0][1]
+        summary = "; ".join(f"{name}: {error}" for name, error in attempts)
+        raise FailoverExhausted(
+            f"all {len(attempts)} capable backends failed ({summary})",
+            attempts=attempts,
+        )

@@ -59,6 +59,24 @@ class Plan:
         """Execution-engine label of the chosen backend."""
         return self.backend.engine
 
+    def failover_chain(self) -> tuple[str, ...]:
+        """Backend names to try in order when execution (not planning) fails.
+
+        The chosen backend first, then every other *eligible* candidate in
+        ascending estimated-cost order (the sort is stable, so equal
+        estimates keep their registration-order tie-break).  A query that
+        pins ``query.backend`` gets a single-entry chain — an explicit pin
+        means "this backend or nothing", never a silent substitution.
+        """
+        if self.query.backend is not None:
+            return (self.backend_name,)
+        eligible = sorted(
+            (candidate for candidate in self.candidates if candidate.eligible),
+            key=lambda candidate: candidate.estimate.score,
+        )
+        rest = [c.backend for c in eligible if c.backend != self.backend_name]
+        return (self.backend_name, *rest)
+
     def describe(self) -> str:
         """The ``explain()`` transcript: query, candidates, decision."""
         lines = [self.query.describe(), "candidates:"]

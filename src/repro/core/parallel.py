@@ -54,6 +54,7 @@ from repro.core.result import BatchSearchResult, PruningTrace, SearchResult
 from repro.engine.cost import CostModel
 from repro.errors import QueryError
 from repro.metrics.base import Metric
+from repro.reliability.faults import fault_point
 from repro.metrics.histogram import HistogramIntersection
 from repro.storage.compressed import CompressedStore
 from repro.storage.decomposed import DecomposedStore
@@ -194,6 +195,7 @@ def merge_shard_results(
     k: int,
     *,
     cost: CostModel | None = None,
+    shard_indices: Sequence[int] | None = None,
 ) -> SearchResult:
     """Merge one query's per-shard top-k lists into the global top-k.
 
@@ -207,10 +209,18 @@ def merge_shard_results(
     (the critical path), ``full_scan_dimensions`` is the total full-fragment
     volume across shards, and the trace sums the shards' surviving-candidate
     curves over the union of their recorded checkpoints.
+
+    ``shard_indices`` names the shard of ``plan`` each entry of
+    ``shard_results`` came from (default: all shards in order); the partial
+    mode of ``on_shard_failure`` merges only the surviving subset.
     """
+    if shard_indices is None:
+        starts = plan.starts
+    else:
+        starts = [plan.starts[index] for index in shard_indices]
     offset_oids = [
         shard.oids + start
-        for shard, start in zip(shard_results, plan.starts)
+        for shard, start in zip(shard_results, starts)
     ]
     oids = np.concatenate(offset_oids)
     scores = np.concatenate([shard.scores for shard in shard_results])
@@ -265,9 +275,20 @@ class _ShardedEngineBase:
     the exact and compressed engines cannot drift apart.
     """
 
-    def __init__(self, plan: ShardPlan, workers: int | None) -> None:
+    #: Recognised shard-failure policies (see ``on_shard_failure``).
+    SHARD_FAILURE_MODES = ("fail", "partial")
+
+    def __init__(
+        self, plan: ShardPlan, workers: int | None, on_shard_failure: str = "fail"
+    ) -> None:
+        if on_shard_failure not in self.SHARD_FAILURE_MODES:
+            raise QueryError(
+                f"on_shard_failure must be one of {self.SHARD_FAILURE_MODES}, "
+                f"got {on_shard_failure!r}"
+            )
         self._plan = plan
         self._workers = plan.num_shards if workers is None else max(1, int(workers))
+        self._on_shard_failure = on_shard_failure
         self._executor: ThreadPoolExecutor | None = None
 
     @property
@@ -284,6 +305,13 @@ class _ShardedEngineBase:
     def workers(self) -> int:
         """Worker-thread budget of the pool."""
         return self._workers
+
+    @property
+    def on_shard_failure(self) -> str:
+        """The shard-failure policy: ``"fail"`` raises the first shard's
+        error; ``"partial"`` merges the surviving shards and flags the
+        result ``degraded`` with the failed shard indices."""
+        return self._on_shard_failure
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent; a later call re-creates it)."""
@@ -313,6 +341,35 @@ class _ShardedEngineBase:
         for delta in deltas:
             parent.merge_account(delta)
 
+    def _run_shards_guarded(self, body: Callable[[int], object]) -> tuple[list, list]:
+        """Run ``body`` per shard, splitting outcomes by the failure policy.
+
+        Every shard task passes through the ``shard.map`` fault point and has
+        its exception captured (so one dead shard never aborts the pool map
+        mid-iteration).  Returns ``(successes, failures)`` as
+        ``[(shard, payload)]`` / ``[(shard, error)]`` lists — unless the
+        policy is ``"fail"`` (or *no* shard survived, where there is nothing
+        to degrade to), in which case the lowest-indexed shard's original
+        exception is re-raised, preserving its type for the retry / failover
+        layers above.
+        """
+
+        def guarded(shard: int):
+            try:
+                fault_point("shard.map", shard=shard)
+                return ("ok", body(shard))
+            except Exception as exc:  # split below; never poisons the pool map
+                return ("error", exc)
+
+        outcomes = self._map_shards(guarded)
+        successes: list[tuple[int, object]] = []
+        failures: list[tuple[int, Exception]] = []
+        for shard, (status, payload) in enumerate(outcomes):
+            (successes if status == "ok" else failures).append((shard, payload))
+        if failures and (self._on_shard_failure == "fail" or not successes):
+            raise failures[0][1]
+        return successes, failures
+
     def _batch_engine(self, shard: int, queries: np.ndarray, k: int):
         """Build one shard's tiled batch engine (subclass hook)."""
         raise NotImplementedError
@@ -332,11 +389,19 @@ class _ShardedEngineBase:
             result = self._searchers[shard].search(query, k)
             return result, shard_cost.since(shard_checkpoint)
 
-        outputs = self._map_shards(run_shard)
-        self._merge_shard_costs(parent_cost, [delta for _, delta in outputs])
+        successes, failures = self._run_shards_guarded(run_shard)
+        self._merge_shard_costs(parent_cost, [delta for _, (_, delta) in successes])
         merged = merge_shard_results(
-            self._metric, [result for result, _ in outputs], self._plan, k, cost=parent_cost
+            self._metric,
+            [result for _, (result, _) in successes],
+            self._plan,
+            k,
+            cost=parent_cost,
+            shard_indices=[shard for shard, _ in successes],
         )
+        if failures:
+            merged.degraded = True
+            merged.failed_shards = tuple(shard for shard, _ in failures)
         if trace is not None:
             trace.dimensions_processed.extend(merged.candidate_trace.dimensions_processed)
             trace.candidates_remaining.extend(merged.candidate_trace.candidates_remaining)
@@ -362,9 +427,11 @@ class _ShardedEngineBase:
             results = self._batch_engine(shard, query_matrix, k).run()
             return results, shard_cost.since(shard_checkpoint)
 
-        outputs = self._map_shards(run_shard)
-        self._merge_shard_costs(parent_cost, [delta for _, delta in outputs])
-        per_shard = [results for results, _ in outputs]
+        successes, failures = self._run_shards_guarded(run_shard)
+        self._merge_shard_costs(parent_cost, [delta for _, (_, delta) in successes])
+        surviving = [shard for shard, _ in successes]
+        per_shard = [results for _, (results, _) in successes]
+        failed = tuple(shard for shard, _ in failures)
         merged = [
             merge_shard_results(
                 self._metric,
@@ -372,9 +439,14 @@ class _ShardedEngineBase:
                 self._plan,
                 k,
                 cost=parent_cost,
+                shard_indices=surviving,
             )
             for query_index in range(query_matrix.shape[0])
         ]
+        if failed:
+            for result in merged:
+                result.degraded = True
+                result.failed_shards = failed
         return BatchSearchResult(
             results=merged,
             cost=parent_cost.since(checkpoint),
@@ -406,6 +478,10 @@ class ShardedBondSearcher(_ShardedEngineBase):
         the tile rounds alone improve cache behaviour.
     tile_rows:
         Row-tile height of the cache-aware rounds.
+    on_shard_failure:
+        ``"fail"`` (default) re-raises the first failed shard's error;
+        ``"partial"`` degrades gracefully — the surviving shards' top-k is
+        merged and flagged (``result.degraded`` / ``result.failed_shards``).
     metric / bound / ordering / schedule / candidate_mode / switch_selectivity:
         Forwarded to every per-shard :class:`~repro.core.bond.BondSearcher`
         (bounds and schedules are copied per shard so worker threads never
@@ -425,11 +501,12 @@ class ShardedBondSearcher(_ShardedEngineBase):
         shards: int | ShardPlan = 2,
         workers: int | None = None,
         tile_rows: int = DEFAULT_TILE_ROWS,
+        on_shard_failure: str = "fail",
     ) -> None:
         plan = shards if isinstance(shards, ShardPlan) else ShardPlan.balanced(
             store.cardinality, int(shards)
         )
-        super().__init__(plan, workers)
+        super().__init__(plan, workers, on_shard_failure)
         self._store = store
         self._metric = metric if metric is not None else HistogramIntersection()
         self._tile_rows = max(1, int(tile_rows))
@@ -489,11 +566,12 @@ class ShardedCompressedBondSearcher(_ShardedEngineBase):
         shards: int | ShardPlan = 2,
         workers: int | None = None,
         tile_rows: int = DEFAULT_TILE_ROWS,
+        on_shard_failure: str = "fail",
     ) -> None:
         plan = shards if isinstance(shards, ShardPlan) else ShardPlan.balanced(
             store.cardinality, int(shards)
         )
-        super().__init__(plan, workers)
+        super().__init__(plan, workers, on_shard_failure)
         self._store = store
         self._metric = metric if metric is not None else HistogramIntersection()
         self._tile_rows = max(1, int(tile_rows))
@@ -550,11 +628,13 @@ class ShardedSearcher:
         *,
         workers: int | None = None,
         tile_rows: int = DEFAULT_TILE_ROWS,
+        on_shard_failure: str = "fail",
     ) -> None:
         self._index = index
         self._metric = metric
         self._workers = workers
         self._tile_rows = tile_rows
+        self._on_shard_failure = on_shard_failure
         self._exact: ShardedBondSearcher | None = None
         self._compressed: ShardedCompressedBondSearcher | None = None
 
@@ -568,6 +648,7 @@ class ShardedSearcher:
                 shards=self._index.shard_plan,
                 workers=self._workers,
                 tile_rows=self._tile_rows,
+                on_shard_failure=self._on_shard_failure,
             )
         return self._exact
 
@@ -581,6 +662,7 @@ class ShardedSearcher:
                 shards=self._index.shard_plan,
                 workers=self._workers,
                 tile_rows=self._tile_rows,
+                on_shard_failure=self._on_shard_failure,
             )
         return self._compressed
 

@@ -75,6 +75,13 @@ class SearchResult:
     exact:
         Whether the result is guaranteed exact (True for every searcher in
         this package; present so approximate extensions can flag themselves).
+    degraded:
+        Whether the answer was computed over less than the whole collection
+        (a sharded engine in ``on_shard_failure="partial"`` mode lost a
+        shard).  A degraded top-k is the best answer over the *surviving*
+        rows — never silently passed off as the global top-k.
+    failed_shards:
+        Shard indices that failed when :attr:`degraded` is set.
     """
 
     oids: np.ndarray
@@ -85,6 +92,8 @@ class SearchResult:
     cost: CostAccount = field(default_factory=CostAccount)
     elapsed_seconds: float = 0.0
     exact: bool = True
+    degraded: bool = False
+    failed_shards: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         self.oids = np.asarray(self.oids, dtype=np.int64)
@@ -147,3 +156,8 @@ class BatchSearchResult:
     def batch_size(self) -> int:
         """Number of queries answered."""
         return len(self.results)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any per-query result is flagged degraded."""
+        return any(result.degraded for result in self.results)

@@ -29,6 +29,25 @@ class StorageError(ReproError):
     """Raised for invalid physical-design / store operations."""
 
 
+class CorruptFragmentError(StorageError):
+    """Raised when a persisted fragment fails integrity verification.
+
+    ``Index.open(verify="checksum")`` compares every fragment file it reads
+    against the checksum recorded in the manifest; a mismatch (a flipped
+    byte, a truncated file) raises this error *naming the fragment* instead
+    of silently loading garbage.
+    """
+
+
+class ManifestVersionError(StorageError):
+    """Raised when a persisted manifest's schema version cannot be served.
+
+    Either the layout version is unknown to this build, or the caller asked
+    for an integrity feature (checksum verification) that the persisting
+    build predates.
+    """
+
+
 class MetricError(ReproError):
     """Raised when a similarity metric receives invalid input."""
 
@@ -45,8 +64,56 @@ class PlanError(QueryError):
     """Raised when the query planner cannot find a capable backend."""
 
 
+class BackendError(ReproError):
+    """Raised when a planned backend fails while *executing* a query.
+
+    This is the execution-time counterpart of :class:`PlanError`: planning
+    succeeded, but the chosen physical backend could not produce an answer
+    (a shard worker died, a store read failed, an injected fault fired).
+    ``Index.answer`` reacts by failing over to the next capable backend; the
+    serving layer additionally feeds these into its per-backend circuit
+    breakers.
+    """
+
+
+class TransientBackendError(BackendError):
+    """A backend failure that is expected to succeed on retry.
+
+    The serving layer retries these with bounded exponential backoff under a
+    per-service retry budget; deterministic fault injection raises this type
+    by default, so chaos runs exercise exactly the retry path.
+    """
+
+
+class FailoverExhausted(BackendError):
+    """Raised when every capable backend in the failover chain failed.
+
+    Carries the per-backend causes in :attr:`attempts` (a tuple of
+    ``(backend_name, repr(error))`` pairs) so operators see the whole chain,
+    not just the last failure.
+    """
+
+    def __init__(self, message: str, attempts: tuple = ()) -> None:
+        super().__init__(message)
+        self.attempts = tuple(attempts)
+
+
+class FaultInjectionError(ReproError):
+    """Raised on invalid use of the deterministic fault-injection registry."""
+
+
 class ServingError(ReproError):
     """Raised by the asyncio serving layer on invalid use of a service."""
+
+
+class DeadlineExceeded(ServingError):
+    """Raised when a request's per-request deadline expires before service.
+
+    A request submitted with ``submit(..., timeout=...)`` that is still
+    queued (or waiting out a retry backoff) when its deadline passes is
+    evicted *before* riding a batch and fails with this error — the caller
+    already gave up, so executing the query would be wasted work.
+    """
 
 
 class QueueFull(ServingError):

@@ -2,11 +2,13 @@
 
 Turns a stream of independently arriving single queries into the micro-batches
 the batch engines are fast at, under an explicit latency budget, with bounded
-admission control and per-batch cost attribution.  See
+admission control, per-batch cost attribution, and explicit failure handling
+(per-request deadlines, transient-error retry under a budget, backend
+failover behind circuit breakers — see :mod:`repro.reliability`).  See
 :mod:`repro.serving.service` for the front end,
 :mod:`repro.serving.admission` for the fifo/overlap batch-formation policies
-and :mod:`repro.serving.stats` for the statistics surface; the serving
-section of ``docs/API.md`` walks through the lifecycle and knobs.
+and :mod:`repro.serving.stats` for the statistics surface; the serving and
+reliability sections of ``docs/API.md`` walk through the lifecycle and knobs.
 """
 
 from repro.serving.admission import (
@@ -17,7 +19,7 @@ from repro.serving.admission import (
     resolve_admission,
 )
 from repro.serving.service import SearchService, ServingConfig, replay_open_loop
-from repro.serving.stats import BatchStats, ServingStats
+from repro.serving.stats import BatchStats, ServiceHealth, ServingStats
 
 __all__ = [
     "ADMISSION_POLICIES",
@@ -28,6 +30,7 @@ __all__ = [
     "replay_open_loop",
     "resolve_admission",
     "SearchService",
+    "ServiceHealth",
     "ServingConfig",
     "ServingStats",
 ]

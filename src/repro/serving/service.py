@@ -16,7 +16,19 @@ are therefore **bitwise identical** to direct ``Index.answer`` calls.
 Admission control is explicit: the waiting queue is bounded and overflow
 raises :class:`~repro.errors.QueueFull` at the submitter, the standard
 load-shedding contract of an open system.  Shutdown drains: pending requests
-flush (budget waived), in-flight batches finish, then the executor closes.
+flush (budget waived), in-flight batches finish, then the executor closes —
+but never for longer than ``drain_timeout``.
+
+Failure handling (see :mod:`repro.reliability`): every request may carry its
+own deadline (``submit(..., timeout=...)`` →
+:class:`~repro.errors.DeadlineExceeded`, and expired requests are evicted
+*before* they ride a batch); a batch whose execution raises a
+:class:`~repro.errors.TransientBackendError` is retried with bounded
+exponential backoff under a per-service retry budget; execution itself walks
+the plan's failover chain, skipping backends whose circuit breaker is open.
+Because every backend is exact, a retried or failed-over answer is bitwise
+identical to the first-try answer — the only caller-visible outcomes are the
+right answer or a typed error.
 
 Typical usage::
 
@@ -33,6 +45,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import threading
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
@@ -43,10 +56,20 @@ import numpy as np
 
 from repro.api.query import Query
 from repro.core.result import BatchSearchResult, SearchResult
-from repro.errors import QueueFull, ServiceClosed, ServingError
+from repro.errors import (
+    BackendError,
+    DeadlineExceeded,
+    FailoverExhausted,
+    QueueFull,
+    ServiceClosed,
+    ServingError,
+    TransientBackendError,
+)
 from repro.metrics.base import Metric
+from repro.reliability.faults import fault_point
+from repro.reliability.retry import CircuitBreaker, RetryBudget, RetryPolicy
 from repro.serving.admission import AdmissionPolicy, resolve_admission
-from repro.serving.stats import BatchStats, ServingStats, StatsCollector
+from repro.serving.stats import BatchStats, ServiceHealth, ServingStats, StatsCollector
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.index import Index
@@ -81,6 +104,30 @@ class ServingConfig:
         single-owner (the lock-free charging contract) and makes per-batch
         cost deltas exact; raise it only with an index whose backends manage
         their own accounts, or pass an executor to :class:`SearchService`.
+    drain_timeout:
+        Upper bound in seconds on :meth:`SearchService.stop`'s drain (pending
+        flushes plus in-flight batches).  On expiry the still-unresolved
+        requests fail with :class:`~repro.errors.ServingError` and the
+        executor is abandoned without waiting, so a hung backend can never
+        wedge shutdown.  ``None`` waits forever (the pre-deadline behaviour).
+    max_retries:
+        Retries *per batch* after a
+        :class:`~repro.errors.TransientBackendError` (0 disables retry).
+    retry_base_delay / retry_max_delay:
+        Bounded exponential backoff between retries (see
+        :class:`~repro.reliability.RetryPolicy`).
+    retry_budget:
+        Cap on total retries over the service's life (``None``: unlimited);
+        once drained, transient errors fail fast (see
+        :class:`~repro.reliability.RetryBudget`).
+    failover:
+        Walk the plan's failover chain on execution-time
+        :class:`~repro.errors.BackendError` (next-cheapest capable backend
+        first).  ``False`` pins every batch to its planned backend.
+    breaker_threshold / breaker_cooldown:
+        Per-backend circuit breaker: consecutive failures before the breaker
+        opens, and seconds before it admits a half-open probe (see
+        :class:`~repro.reliability.CircuitBreaker`).
     """
 
     latency_budget: float = 0.002
@@ -88,6 +135,14 @@ class ServingConfig:
     max_queue: int = 1024
     admission: "str | AdmissionPolicy" = "fifo"
     executor_workers: int = 1
+    drain_timeout: float | None = 30.0
+    max_retries: int = 3
+    retry_base_delay: float = 0.01
+    retry_max_delay: float = 0.25
+    retry_budget: int | None = 256
+    failover: bool = True
+    breaker_threshold: int = 5
+    breaker_cooldown: float = 30.0
 
     def __post_init__(self) -> None:
         if self.latency_budget < 0:
@@ -98,6 +153,13 @@ class ServingConfig:
             raise ServingError("max_queue must be at least 1")
         if self.executor_workers < 1:
             raise ServingError("executor_workers must be at least 1")
+        if self.drain_timeout is not None and self.drain_timeout <= 0:
+            raise ServingError("drain_timeout must be positive (or None for unbounded)")
+        if self.max_retries < 0:
+            raise ServingError("max_retries must be non-negative")
+        # The delay and breaker knobs are validated by the primitives built
+        # from them (RetryPolicy / RetryBudget / CircuitBreaker), constructed
+        # eagerly in SearchService.__init__ so a bad config fails there.
 
 
 @dataclass(eq=False)
@@ -111,6 +173,9 @@ class _PendingRequest:
     future: asyncio.Future
     arrival: float
     deadline: float
+    #: Absolute loop time after which the request must fail with
+    #: DeadlineExceeded instead of executing (None: no per-request deadline).
+    expiry: float | None = None
 
 
 class SearchService:
@@ -137,6 +202,14 @@ class SearchService:
         self._pending: deque[_PendingRequest] = deque()
         self._inflight: set[asyncio.Task] = set()
         self._inflight_requests = 0
+        self._inflight_riders: set[_PendingRequest] = set()
+        self._retry_policy = RetryPolicy(
+            base_delay=self._config.retry_base_delay,
+            max_delay=self._config.retry_max_delay,
+        )
+        self._retry_budget = RetryBudget(self._config.retry_budget)
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._breaker_lock = threading.Lock()
         self._stats = StatsCollector()
         self._sequence = itertools.count()
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -163,7 +236,7 @@ class SearchService:
         )
         return self
 
-    async def stop(self, *, drain: bool = True) -> None:
+    async def stop(self, *, drain: bool = True, drain_timeout: float | None = None) -> None:
         """Stop the service.
 
         With ``drain=True`` (the default) every pending request is flushed —
@@ -172,17 +245,34 @@ class SearchService:
         ``drain=False`` pending requests fail with
         :class:`~repro.errors.ServiceClosed`; batches already executing
         still complete (their callers get real results).
+
+        The drain is bounded: ``drain_timeout`` (default
+        ``config.drain_timeout``; ``None`` there means unbounded) caps the
+        *total* wait.  On expiry the still-unresolved requests fail with
+        :class:`~repro.errors.ServingError` and the executor is abandoned
+        without joining its threads — a backend hung inside a batch can
+        never wedge shutdown.
         """
         if self._state == "new":
             self._state = "closed"
             return
         if self._state == "closed":
             return
+        timeout = self._config.drain_timeout if drain_timeout is None else drain_timeout
         self._state = "draining"
-        assert self._wake is not None and self._admission_task is not None
+        assert (
+            self._loop is not None
+            and self._wake is not None
+            and self._admission_task is not None
+        )
+        budget_end = None if timeout is None else self._loop.time() + timeout
+        timed_out = False
         if drain:
             self._wake.set()
-            await self._admission_task
+            try:
+                await asyncio.wait_for(self._admission_task, timeout)
+            except asyncio.TimeoutError:
+                timed_out = True
         else:
             self._admission_task.cancel()
             try:
@@ -190,11 +280,36 @@ class SearchService:
             except asyncio.CancelledError:
                 pass
             self._fail_pending(ServiceClosed("service stopped without draining"))
-        if self._inflight:
-            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+        # Snapshot the riders of in-flight batches *before* any cancellation:
+        # cancelling a batch task runs its cleanup (which forgets its riders),
+        # and the abandoned callers must still receive an error.
+        abandoned = list(self._inflight_riders)
+        if self._inflight and not timed_out:
+            remaining = None if budget_end is None else max(0.0, budget_end - self._loop.time())
+            gather = asyncio.gather(*list(self._inflight), return_exceptions=True)
+            try:
+                await asyncio.wait_for(gather, remaining)
+            except asyncio.TimeoutError:
+                timed_out = True
+        if timed_out:
+            for task in list(self._inflight):
+                task.cancel()
+            if self._inflight:
+                await asyncio.gather(*list(self._inflight), return_exceptions=True)
+            error = ServingError(
+                f"stop() drain did not finish within drain_timeout={timeout}s; "
+                "the remaining requests were abandoned"
+            )
+            self._fail_pending(error)
+            for request in abandoned:
+                if not request.future.done():
+                    request.future.set_exception(error)
+                    self._stats.record_failure(1)
         self._state = "closed"
         if self._owns_executor and self._executor is not None:
-            self._executor.shutdown(wait=True)
+            # After a timed-out drain a worker thread may still be wedged in a
+            # batch; joining it would reintroduce the unbounded wait.
+            self._executor.shutdown(wait=not timed_out, cancel_futures=timed_out)
 
     async def __aenter__(self) -> "SearchService":
         return await self.start()
@@ -214,6 +329,7 @@ class SearchService:
         subspace: np.ndarray | None = None,
         mode: str = "exact",
         backend: str | None = None,
+        timeout: float | None = None,
     ) -> SearchResult:
         """Submit one query and await its result.
 
@@ -224,9 +340,18 @@ class SearchService:
         :class:`~repro.errors.QueueFull` when admission control rejects the
         submission and :class:`~repro.errors.ServiceClosed` when the service
         is not running.
+
+        ``timeout`` is a per-request deadline in seconds: a request that has
+        not *started executing* within it fails with
+        :class:`~repro.errors.DeadlineExceeded` — and is evicted from its
+        micro-batch before the batch runs, so an expired request never
+        spends backend work (unlike ``asyncio.wait_for``, which abandons the
+        wait but lets the work proceed).
         """
         if self._state != "running":
             raise ServiceClosed(f"service is not accepting requests (state {self._state!r})")
+        if timeout is not None and timeout <= 0:
+            raise ServingError(f"timeout must be positive, got {timeout}")
         query = Query(
             vector,
             k=k,
@@ -262,6 +387,7 @@ class SearchService:
             future=self._loop.create_future(),
             arrival=now,
             deadline=now + self._config.latency_budget,
+            expiry=None if timeout is None else now + timeout,
         )
         self._pending.append(request)
         self._stats.record_submit()
@@ -316,6 +442,7 @@ class SearchService:
         assert self._loop is not None and self._wake is not None
         while True:
             self._drop_dead_requests()
+            self._expire_requests(self._loop.time())
             if not self._pending:
                 if self._state == "draining":
                     return
@@ -337,6 +464,13 @@ class SearchService:
                     self._dispatch(run)
                 continue
             next_deadline = min(run[0].deadline for run in runs.values())
+            expiries = [
+                request.expiry for request in self._pending if request.expiry is not None
+            ]
+            if expiries:
+                # Wake early enough to evict expired requests on time, not
+                # just when the next batch deadline happens to come around.
+                next_deadline = min(next_deadline, min(expiries))
             await self._wait_for_wake(max(0.0, next_deadline - now))
 
     async def _wait_for_wake(self, timeout: float | None) -> None:
@@ -375,6 +509,33 @@ class SearchService:
                 request for request in self._pending if not request.future.done()
             )
 
+    def _expire_requests(self, now: float) -> None:
+        """Fail queued requests that outlived their per-request deadline.
+
+        Expiry is checked again at execution time (:meth:`_live_riders`), so
+        a request can never ride a batch after its deadline; evicting here
+        just delivers the :class:`~repro.errors.DeadlineExceeded` promptly.
+        """
+        expired = 0
+        for request in self._pending:
+            if (
+                request.expiry is not None
+                and now >= request.expiry
+                and not request.future.done()
+            ):
+                request.future.set_exception(
+                    DeadlineExceeded(
+                        f"request {request.sequence} missed its deadline after "
+                        f"waiting {now - request.arrival:.3f}s for admission"
+                    )
+                )
+                expired += 1
+        if expired:
+            self._stats.record_expirations(expired)
+            self._pending = deque(
+                request for request in self._pending if not request.future.done()
+            )
+
     def _dispatch(self, run: list[_PendingRequest]) -> None:
         """Group one compatible run into micro-batches and start them."""
         assert self._loop is not None
@@ -396,6 +557,7 @@ class SearchService:
         for indices in groups:
             requests = [run[index] for index in indices]
             self._inflight_requests += len(requests)
+            self._inflight_riders.update(requests)
             task = self._loop.create_task(self._execute(requests))
             self._inflight.add(task)
             task.add_done_callback(self._inflight.discard)
@@ -410,27 +572,84 @@ class SearchService:
             # Dispatched requests stop counting against max_queue only once
             # their batch is done (see _queued_requests).
             self._inflight_requests -= len(requests)
+            self._inflight_riders.difference_update(requests)
 
-    async def _execute_batch(self, requests: list[_PendingRequest]) -> None:
+    def _live_riders(self, requests: list[_PendingRequest]) -> list[_PendingRequest]:
+        """The riders still worth executing for: not cancelled, not expired.
+
+        Called immediately before every (re-)execution, so an expired request
+        is evicted *before* it rides a batch — failing with
+        :class:`~repro.errors.DeadlineExceeded` instead of spending backend
+        work on an answer its caller already wrote off.
+        """
         assert self._loop is not None
         live = [request for request in requests if not request.future.done()]
         if len(live) < len(requests):
             self._stats.record_cancellations(len(requests) - len(live))
-            if not live:
-                return
-            requests = live
+        now = self._loop.time()
+        expired = [
+            request
+            for request in live
+            if request.expiry is not None and now >= request.expiry
+        ]
+        if expired:
+            for request in expired:
+                request.future.set_exception(
+                    DeadlineExceeded(
+                        f"request {request.sequence} missed its deadline after "
+                        f"{now - request.arrival:.3f}s, before its batch executed"
+                    )
+                )
+            self._stats.record_expirations(len(expired))
+            live = [request for request in live if not request.future.done()]
+        return live
+
+    def _fail_riders(self, requests: list[_PendingRequest], error: Exception) -> None:
+        """Propagate one error to every rider still awaiting its future."""
+        failed = 0
+        for request in requests:
+            if not request.future.done():
+                request.future.set_exception(error)
+                failed += 1
+        if failed:
+            self._stats.record_failure(failed)
+
+    async def _execute_batch(self, requests: list[_PendingRequest]) -> None:
+        assert self._loop is not None
         admitted = self._loop.time()
-        batch_query = self._coalesce([request.query for request in requests])
-        try:
-            batch_result, cost_delta, batch_seconds, backend = await self._loop.run_in_executor(
-                self._executor, self._answer_batch, batch_query
-            )
-        except Exception as exc:  # propagate to every rider of the batch
-            self._stats.record_failure(len(requests))
-            for request in requests:
-                if not request.future.done():
-                    request.future.set_exception(exc)
-            return
+        attempt = 0
+        while True:
+            # The rider set can shrink between attempts (cancellations or
+            # deadline expiries during backoff), so the batch query is
+            # rebuilt per attempt from the surviving riders.
+            requests = self._live_riders(requests)
+            if not requests:
+                return
+            batch_query = self._coalesce([request.query for request in requests])
+            try:
+                (
+                    batch_result,
+                    cost_delta,
+                    batch_seconds,
+                    backend,
+                    failed_over,
+                ) = await self._loop.run_in_executor(
+                    self._executor, self._answer_batch, batch_query
+                )
+                break
+            except TransientBackendError as exc:
+                if attempt < self._config.max_retries and self._retry_budget.try_acquire():
+                    self._stats.record_retry()
+                    await asyncio.sleep(self._retry_policy.delay(attempt))
+                    attempt += 1
+                    continue
+                self._fail_riders(requests, exc)
+                return
+            except Exception as exc:  # propagate to every rider of the batch
+                self._fail_riders(requests, exc)
+                return
+        if failed_over:
+            self._stats.record_failover()
         done = self._loop.time()
         delivered = 0
         for request, result in zip(requests, batch_result.results):
@@ -455,20 +674,98 @@ class SearchService:
             delivered=delivered,
         )
 
-    def _answer_batch(self, batch_query: Query) -> tuple[BatchSearchResult, object, float, str]:
-        """Worker-thread body: plan, execute, attribute cost.
+    def _breaker(self, backend: str) -> CircuitBreaker:
+        """The circuit breaker of one backend, created on first use."""
+        with self._breaker_lock:
+            breaker = self._breakers.get(backend)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    backend,
+                    threshold=self._config.breaker_threshold,
+                    cooldown=self._config.breaker_cooldown,
+                )
+                self._breakers[backend] = breaker
+            return breaker
+
+    def _answer_batch(
+        self, batch_query: Query
+    ) -> tuple[BatchSearchResult, object, float, str, bool]:
+        """Worker-thread body: plan, execute with failover, attribute cost.
 
         The snapshot/delta pair brackets exactly this batch — with the
         default single-worker executor batches serialise, so the delta is
         the batch's own charge and the live account is never mutated for
         bookkeeping (see :meth:`repro.engine.cost.CostModel.delta_since`).
+
+        Execution walks the plan's failover chain (planned backend first,
+        when ``config.failover`` is on), skipping backends whose circuit
+        breaker is open; each backend's outcome feeds its breaker.  If the
+        whole chain fails and any failure was transient, the *transient*
+        error is raised so the async retry layer re-runs the chain after
+        backoff; a purely persistent exhaustion raises
+        :class:`~repro.errors.FailoverExhausted` (single-entry chains
+        re-raise the original error unchanged).  The last element of the
+        returned tuple flags whether a non-planned backend answered.
         """
+        fault_point("executor.dispatch")
         before = self._index.cost.snapshot()
         plan = self._index.plan(batch_query)
+        chain = plan.failover_chain() if self._config.failover else (plan.backend_name,)
+        registry = self._index.planner.registry
         started = time.perf_counter()
-        result = plan.backend.answer(self._index, batch_query, plan.metric)
-        batch_seconds = time.perf_counter() - started
-        return result, self._index.cost.delta_since(before), batch_seconds, plan.backend_name
+        attempts: list[tuple[str, BackendError]] = []
+        transient: TransientBackendError | None = None
+
+        def try_backend(name: str) -> BatchSearchResult | None:
+            nonlocal transient
+            breaker = self._breaker(name)
+            try:
+                result = registry.get(name).answer(self._index, batch_query, plan.metric)
+            except BackendError as exc:
+                breaker.record_failure()
+                attempts.append((name, exc))
+                if transient is None and isinstance(exc, TransientBackendError):
+                    transient = exc
+                return None
+            breaker.record_success()
+            return result
+
+        tried = 0
+        for name in chain:
+            if not self._breaker(name).allow():
+                continue
+            tried += 1
+            result = try_backend(name)
+            if result is not None:
+                return (
+                    result,
+                    self._index.cost.delta_since(before),
+                    time.perf_counter() - started,
+                    name,
+                    name != plan.backend_name,
+                )
+        if tried == 0:
+            # Every breaker in the chain is open: failing fast forever would
+            # never rediscover a recovered backend, so force one probe
+            # through the planned backend.
+            result = try_backend(plan.backend_name)
+            if result is not None:
+                return (
+                    result,
+                    self._index.cost.delta_since(before),
+                    time.perf_counter() - started,
+                    plan.backend_name,
+                    False,
+                )
+        if transient is not None:
+            raise transient
+        if len(attempts) == 1:
+            raise attempts[0][1]
+        summary = "; ".join(f"{name}: {error}" for name, error in attempts)
+        raise FailoverExhausted(
+            f"all {len(attempts)} backends of the failover chain failed ({summary})",
+            attempts=attempts,
+        )
 
     @staticmethod
     def _coalesce(queries: list[Query]) -> Query:
@@ -518,7 +815,29 @@ class SearchService:
 
     def stats(self) -> ServingStats:
         """An immutable snapshot of the serving statistics so far."""
-        return self._stats.snapshot(pending=len(self._pending))
+        return self._stats.snapshot(
+            pending=len(self._pending), breakers=self._breaker_snapshots()
+        )
+
+    def health(self) -> ServiceHealth:
+        """A point-in-time operational snapshot (see :class:`ServiceHealth`).
+
+        Complements :meth:`stats`: where the stats aggregate the service's
+        whole life, the health snapshot is what an operator acts on *now* —
+        acceptance state, queue depth, remaining retry budget, and every
+        backend circuit breaker's state.
+        """
+        return ServiceHealth(
+            running=self.is_running,
+            pending=len(self._pending),
+            retry_budget_remaining=self._retry_budget.remaining,
+            breakers=self._breaker_snapshots(),
+        )
+
+    def _breaker_snapshots(self):
+        with self._breaker_lock:
+            names = sorted(self._breakers)
+            return tuple(self._breakers[name].snapshot() for name in names)
 
 
 async def replay_open_loop(

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.engine.cost import CostAccount, CostModel
+from repro.reliability.retry import BreakerState
 
 #: How many per-batch records a collector retains for inspection.
 BATCH_LOG_LIMIT = 1024
@@ -66,11 +67,17 @@ class ServingStats:
     """An immutable service-level snapshot.
 
     The counters (submitted / completed / rejected / cancelled / failed /
-    batches) are exact for the whole service life; the percentile and
-    batch-size aggregates are computed over a sliding window of the most
-    recent :data:`SAMPLE_WINDOW` samples, so a long-lived service stays
-    bounded in memory.  ``request_seconds`` is end-to-end (submission to
-    result, i.e. queue wait plus the batch execution the request rode in).
+    expired / retries / failovers / batches) are exact for the whole service
+    life; the percentile and batch-size aggregates are computed over a
+    sliding window of the most recent :data:`SAMPLE_WINDOW` samples, so a
+    long-lived service stays bounded in memory.  ``request_seconds`` is
+    end-to-end (submission to result, i.e. queue wait plus the batch
+    execution the request rode in).
+
+    ``expired`` counts requests failed with
+    :class:`~repro.errors.DeadlineExceeded` before execution; ``retries``
+    counts batch re-executions after a transient backend error; ``failovers``
+    counts executions that succeeded on a backend other than the planned one.
     """
 
     submitted: int
@@ -78,6 +85,9 @@ class ServingStats:
     rejected: int
     cancelled: int
     failed: int
+    expired: int
+    retries: int
+    failovers: int
     batches: int
     pending: int
     mean_batch_size: float
@@ -90,6 +100,8 @@ class ServingStats:
     request_seconds_p99: float
     cost: CostAccount
     recent_batches: tuple[BatchStats, ...] = field(repr=False, default=())
+    #: Per-backend circuit-breaker snapshots at stats() time (sorted by name).
+    breakers: tuple[BreakerState, ...] = ()
 
     def as_dict(self) -> dict:
         """The scalar fields as a plain dictionary (for benchmark reports)."""
@@ -99,6 +111,9 @@ class ServingStats:
             "rejected": self.rejected,
             "cancelled": self.cancelled,
             "failed": self.failed,
+            "expired": self.expired,
+            "retries": self.retries,
+            "failovers": self.failovers,
             "batches": self.batches,
             "pending": self.pending,
             "mean_batch_size": self.mean_batch_size,
@@ -110,6 +125,45 @@ class ServingStats:
             "request_seconds_p50": self.request_seconds_p50,
             "request_seconds_p99": self.request_seconds_p99,
             "cost": self.cost.as_dict(),
+            "breakers": {b.backend: b.state for b in self.breakers},
+        }
+
+
+@dataclass(frozen=True)
+class ServiceHealth:
+    """A point-in-time operational snapshot of one :class:`SearchService`.
+
+    Complements :class:`ServingStats` (lifetime aggregates) with the state an
+    operator acts on *now*: whether the service still accepts work, what is
+    queued, how much of the transient-retry budget is left, and every
+    backend circuit breaker's state.
+    """
+
+    running: bool
+    pending: int
+    retry_budget_remaining: int | None
+    breakers: tuple[BreakerState, ...]
+
+    @property
+    def open_breakers(self) -> tuple[str, ...]:
+        """Names of the backends whose breaker is currently not closed."""
+        return tuple(b.backend for b in self.breakers if b.state != "closed")
+
+    def as_dict(self) -> dict:
+        """The snapshot as a plain dictionary (for benchmark reports)."""
+        return {
+            "running": self.running,
+            "pending": self.pending,
+            "retry_budget_remaining": self.retry_budget_remaining,
+            "breakers": {
+                b.backend: {
+                    "state": b.state,
+                    "consecutive_failures": b.consecutive_failures,
+                    "total_failures": b.total_failures,
+                    "total_successes": b.total_successes,
+                }
+                for b in self.breakers
+            },
         }
 
 
@@ -134,6 +188,9 @@ class StatsCollector:
         self.rejected = 0
         self.cancelled = 0
         self.failed = 0
+        self.expired = 0
+        self.retries = 0
+        self.failovers = 0
         self.completed = 0
         self.batches = 0
         self._queue_waits: deque[float] = deque(maxlen=SAMPLE_WINDOW)
@@ -155,6 +212,15 @@ class StatsCollector:
     def record_failure(self, batch_size: int) -> None:
         self.failed += batch_size
 
+    def record_expirations(self, count: int) -> None:
+        self.expired += count
+
+    def record_retry(self) -> None:
+        self.retries += 1
+
+    def record_failover(self) -> None:
+        self.failovers += 1
+
     def record_batch(
         self, batch: BatchStats, request_seconds: list[float], *, delivered: int | None = None
     ) -> None:
@@ -174,7 +240,9 @@ class StatsCollector:
         self._recent.append(batch)
         self._cost.merge_account(batch.cost)
 
-    def snapshot(self, *, pending: int) -> ServingStats:
+    def snapshot(
+        self, *, pending: int, breakers: tuple[BreakerState, ...] = ()
+    ) -> ServingStats:
         """An immutable view of everything recorded so far."""
         sizes = self._batch_sizes
         return ServingStats(
@@ -183,6 +251,9 @@ class StatsCollector:
             rejected=self.rejected,
             cancelled=self.cancelled,
             failed=self.failed,
+            expired=self.expired,
+            retries=self.retries,
+            failovers=self.failovers,
             batches=self.batches,
             pending=pending,
             mean_batch_size=float(np.mean(sizes)) if sizes else 0.0,
@@ -195,4 +266,5 @@ class StatsCollector:
             request_seconds_p99=_percentile(self._request_seconds, 99),
             cost=self._cost.checkpoint(),
             recent_batches=tuple(self._recent),
+            breakers=breakers,
         )

@@ -26,17 +26,24 @@ Three stores are provided:
 from repro.storage.decomposed import DecomposedStore
 from repro.storage.rowstore import RowStore
 from repro.storage.compressed import CompressedFragment, CompressedStore
-from repro.storage.persistence import load_decomposed, save_decomposed
+from repro.storage.persistence import (
+    fragment_checksum,
+    load_decomposed,
+    load_manifest,
+    save_decomposed,
+)
 from repro.storage.sharding import ShardPlan, shard_compressed, shard_decomposed
 
 __all__ = [
     "CompressedFragment",
     "CompressedStore",
     "DecomposedStore",
-    "RowStore",
-    "ShardPlan",
+    "fragment_checksum",
     "load_decomposed",
+    "load_manifest",
+    "RowStore",
     "save_decomposed",
+    "ShardPlan",
     "shard_compressed",
     "shard_decomposed",
 ]

@@ -13,23 +13,71 @@ once and queried across process restarts:
 The format is deliberately simple (raw columns + manifest) rather than a
 custom container: it keeps the one-fragment-one-file property visible and
 makes the storage layout auditable with nothing but ``ls`` and ``numpy``.
+
+Integrity: every fragment file's CRC-32 is recorded in the manifest at save
+time (layout version 2), together with a fast vectorised ``fold64`` digest
+(word count + wrapping 64-bit word sum).  ``load_decomposed(...,
+verify="checksum")`` — and through it ``Index.open(verify="checksum")`` —
+verifies every fragment it reads and raises a typed
+:class:`~repro.errors.CorruptFragmentError` naming the fragment on any
+mismatch, instead of loading garbage; a manifest whose schema version this
+build cannot serve raises :class:`~repro.errors.ManifestVersionError`.
+
+Why two records per fragment: ``zlib.crc32`` holds the GIL and tops out
+around 2 GB/s, which would put checksum verification at ~20% of a
+page-cache-warm open — far over the < 5% overhead budget.  The ``fold64``
+digest is a single ``np.add.reduce`` over the fragment viewed as little-endian
+64-bit words, runs at memory bandwidth (~10 GB/s) directly on the
+already-loaded array, and catches any single corrupted byte deterministically
+(a changed word changes the wrapping sum unless a second, exactly
+compensating corruption exists — a 2^-64 event for random bit rot).  The
+fault-free verify path therefore computes only the fold; the CRC-32 stays
+the authoritative, externally checkable record and is re-computed to
+corroborate whenever the fold disagrees (or when a manifest carries no fold
+record at all, in which case verification falls back to the full CRC-32).
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
+import zlib
 
 import numpy as np
 
 from repro.engine.cost import CostModel
-from repro.errors import StorageError
+from repro.errors import CorruptFragmentError, ManifestVersionError, StorageError
+from repro.reliability.faults import fault_point
 from repro.storage.decomposed import DecomposedStore
 
 #: Version tag written into every manifest; bump on layout changes.
-LAYOUT_VERSION = 1
+#: Version 2 added per-fragment content checksums.
+LAYOUT_VERSION = 2
+#: Manifest versions this build can still read (version 1 predates
+#: checksums, so it loads but cannot be checksum-verified).
+SUPPORTED_LAYOUT_VERSIONS = frozenset({1, 2})
+#: Fragment verification modes of :func:`load_decomposed`.
+VERIFY_MODES = ("none", "checksum")
 MANIFEST_NAME = "manifest.json"
 ROW_SUM_NAME = "row_sums.col"
+
+
+def fragment_checksum(data) -> str:
+    """The authoritative manifest checksum of one fragment's raw bytes."""
+    return f"crc32:{zlib.crc32(data) & 0xFFFFFFFF:08x}"
+
+
+def fragment_digest(column: np.ndarray) -> str:
+    """The fast-verify digest of one fragment (see the module docstring).
+
+    Word count plus the wrapping sum of the fragment viewed as little-endian
+    64-bit words; computed straight off the loaded array, so the fault-free
+    verify path costs one memory-bandwidth reduction and no extra copy.
+    Fragments are always ``<f8`` columns, hence always 8-byte aligned.
+    """
+    words = np.ascontiguousarray(column).view("<u8")
+    total = int(np.add.reduce(words, dtype=np.uint64))
+    return f"fold64:{words.size:016x}:{total:016x}"
 
 
 def fragment_file_name(dimension: int) -> str:
@@ -73,9 +121,14 @@ def save_decomposed(
         raise StorageError(f"{path} already contains a persisted collection (pass overwrite=True)")
 
     matrix = store.matrix
+    checksums: dict[str, str] = {}
+    digests: dict[str, str] = {}
     for dimension in range(store.dimensionality):
         column = np.ascontiguousarray(matrix[:, dimension], dtype="<f8")
-        column.tofile(path / fragment_file_name(dimension))
+        file_name = fragment_file_name(dimension)
+        column.tofile(path / file_name)
+        checksums[file_name] = fragment_checksum(column)
+        digests[file_name] = fragment_digest(column)
 
     has_row_sums = True
     try:
@@ -83,7 +136,10 @@ def save_decomposed(
     except StorageError:
         has_row_sums = False
     if has_row_sums:
-        np.ascontiguousarray(row_sums, dtype="<f8").tofile(path / ROW_SUM_NAME)
+        row_sum_column = np.ascontiguousarray(row_sums, dtype="<f8")
+        row_sum_column.tofile(path / ROW_SUM_NAME)
+        checksums[ROW_SUM_NAME] = fragment_checksum(row_sum_column)
+        digests[ROW_SUM_NAME] = fragment_digest(row_sum_column)
 
     manifest = {
         "layout_version": LAYOUT_VERSION,
@@ -92,6 +148,8 @@ def save_decomposed(
         "dimensionality": store.dimensionality,
         "dtype": "<f8",
         "has_row_sums": has_row_sums,
+        "checksums": checksums,
+        "digests": digests,
     }
     if extra_manifest:
         collisions = sorted(set(extra_manifest) & set(manifest))
@@ -109,9 +167,10 @@ def load_manifest(directory: str | pathlib.Path) -> dict:
     if not manifest_path.exists():
         raise StorageError(f"{path} does not contain a persisted collection (missing {MANIFEST_NAME})")
     manifest = json.loads(manifest_path.read_text())
-    if manifest.get("layout_version") != LAYOUT_VERSION:
-        raise StorageError(
-            f"unsupported layout version {manifest.get('layout_version')!r} (expected {LAYOUT_VERSION})"
+    if manifest.get("layout_version") not in SUPPORTED_LAYOUT_VERSIONS:
+        raise ManifestVersionError(
+            f"unsupported layout version {manifest.get('layout_version')!r} "
+            f"(this build reads {sorted(SUPPORTED_LAYOUT_VERSIONS)})"
         )
     for key in ("cardinality", "dimensionality", "dtype"):
         if key not in manifest:
@@ -119,34 +178,94 @@ def load_manifest(directory: str | pathlib.Path) -> dict:
     return manifest
 
 
+def _verify_fragment(
+    file_name: str, column: np.ndarray, checksums: dict, digests: dict
+) -> None:
+    """Check one loaded fragment against the manifest's integrity records.
+
+    Fault-free cost is one ``fold64`` reduction over the loaded array; the
+    full CRC-32 only runs to corroborate a fold mismatch, or when the
+    manifest carries no fold record for this fragment at all.
+    """
+    expected_digest = digests.get(file_name)
+    if expected_digest is not None:
+        if fragment_digest(column) == expected_digest:
+            return
+        expected_crc = checksums.get(file_name)
+        actual_crc = fragment_checksum(np.ascontiguousarray(column))
+        if expected_crc == actual_crc:
+            # The bytes match their authoritative checksum, so the fold
+            # record itself is what rotted: the manifest is not trustworthy.
+            raise CorruptFragmentError(
+                f"fragment {file_name} matches its CRC-32 but not the manifest's "
+                f"fold64 record {expected_digest!r}; the manifest integrity "
+                "records are inconsistent"
+            )
+        raise CorruptFragmentError(
+            f"fragment {file_name} failed checksum verification "
+            f"(manifest records {expected_crc!r}, file hashes to {actual_crc!r})"
+        )
+    expected = checksums.get(file_name)
+    actual = fragment_checksum(np.ascontiguousarray(column))
+    if expected != actual:
+        raise CorruptFragmentError(
+            f"fragment {file_name} failed checksum verification "
+            f"(manifest records {expected!r}, file hashes to {actual!r})"
+        )
+
+
 def load_decomposed(
     directory: str | pathlib.Path,
     *,
     cost: CostModel | None = None,
     dimensions: list[int] | None = None,
+    verify: str = "none",
 ) -> DecomposedStore:
     """Load a persisted collection back into a :class:`DecomposedStore`.
 
     ``dimensions`` restricts the load to a subset of fragments (the on-disk
     analogue of a subspace query: unneeded fragment files are never opened);
     the returned store then has that reduced dimensionality.
+
+    ``verify="checksum"`` verifies every fragment read against the integrity
+    records the manifest captured at save time (the fast ``fold64`` digest,
+    corroborated by the authoritative CRC-32 on any disagreement — see the
+    module docstring); a mismatch raises
+    :class:`~repro.errors.CorruptFragmentError` naming the fragment.  A
+    collection persisted before checksums existed (layout version 1) cannot
+    be verified and raises :class:`~repro.errors.ManifestVersionError` —
+    re-save it first.
     """
+    if verify not in VERIFY_MODES:
+        raise StorageError(f"unknown verify mode {verify!r}; supported: {VERIFY_MODES}")
     path = pathlib.Path(directory)
     manifest = load_manifest(path)
     cardinality = int(manifest["cardinality"])
     dimensionality = int(manifest["dimensionality"])
+    checksums = manifest.get("checksums")
+    digests = manifest.get("digests") or {}
+    if verify == "checksum" and checksums is None:
+        raise ManifestVersionError(
+            f"{path} was persisted with layout version "
+            f"{manifest.get('layout_version')!r}, which predates fragment "
+            "checksums; re-save the collection to enable verify='checksum'"
+        )
     wanted = list(range(dimensionality)) if dimensions is None else list(dimensions)
     if any(dimension < 0 or dimension >= dimensionality for dimension in wanted):
         raise StorageError("requested dimension outside the persisted dimensionality")
 
     matrix = np.empty((cardinality, len(wanted)), dtype=np.float64)
     for position, dimension in enumerate(wanted):
-        fragment_path = path / fragment_file_name(dimension)
+        file_name = fragment_file_name(dimension)
+        fragment_path = path / file_name
+        fault_point("store.read_fragment", dimension=dimension, file=file_name)
         if not fragment_path.exists():
             raise StorageError(f"missing fragment file {fragment_path.name}")
         column = np.fromfile(fragment_path, dtype=manifest["dtype"])
+        if verify == "checksum":
+            _verify_fragment(file_name, column, checksums, digests)
         if column.shape[0] != cardinality:
-            raise StorageError(
+            raise CorruptFragmentError(
                 f"fragment {fragment_path.name} has {column.shape[0]} values, expected {cardinality}"
             )
         matrix[:, position] = column
