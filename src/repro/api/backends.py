@@ -79,6 +79,23 @@ def _effective_dimensions(query: "Query", dimensionality: int) -> int:
     return dimensionality
 
 
+def _format_note(index: "Index") -> str:
+    """Estimate-detail suffix naming a non-default fragment format.
+
+    Exact-fragment estimates scale their ``bytes_read`` by the format's
+    coefficient width (a float32 store streams half the bytes of a float64
+    one), and ``explain()`` should say so; the default format adds nothing,
+    keeping the historical transcripts byte-identical.
+    """
+    fragment_format = index.format
+    if fragment_format.is_identity and not fragment_format.is_mapped:
+        return ""
+    return (
+        f"; {fragment_format.spec} fragments at "
+        f"{fragment_format.coefficient_bytes} B/coefficient"
+    )
+
+
 class Backend(abc.ABC):
     """One physical search method, registered with its capabilities."""
 
@@ -152,12 +169,13 @@ class BondBackend(Backend):
         n = index.cardinality
         effective = _effective_dimensions(query, index.dimensionality)
         reads = _batch_read_factor(query.batch_size, shared=True)
-        bytes_read = BOND_PRUNE_FRACTION * n * effective * DOUBLE_BYTES * reads
+        bytes_read = BOND_PRUNE_FRACTION * n * effective * index.format.coefficient_bytes * reads
         ops = BOND_PRUNE_FRACTION * n * effective * query.batch_size
         return CostEstimate(
             bytes_read=bytes_read,
             arithmetic_ops=ops,
-            detail=f"~{BOND_PRUNE_FRACTION:.0%} of {effective} fragments before pruning converges",
+            detail=f"~{BOND_PRUNE_FRACTION:.0%} of {effective} fragments before pruning converges"
+            + _format_note(index),
         )
 
     def create(self, index: "Index", metric: Metric) -> BondSearcher:
@@ -185,9 +203,9 @@ class SequentialScanBackend(Backend):
         # One pass serves the whole batch (the scan is query-independent),
         # but every query scores every row.
         return CostEstimate(
-            bytes_read=float(n * d * DOUBLE_BYTES),
+            bytes_read=float(n * d * index.format.coefficient_bytes),
             arithmetic_ops=float(n * d * query.batch_size),
-            detail="every coefficient of every vector, once per batch",
+            detail="every coefficient of every vector, once per batch" + _format_note(index),
         )
 
     def create(self, index: "Index", metric: Metric) -> SequentialScan:
@@ -217,9 +235,9 @@ class PartialAbandonBackend(Backend):
         # comparisons make it slower than the plain scan on average, which is
         # exactly the paper's observation.
         return CostEstimate(
-            bytes_read=float(n * d * DOUBLE_BYTES * reads),
+            bytes_read=float(n * d * index.format.coefficient_bytes * reads),
             arithmetic_ops=1.1 * n * d * query.batch_size,
-            detail="row order cannot see promising dimensions first",
+            detail="row order cannot see promising dimensions first" + _format_note(index),
         )
 
     def create(self, index: "Index", metric: Metric) -> PartialAbandonScan:
@@ -290,7 +308,7 @@ class CompressedBondBackend(Backend):
         reads = _batch_read_factor(query.batch_size, shared=True)
         survivors = max(8 * query.k, int(0.005 * n))
         filter_bytes = BOND_PRUNE_FRACTION * n * effective * COMPRESSED_BYTES * reads
-        refine_bytes = survivors * d * DOUBLE_BYTES * query.batch_size
+        refine_bytes = survivors * d * index.format.coefficient_bytes * query.batch_size
         # Interval accumulation maintains a lower AND an upper partial score.
         ops = 2.0 * BOND_PRUNE_FRACTION * n * effective * query.batch_size
         return CostEstimate(
@@ -356,11 +374,13 @@ class ShardedBondBackend(Backend):
             survivors = max(8 * query.k, int(0.005 * n))
             scan_bytes = (
                 BOND_PRUNE_FRACTION * n * effective * COMPRESSED_BYTES * reads
-                + survivors * d * DOUBLE_BYTES * query.batch_size
+                + survivors * d * index.format.coefficient_bytes * query.batch_size
             ) / shards
             scan_ops = 2.0 * BOND_PRUNE_FRACTION * n * effective * query.batch_size / shards
         else:
-            scan_bytes = BOND_PRUNE_FRACTION * n * effective * DOUBLE_BYTES * reads / shards
+            scan_bytes = (
+                BOND_PRUNE_FRACTION * n * effective * index.format.coefficient_bytes * reads / shards
+            )
             scan_ops = BOND_PRUNE_FRACTION * n * effective * query.batch_size / shards
         merge_candidates = float(query.batch_size * shards * query.k)
         merge_bytes = merge_candidates * (DOUBLE_BYTES + OID_BYTES)
@@ -417,7 +437,7 @@ class VAFileBackend(Backend):
         # a batch shares one pass; refinement is per query.
         return CostEstimate(
             bytes_read=float(n * d * COMPRESSED_BYTES)
-            + survivors * d * DOUBLE_BYTES * query.batch_size,
+            + survivors * d * index.format.coefficient_bytes * query.batch_size,
             arithmetic_ops=2.0 * n * d * query.batch_size,
             detail=f"full approximation scan + exact refine of ~{survivors} survivors",
         )

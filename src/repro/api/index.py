@@ -40,6 +40,7 @@ from repro.errors import BackendError, FailoverExhausted, QueryError
 from repro.metrics.base import Metric
 from repro.storage.compressed import CompressedStore
 from repro.storage.decomposed import DecomposedStore
+from repro.storage.formats import FragmentFormat
 from repro.storage.persistence import load_decomposed, load_manifest, save_decomposed
 from repro.storage.rowstore import RowStore
 from repro.storage.sharding import ShardPlan
@@ -78,6 +79,14 @@ class Index:
         re-raises a failed shard's error, ``"partial"`` merges the surviving
         shards into a flagged degraded answer (see
         :class:`~repro.core.parallel.ShardedBondSearcher`).
+    format:
+        The :class:`~repro.storage.formats.FragmentFormat` (or its
+        ``"float32/mmap"``-style spec) of the physical stores.  The default
+        ``float64/ram`` preserves the ingested values bit for bit; narrow
+        dtypes quantise once at ingest and every backend then answers over
+        the float64-widened quantised collection (see the
+        :mod:`repro.storage.formats` contract).  Persisted by :meth:`save`
+        and restored by :meth:`open`.
     """
 
     SHARD_FAILURE_MODES = ("fail", "partial")
@@ -92,10 +101,43 @@ class Index:
         registry: BackendRegistry | None = None,
         shards: int = 1,
         on_shard_failure: str = "fail",
+        format: "FragmentFormat | str | None" = None,
     ) -> None:
         matrix = np.asarray(vectors, dtype=np.float64)
         if matrix.ndim != 2 or matrix.shape[0] == 0 or matrix.shape[1] == 0:
             raise QueryError(f"an index needs a non-empty 2-D vector matrix, got {matrix.shape}")
+        self._setup(
+            name=name,
+            bits=bits,
+            cost=cost,
+            registry=registry,
+            shards=shards,
+            on_shard_failure=on_shard_failure,
+            format=FragmentFormat.coerce(format),
+            cardinality=int(matrix.shape[0]),
+            dimensionality=int(matrix.shape[1]),
+        )
+        self._input = matrix
+        # The logical (format-quantised, float64-widened) collection; for the
+        # identity format it IS the ingested matrix, narrow formats derive it
+        # lazily in the `vectors` property.
+        self._vectors = matrix if self._format.is_identity else None
+
+    def _setup(
+        self,
+        *,
+        name: str,
+        bits: int,
+        cost: CostModel | None,
+        registry: BackendRegistry | None,
+        shards: int,
+        on_shard_failure: str,
+        format: "FragmentFormat",
+        cardinality: int,
+        dimensionality: int,
+    ) -> None:
+        """Option validation + shared state; matrix-independent, so the
+        :meth:`open` path can run it without materialising the collection."""
         if shards < 1:
             raise QueryError("shards must be at least 1")
         if on_shard_failure not in self.SHARD_FAILURE_MODES:
@@ -103,14 +145,18 @@ class Index:
                 f"on_shard_failure must be one of {self.SHARD_FAILURE_MODES}, "
                 f"got {on_shard_failure!r}"
             )
-        self._vectors = matrix
         self._name = name
         self._bits = bits
         self._on_shard_failure = on_shard_failure
         self._shards = int(shards)
+        self._format = format
+        self._cardinality = cardinality
+        self._dimensionality = dimensionality
         self._shard_plan: ShardPlan | None = None
         self._cost = cost if cost is not None else CostModel()
         self._planner = QueryPlanner(self, registry=registry)
+        self._input: np.ndarray | None = None
+        self._vectors: np.ndarray | None = None
         # Lazily materialised physical representations.
         self._row_store: RowStore | None = None
         self._decomposed: DecomposedStore | None = None
@@ -119,6 +165,39 @@ class Index:
         # answers reuse metric instances and (expensive-to-build) searchers.
         self._metrics: dict[tuple, Metric] = {}
         self._searchers: dict[tuple[str, tuple], object] = {}
+
+    @classmethod
+    def _from_store(
+        cls,
+        store: DecomposedStore,
+        *,
+        name: str,
+        bits: int = 8,
+        registry: BackendRegistry | None = None,
+        shards: int = 1,
+        on_shard_failure: str = "fail",
+    ) -> "Index":
+        """An index over an already-constructed decomposed store.
+
+        The :meth:`open` path: the loaded (possibly memory-mapped) fragments
+        become the index's decomposed store directly, and nothing
+        materialises the row-major matrix — which is what lets an index
+        larger than RAM open and answer queries.
+        """
+        index = object.__new__(cls)
+        index._setup(
+            name=name,
+            bits=bits,
+            cost=store.cost,
+            registry=registry,
+            shards=shards,
+            on_shard_failure=on_shard_failure,
+            format=store.format,
+            cardinality=store.cardinality,
+            dimensionality=store.dimensionality,
+        )
+        index._decomposed = store
+        return index
 
     # -- construction / persistence ----------------------------------------------
 
@@ -132,20 +211,27 @@ class Index:
         """Open a collection persisted by :meth:`save`.
 
         Build options recorded in the manifest (name, compression bits,
-        shard-failure policy) are restored; explicit keyword arguments
-        override them.  ``verify="checksum"`` re-hashes every fragment file
-        against the manifest's recorded checksums while loading and raises
+        shard-failure policy, fragment format) are restored; explicit keyword
+        arguments override them — in particular ``format="float64/mmap"``
+        reopens the persisted fragments as read-only memory maps, so the
+        index comes up without reading a coefficient and a collection larger
+        than RAM pages fragments in as queries touch them.
+        ``verify="checksum"`` re-hashes every fragment file against the
+        manifest's recorded checksums while loading and raises
         :class:`~repro.errors.CorruptFragmentError` (naming the fragment) on
-        any mismatch — see :func:`~repro.storage.persistence.load_decomposed`.
+        any mismatch; for memory-mapped targets the files are verified by
+        streaming in chunks, never by faulting the mapping in — see
+        :func:`~repro.storage.persistence.load_decomposed`.
         """
         manifest = load_manifest(path)
         saved = dict(manifest.get("index", {}))
         saved["name"] = str(manifest.get("name", pathlib.Path(path).name))
         saved.update(opts)
         cost = saved.pop("cost", None)
-        store = load_decomposed(path, cost=cost, verify=verify)
-        index = cls(store.matrix, cost=store.cost, **saved)
-        index._decomposed = store  # reuse the loaded fragments
+        # None lets load_decomposed fall back to the manifest's own format.
+        target = saved.pop("format", None)
+        store = load_decomposed(path, cost=cost, verify=verify, format=target)
+        index = cls._from_store(store, **saved)
         if "sharding" in manifest and "shards" not in opts:
             # Restore the exact persisted shard layout (an explicit shards=
             # override recomputes a fresh balanced plan instead).
@@ -168,6 +254,7 @@ class Index:
                     "bits": self._bits,
                     "shards": self._shards,
                     "on_shard_failure": self._on_shard_failure,
+                    "format": self._format.spec,
                 },
                 "sharding": self.shard_plan.to_manifest(),
             },
@@ -177,7 +264,20 @@ class Index:
 
     @property
     def vectors(self) -> np.ndarray:
-        """The raw collection matrix (no cost charged)."""
+        """The logical collection matrix, float64 (no cost charged).
+
+        For the identity format this is the ingested matrix itself.  For a
+        narrow format it is the quantised collection widened back to float64
+        — the values every backend actually answers over — materialised (and
+        cached) on first access; the query path of the decomposed backends
+        never needs it, so answering from a lazy (mapped) index does not
+        trigger it.
+        """
+        if self._vectors is None:
+            if self._input is not None:
+                self._vectors = self._format.widen(self._format.quantise(self._input))
+            else:
+                self._vectors = self.decomposed.matrix
         return self._vectors
 
     @property
@@ -186,14 +286,19 @@ class Index:
         return self._name
 
     @property
+    def format(self) -> "FragmentFormat":
+        """The fragment format (dtype x residency) of the physical stores."""
+        return self._format
+
+    @property
     def cardinality(self) -> int:
         """Number of vectors."""
-        return int(self._vectors.shape[0])
+        return self._cardinality
 
     @property
     def dimensionality(self) -> int:
         """Number of dimensions per vector."""
-        return int(self._vectors.shape[1])
+        return self._dimensionality
 
     def __len__(self) -> int:
         return self.cardinality
@@ -235,14 +340,20 @@ class Index:
     def row_store(self) -> RowStore:
         """The horizontal (NSM) representation, built on first use."""
         if self._row_store is None:
-            self._row_store = RowStore(self._vectors, cost=self._cost, name=self._name)
+            source = self._input if self._input is not None else self.vectors
+            self._row_store = RowStore(
+                source, cost=self._cost, name=self._name, format=self._format
+            )
         return self._row_store
 
     @property
     def decomposed(self) -> DecomposedStore:
         """The vertically decomposed representation, built on first use."""
         if self._decomposed is None:
-            self._decomposed = DecomposedStore(self._vectors, cost=self._cost, name=self._name)
+            source = self._input if self._input is not None else self.vectors
+            self._decomposed = DecomposedStore(
+                source, cost=self._cost, name=self._name, format=self._format
+            )
         return self._decomposed
 
     @property

@@ -18,6 +18,22 @@ Bounds declare their bookkeeping needs through two flags:
 The distinction matters for the cost accounting: maintaining these sums is
 exactly the "additional bookkeeping" the paper weighs against the better
 pruning of the richer criteria.
+
+Narrow-store safety
+-------------------
+Bounds never touch raw fragment dtypes: every input they see — query
+coefficients, partial scores, ``T(x⁻)`` / ``T(x⁺)`` — is float64 by
+construction (queries are validated to float64, scores accumulate in
+float64 workspaces, and the row-sum column is stored float64 for every
+fragment format).  Over a narrow store (float32/float16 fragments, see
+:mod:`repro.storage.formats`) those float64 inputs are derived from the
+float64-**widened** quantised coefficients, so each bound is exact for the
+widened collection: the interval it brackets contains the true remaining
+contribution *of the values the store actually holds*, and branch-and-bound
+can never falsely dismiss a true neighbour of the quantised collection.
+The only drift a narrow format introduces is the one-time ingest
+quantisation, bounded per query by
+:meth:`~repro.storage.formats.FragmentFormat.score_tolerance`.
 """
 
 from __future__ import annotations

@@ -154,7 +154,9 @@ class BatchQueryEngine:
         ]
         if scanning:
             union = np.unique(np.concatenate([block for _, block in scanning]))
-            self._store.cost.charge_block_scan(self._store.cardinality, int(union.size))
+            self._store.cost.charge_block_scan(
+                self._store.cardinality, int(union.size), self._store.coefficient_bytes
+            )
             self._scan_round(scanning)
         for run, block_dimensions in positional:
             self._advance(run, block_dimensions, charge_storage=True)

@@ -150,13 +150,19 @@ class CandidateSet:
         In bitmap mode the whole fragment is read sequentially (that is the
         physical reality of filtering through a bitmap); in positional mode
         only the candidates' values are fetched, modelled as a sequential scan
-        of the materialised (already restricted) fragment.
+        of the materialised (already restricted) fragment.  Values come back
+        float64 — the exact widening of possibly narrow coefficients — so the
+        score arithmetic downstream never runs in a narrow dtype (a narrow
+        intermediate would silently poison every subsequent float64 operation
+        under NEP 50 promotion rules).
         """
         if self._current_mode is CandidateMode.BITMAP:
             fragment = self._store.fragment(dimension)
-            return fragment.tail[self.oids]
-        self._store.cost.charge_scan(len(self), DOUBLE_BYTES)
-        return self._store.matrix[self.oids, dimension]
+            return np.asarray(fragment.tail[self.oids], dtype=np.float64)
+        self._store.cost.charge_scan(len(self), self._store.coefficient_bytes)
+        return np.asarray(
+            self._store.fragment_tail(dimension)[self.oids], dtype=np.float64
+        )
 
     def block_values(self, dimensions: np.ndarray) -> np.ndarray:
         """One pruning period of fragments as a single ``(n, m)`` gather.

@@ -12,6 +12,13 @@ both wall-clock times and these counters.
 
 The byte accounting follows the paper's own bookkeeping: an OID is 4 bytes, a
 double is 8 bytes, and a compressed (VA-file style) coefficient is 1 byte.
+Exact-fragment coefficients are **not** hardwired to 8 bytes, though: every
+``charge_*`` method takes ``bytes_per_tuple``, and stores pass their
+fragment format's coefficient width
+(:attr:`~repro.storage.formats.FragmentFormat.coefficient_bytes` — 8/4/2 for
+float64/float32/float16), so ``bytes_read`` reflects the volume a narrow
+store actually streams.  :func:`coefficient_bytes_for` maps a dtype to its
+charge width for callers that only have a dtype name or numpy dtype in hand.
 """
 
 from __future__ import annotations
@@ -19,12 +26,35 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
+import numpy as np
+
 #: Size in bytes of an object identifier, as assumed in footnote 4 of the paper.
 OID_BYTES = 4
-#: Size in bytes of a double-precision coefficient.
+#: Size in bytes of a double-precision coefficient (the historical default
+#: width of every ``charge_*`` call; narrow stores override it per call).
 DOUBLE_BYTES = 8
 #: Size in bytes of an 8-bit compressed coefficient.
 COMPRESSED_BYTES = 1
+
+#: Charge width per exact-fragment coefficient dtype.
+COEFFICIENT_BYTES = {
+    "float64": 8,
+    "float32": 4,
+    "float16": 2,
+}
+
+
+def coefficient_bytes_for(dtype) -> int:
+    """Bytes one stored coefficient of ``dtype`` streams through the model.
+
+    Accepts dtype names (``"float32"``), numpy dtypes and anything
+    ``numpy.dtype`` understands; unknown dtypes fall back to their itemsize,
+    so byte accounting stays honest even for formats this table predates.
+    """
+    name = str(dtype)
+    if name in COEFFICIENT_BYTES:
+        return COEFFICIENT_BYTES[name]
+    return int(np.dtype(dtype).itemsize)
 
 
 @dataclass

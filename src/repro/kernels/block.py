@@ -14,6 +14,21 @@ would produce — same operations, same operand order — so that folding the
 columns left to right (:func:`accumulate_columns`) yields partial scores that
 are bit-for-bit identical to the seed per-dimension loop.  The property tests
 in ``tests/test_kernels.py`` enforce this with ``np.array_equal``.
+
+Narrow-fragment contract
+------------------------
+``accumulate_scan`` may receive fragment columns in a *narrow* store dtype
+(float32/float16 — see :mod:`repro.storage.formats`).  Kernels must then
+produce exactly what the same scan over the float64-**widened** columns
+would produce: all arithmetic and accumulation stays float64, with the
+narrow coefficients widened exactly on entry.  The fused kernels get this
+for free — their query scalars are ``np.float64`` and their ``out=`` targets
+are float64 workspaces, so numpy selects the float64 loop and widens each
+narrow operand element exactly — but any expression that lets a narrow
+column meet a *Python* scalar without a float64 ``out`` would stay narrow
+under NEP 50 promotion and silently quantise every downstream partial
+score; :class:`GenericBlockKernel` therefore widens explicitly before
+calling the scalar metric.
 """
 
 from __future__ import annotations
@@ -174,6 +189,10 @@ class GenericBlockKernel(BlockKernel):
     def contribution_block(
         self, values: np.ndarray, query_values: np.ndarray, dimensions: np.ndarray
     ) -> np.ndarray:
+        # Custom metrics receive Python floats and arbitrary expressions; a
+        # narrow column must be widened *here* or NEP 50 would keep the whole
+        # contribution in the store dtype (see the module docstring).
+        values = np.asarray(values, dtype=np.float64)
         block = np.empty_like(values, dtype=np.float64)
         for position in range(values.shape[1]):
             block[:, position] = self._metric.contributions(

@@ -21,15 +21,22 @@ Three stores are provided:
 :mod:`~repro.storage.sharding` cuts either store into contiguous row shards
 (:class:`~repro.storage.sharding.ShardPlan`) for the parallel engines of
 :mod:`repro.core.parallel`.
+
+Every store takes a :class:`~repro.storage.formats.FragmentFormat`
+(coefficient dtype float64/float32/float16 x residency ram/mmap) controlling
+how fragments are materialised — see :mod:`repro.storage.formats` for the
+identity-vs-tolerance contract.
 """
 
 from repro.storage.decomposed import DecomposedStore
+from repro.storage.formats import DEFAULT_FORMAT, FragmentFormat
 from repro.storage.rowstore import RowStore
 from repro.storage.compressed import CompressedFragment, CompressedStore
 from repro.storage.persistence import (
     fragment_checksum,
     load_decomposed,
     load_manifest,
+    manifest_format,
     save_decomposed,
 )
 from repro.storage.sharding import ShardPlan, shard_compressed, shard_decomposed
@@ -38,9 +45,12 @@ __all__ = [
     "CompressedFragment",
     "CompressedStore",
     "DecomposedStore",
+    "DEFAULT_FORMAT",
+    "FragmentFormat",
     "fragment_checksum",
     "load_decomposed",
     "load_manifest",
+    "manifest_format",
     "RowStore",
     "save_decomposed",
     "ShardPlan",

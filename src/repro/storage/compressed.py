@@ -121,8 +121,13 @@ class CompressedStore:
         self._exact = exact
         self._bits = bits
         self._cost = cost if cost is not None else exact.cost
+        # Quantise from the widened per-dimension columns rather than the
+        # full matrix: the filter grid then reflects exactly the (possibly
+        # narrow) logical collection the exact store scores, and building
+        # over a lazy (mapped / narrow) store streams one column at a time
+        # instead of materialising the whole widened matrix.
         self._fragments = [
-            CompressedFragment.from_values(exact.matrix[:, dim], bits=bits)
+            CompressedFragment.from_values(exact.widened_column(dim), bits=bits)
             for dim in range(exact.dimensionality)
         ]
         # Pre-resolved code arrays and quantisation grids for the fused

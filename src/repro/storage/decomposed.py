@@ -7,6 +7,22 @@ virtual dense head holding the coefficients of one dimension for every vector
 that independent per-dimension access is exactly what BOND exploits — and
 charges fragment reads to a shared :class:`~repro.engine.cost.CostModel`.
 
+Fragment format
+---------------
+The physical shape of a fragment is a :class:`~repro.storage.formats.FragmentFormat`:
+coefficients may be stored as float64 (the identity-preserving default),
+float32 or float16, resident in RAM or as read-only memory-mapped files.
+Narrow coefficients are quantised **once** at ingest; every access path that
+feeds arithmetic (gathers, blocks, single columns) widens to float64 — an
+exact cast — so partial scores and pruning bounds are computed over the
+widened collection and branch-and-bound stays internally exact (see the
+:mod:`repro.storage.formats` contract).  The zero-copy column accessors
+(:meth:`fragment_columns`, :meth:`fragment_tail`) hand out the *raw* narrow
+columns so the fused kernels can stream half- or quarter-width fragments
+straight into their float64 accumulators.  Cost charges use the format's
+coefficient width: a float32 fragment scan moves half the bytes of a float64
+one, which is the whole point.
+
 Updates follow Section 6.2: appends and deletes are buffered in a
 :class:`~repro.engine.updates.DeltaLog` and merged at ``reorganize()`` time;
 a delete bitmap masks deleted vectors from queries in the meantime.
@@ -14,6 +30,8 @@ a delete bitmap masks deleted vectors from queries in the meantime.
 
 from __future__ import annotations
 
+import pathlib
+import tempfile
 from typing import Iterator, Sequence
 
 import numpy as np
@@ -24,6 +42,7 @@ from repro.engine.cost import CostModel, DOUBLE_BYTES
 from repro.engine.operators import semijoin
 from repro.engine.updates import DeltaLog
 from repro.errors import StorageError
+from repro.storage.formats import FragmentFormat
 
 
 class DecomposedStore:
@@ -41,7 +60,15 @@ class DecomposedStore:
     precompute_row_sums:
         Whether to materialise the per-vector total ``T(v)`` (needed by the
         ``Ev`` bound of Section 4.3, which the paper materialises as an extra
-        table).  Costs one extra column of doubles.
+        table).  Costs one extra column of doubles (row sums stay float64
+        for every format — they are bound inputs, not streamed fragments).
+    format:
+        The fragment :class:`~repro.storage.formats.FragmentFormat` (or its
+        ``"float32/mmap"``-style spec).  Defaults to ``float64/ram``, the
+        bitwise-identical seed behaviour.  ``mmap`` residency spills the
+        fragment columns to a private temporary directory and maps them
+        read-only (persisted collections are mapped in place by
+        :func:`~repro.storage.persistence.load_decomposed` instead).
     """
 
     def __init__(
@@ -51,50 +78,211 @@ class DecomposedStore:
         cost: CostModel | None = None,
         name: str = "collection",
         precompute_row_sums: bool = True,
+        format: FragmentFormat | str | None = None,
     ) -> None:
+        fragment_format = FragmentFormat.coerce(format)
         matrix = np.asarray(vectors, dtype=np.float64)
         if matrix.ndim != 2:
             raise StorageError(f"expected a 2-D vector matrix, got shape {matrix.shape}")
         if matrix.shape[0] == 0 or matrix.shape[1] == 0:
             raise StorageError("the collection must contain at least one vector and one dimension")
-        self._matrix = matrix
-        self._cost = cost if cost is not None else CostModel()
         self.name = name
-        self._alignment_token = id(self)
+        self._cost = cost if cost is not None else CostModel()
+        self._cardinality = int(matrix.shape[0])
+        self._dimensionality = int(matrix.shape[1])
         # Each fragment owns a *contiguous* copy of its column: vertical
         # decomposition is a physical layout, and a strided view into the
         # row-major matrix would silently read with row-store locality —
         # every fragment scan would drag the neighbouring dimensions through
         # the cache, defeating the paper's point.
-        self._fragments = [
-            BAT.dense(
-                np.ascontiguousarray(matrix[:, dim]),
-                alignment=self._alignment_token,
-                name=f"{name}.d{dim}",
+        if fragment_format.is_identity:
+            tails = [
+                np.ascontiguousarray(matrix[:, dim]) for dim in range(self._dimensionality)
+            ]
+            row_sum_tail = matrix.sum(axis=1) if precompute_row_sums else None
+            # The seed-identical fast path keeps the row-major matrix for
+            # small positional gathers (unless it is about to be mapped out).
+            retained_matrix = matrix if not fragment_format.is_mapped else None
+        else:
+            # Quantise once, per contiguous column; all later arithmetic runs
+            # over the float64-widened values of exactly these coefficients.
+            tails = [
+                np.ascontiguousarray(matrix[:, dim]).astype(fragment_format.np_dtype)
+                for dim in range(self._dimensionality)
+            ]
+            retained_matrix = None
+            row_sum_tail = None
+            if precompute_row_sums:
+                # T(v) over the *widened* quantised values (C-order, same
+                # per-row reduction a later lazy widening would produce), so
+                # the Ev bound sees the collection the fragments actually hold.
+                row_sum_tail = self._widened_from(tails).sum(axis=1)
+        mmap_dir = None
+        if fragment_format.is_mapped:
+            mmap_dir, tails = _spill_to_mmap(tails, name)
+        self._assemble(
+            tails,
+            fragment_format=fragment_format,
+            row_sum_tail=row_sum_tail,
+            matrix=retained_matrix,
+            mmap_dir=mmap_dir,
+            mmap_owner=None,
+        )
+
+    # -- alternate constructors ----------------------------------------------
+
+    @classmethod
+    def from_fragments(
+        cls,
+        tails: Sequence[np.ndarray],
+        *,
+        format: FragmentFormat | str | None = None,
+        cost: CostModel | None = None,
+        name: str = "collection",
+        row_sum_tail: np.ndarray | None = None,
+    ) -> "DecomposedStore":
+        """Assemble a store directly from per-dimension fragment tails.
+
+        The loading path of :func:`~repro.storage.persistence.load_decomposed`:
+        fragments read (or memory-mapped) from disk become the store's columns
+        without ever materialising the row-major matrix — which is what keeps
+        opening a larger-than-RAM mapped collection cheap.  Tails must already
+        be in the format's dtype; ``mmap`` formats spill any RAM-resident
+        tails to a private temporary directory (tails that are already
+        memory-mapped are adopted as-is).
+        """
+        fragment_format = FragmentFormat.coerce(format)
+        tails = [np.asarray(tail) for tail in tails]
+        if not tails:
+            raise StorageError("the collection must contain at least one vector and one dimension")
+        cardinality = int(tails[0].shape[0])
+        if cardinality == 0:
+            raise StorageError("the collection must contain at least one vector and one dimension")
+        for tail in tails:
+            if tail.ndim != 1 or tail.shape[0] != cardinality:
+                raise StorageError("fragment tails must be 1-D and of equal length")
+            if tail.dtype != fragment_format.np_dtype:
+                raise StorageError(
+                    f"fragment tail dtype {tail.dtype} does not match format "
+                    f"{fragment_format.spec} ({fragment_format.np_dtype})"
+                )
+        store = object.__new__(cls)
+        store.name = name
+        store._cost = cost if cost is not None else CostModel()
+        store._cardinality = cardinality
+        store._dimensionality = len(tails)
+        mmap_dir = None
+        if fragment_format.is_mapped and not all(_is_mapped(tail) for tail in tails):
+            mmap_dir, tails = _spill_to_mmap(tails, name)
+        store._assemble(
+            tails,
+            fragment_format=fragment_format,
+            row_sum_tail=row_sum_tail,
+            matrix=None,
+            mmap_dir=mmap_dir,
+            mmap_owner=None,
+        )
+        return store
+
+    @classmethod
+    def row_slice(
+        cls,
+        parent: "DecomposedStore",
+        start: int,
+        stop: int,
+        *,
+        cost: CostModel | None = None,
+        name: str | None = None,
+    ) -> "DecomposedStore":
+        """A zero-copy shard view over rows ``[start, stop)`` of ``parent``.
+
+        Every fragment tail of the slice is a contiguous view of the parent's
+        column — including memory-mapped ones, so sharding a mapped store
+        never copies or faults coefficients in.  The row-sum column is sliced
+        from the parent's (per-row sums are independent of the row subset, so
+        the slice is bitwise identical to recomputing them), and shard OIDs
+        are local to the range (global OID = local OID + ``start``).  The
+        slice holds a reference to the parent, keeping any temporary mapping
+        directory alive.
+        """
+        if not (0 <= start < stop <= parent.cardinality):
+            raise StorageError(
+                f"row slice [{start}, {stop}) outside collection of size {parent.cardinality}"
             )
-            for dim in range(matrix.shape[1])
+        if parent.pending_updates or len(parent.deleted):
+            raise StorageError(
+                "the store has buffered updates or deletions; call reorganize() before "
+                "slicing so every slice sees the settled collection"
+            )
+        shard = object.__new__(cls)
+        shard.name = name if name is not None else f"{parent.name}[{start}:{stop}]"
+        shard._cost = cost if cost is not None else CostModel()
+        shard._cardinality = stop - start
+        shard._dimensionality = parent._dimensionality
+        row_sum_tail = (
+            parent._row_sums.tail[start:stop] if parent._row_sums is not None else None
+        )
+        shard._assemble(
+            [tail[start:stop] for tail in parent._tails],
+            fragment_format=parent._format,
+            row_sum_tail=row_sum_tail,
+            matrix=parent._matrix[start:stop] if parent._matrix is not None else None,
+            mmap_dir=None,
+            mmap_owner=parent,
+        )
+        return shard
+
+    def _assemble(
+        self,
+        tails: list[np.ndarray],
+        *,
+        fragment_format: FragmentFormat,
+        row_sum_tail: np.ndarray | None,
+        matrix: np.ndarray | None,
+        mmap_dir,
+        mmap_owner,
+    ) -> None:
+        """Shared tail-of-construction: wrap tails in BATs and init bookkeeping."""
+        self._format = fragment_format
+        self._coefficient_bytes = fragment_format.coefficient_bytes
+        self._alignment_token = id(self)
+        self._matrix = matrix
+        self._mmap_dir = mmap_dir
+        self._mmap_owner = mmap_owner
+        self._fragments = [
+            BAT.dense(tail, alignment=self._alignment_token, name=f"{self.name}.d{dim}")
+            for dim, tail in enumerate(tails)
         ]
         # Raw tail arrays, pre-resolved for the block-gather hot path.
         self._tails = [fragment.tail for fragment in self._fragments]
         self._row_sums: BAT | None = None
-        if precompute_row_sums:
+        if row_sum_tail is not None:
             self._row_sums = BAT.dense(
-                matrix.sum(axis=1), alignment=self._alignment_token, name=f"{name}.rowsum"
+                np.asarray(row_sum_tail, dtype=np.float64),
+                alignment=self._alignment_token,
+                name=f"{self.name}.rowsum",
             )
-        self._delta = DeltaLog(dimensionality=matrix.shape[1])
-        self._deleted = Bitmap(matrix.shape[0])
+        self._delta = DeltaLog(dimensionality=self._dimensionality)
+        self._deleted = Bitmap(self._cardinality)
+
+    def _widened_from(self, tails: Sequence[np.ndarray]) -> np.ndarray:
+        """The float64 C-order matrix of the (possibly narrow) tails."""
+        widened = np.empty((self._cardinality, self._dimensionality), dtype=np.float64)
+        for dimension, tail in enumerate(tails):
+            widened[:, dimension] = tail
+        return widened
 
     # -- shape ---------------------------------------------------------------
 
     @property
     def cardinality(self) -> int:
         """Number of vectors in the (reorganised) collection."""
-        return int(self._matrix.shape[0])
+        return self._cardinality
 
     @property
     def dimensionality(self) -> int:
         """Number of dimensions per vector."""
-        return int(self._matrix.shape[1])
+        return self._dimensionality
 
     def __len__(self) -> int:
         return self.cardinality
@@ -104,6 +292,16 @@ class DecomposedStore:
         """The cost model fragment reads are charged to."""
         return self._cost
 
+    @property
+    def format(self) -> FragmentFormat:
+        """The fragment format (dtype x residency) of this store."""
+        return self._format
+
+    @property
+    def coefficient_bytes(self) -> int:
+        """Bytes per stored coefficient — what fragment reads are charged at."""
+        return self._coefficient_bytes
+
     # -- fragment access ------------------------------------------------------
 
     def fragment(self, dimension: int, *, charge: bool = True) -> BAT:
@@ -111,13 +309,24 @@ class DecomposedStore:
 
         ``charge=True`` (the default) charges a full sequential read of the
         fragment to the cost model — this is the access BOND performs in its
-        early, bitmap-based iterations.
+        early, bitmap-based iterations.  The tail carries the store's
+        (possibly narrow) dtype; consumers that feed arithmetic widen to
+        float64.
         """
         self._check_dimension(dimension)
         fragment = self._fragments[dimension]
         if charge:
-            self._cost.charge_scan(len(fragment), DOUBLE_BYTES)
+            self._cost.charge_scan(len(fragment), self._coefficient_bytes)
         return fragment
+
+    def fragment_tail(self, dimension: int) -> np.ndarray:
+        """The raw (possibly narrow / memory-mapped) tail of one fragment.
+
+        Uncharged zero-copy access for consumers that do their own cost
+        accounting (persistence, the candidate set's positional reads).
+        """
+        self._check_dimension(dimension)
+        return self._tails[dimension]
 
     def fragment_for_candidates(self, dimension: int, candidates: Bitmap) -> BAT:
         """Return the fragment restricted to a candidate bitmap.
@@ -130,12 +339,24 @@ class DecomposedStore:
         self._check_dimension(dimension)
         return semijoin(self._fragments[dimension], candidates, cost=self._cost)
 
+    def widened_column(self, dimension: int) -> np.ndarray:
+        """One fragment's logical (float64-widened) values, uncharged.
+
+        For float64 formats this is the tail itself (no copy); narrow tails
+        are cast exactly.  The quantisation path of
+        :class:`~repro.storage.compressed.CompressedStore` builds its code
+        grids from this, so compressed filters see the same logical
+        collection the exact engines score.
+        """
+        self._check_dimension(dimension)
+        return np.asarray(self._tails[dimension], dtype=np.float64)
+
     def gather(self, dimension: int, oids: np.ndarray | Sequence[int]) -> np.ndarray:
         """Return fragment values for the given OIDs (positional gathers)."""
         self._check_dimension(dimension)
         oid_array = np.asarray(oids, dtype=np.int64)
-        self._cost.charge_random_access(len(oid_array), DOUBLE_BYTES)
-        return self._matrix[oid_array, dimension]
+        self._cost.charge_random_access(len(oid_array), self._coefficient_bytes)
+        return np.asarray(self._tails[dimension][oid_array], dtype=np.float64)
 
     def gather_block(
         self,
@@ -148,7 +369,8 @@ class DecomposedStore:
 
         This is the storage primitive behind the fused block-scan kernels: one
         pruning period of m fragments comes back as a single ``(rows, m)``
-        array instead of m per-dimension round trips.
+        float64 array instead of m per-dimension round trips (widening narrow
+        coefficients during the column fills — an exact cast).
 
         Parameters
         ----------
@@ -171,17 +393,17 @@ class DecomposedStore:
             )
         rows = self.cardinality if oids is None else int(len(oids))
         if charge == "full":
-            self._cost.charge_block_scan(self.cardinality, int(dims.size), DOUBLE_BYTES)
+            self._cost.charge_block_scan(self.cardinality, int(dims.size), self._coefficient_bytes)
         elif charge == "candidates":
-            self._cost.charge_block_scan(rows, int(dims.size), DOUBLE_BYTES)
+            self._cost.charge_block_scan(rows, int(dims.size), self._coefficient_bytes)
         elif charge is not None:
             raise StorageError(f"unknown block charge mode {charge!r}")
+        tails = self._tails
         if oids is None:
             # Column-major output: each column of the block is one contiguous
             # fragment, so assembling the block is m straight memcpys and the
             # kernels consume cache-friendly columns.
             block = np.empty((rows, dims.size), dtype=np.float64, order="F")
-            tails = self._tails
             for position, dimension in enumerate(dims):
                 block[:, position] = tails[dimension]
             return block
@@ -192,13 +414,17 @@ class DecomposedStore:
             # the row-major matrix would drag every OID's full row through
             # the cache — exactly the locality the decomposed layout avoids.
             block = np.empty((rows, dims.size), dtype=np.float64, order="F")
-            tails = self._tails
             for position, dimension in enumerate(dims):
                 block[:, position] = tails[dimension][oid_array]
             return block
         # Small gathers (post switch-over candidate lists): one fancy 2-D
         # index beats m per-column round trips.
-        return self._matrix[np.ix_(oid_array, dims)]
+        if self._matrix is not None:
+            return self._matrix[np.ix_(oid_array, dims)]
+        block = np.empty((rows, dims.size), dtype=np.float64)
+        for position, dimension in enumerate(dims):
+            block[:, position] = tails[dimension][oid_array]
+        return block
 
     def fragment_columns(
         self, dimensions: np.ndarray | Sequence[int], *, charge: bool = True
@@ -207,8 +433,11 @@ class DecomposedStore:
 
         The fastest access path of the store: while every vector is still a
         candidate no gather is needed at all, so the block-scan kernels can
-        stream the fragments in place.  Charged as one fused block scan
-        (``charge=False`` lets a batch engine charge a shared read itself).
+        stream the fragments in place — in the store's native dtype, which is
+        how narrow formats actually halve or quarter the streamed bytes (the
+        kernels accumulate into float64, an exact widening).  Charged as one
+        fused block scan at the format's coefficient width (``charge=False``
+        lets a batch engine charge a shared read itself).
         """
         dims = np.asarray(dimensions, dtype=np.int64)
         if dims.size and (int(dims.min()) < 0 or int(dims.max()) >= self.dimensionality):
@@ -216,22 +445,33 @@ class DecomposedStore:
                 f"block dimensions outside collection dimensionality {self.dimensionality}"
             )
         if charge:
-            self._cost.charge_block_scan(self.cardinality, int(dims.size), DOUBLE_BYTES)
+            self._cost.charge_block_scan(self.cardinality, int(dims.size), self._coefficient_bytes)
         tails = self._tails
         return [tails[int(dimension)] for dimension in dims]
 
     def gather_matrix(self, oids: np.ndarray | Sequence[int], dimensions: Sequence[int] | None = None) -> np.ndarray:
-        """Return the sub-matrix of the given OIDs restricted to ``dimensions``.
+        """Return the float64 sub-matrix of the given OIDs restricted to ``dimensions``.
 
-        Used by refinement steps that need the exact vectors of a small
-        candidate set.
+        Used by refinement steps that need the exact (widened) vectors of a
+        small candidate set.
         """
         oid_array = np.asarray(oids, dtype=np.int64)
         if dimensions is None:
-            selected = self._matrix[oid_array]
+            dims = np.arange(self.dimensionality, dtype=np.int64)
         else:
-            selected = self._matrix[np.ix_(oid_array, np.asarray(dimensions, dtype=np.int64))]
-        self._cost.charge_random_access(selected.size, DOUBLE_BYTES)
+            dims = np.asarray(dimensions, dtype=np.int64)
+        if self._matrix is not None:
+            selected = (
+                self._matrix[oid_array]
+                if dimensions is None
+                else self._matrix[np.ix_(oid_array, dims)]
+            )
+        else:
+            selected = np.empty((oid_array.shape[0], dims.size), dtype=np.float64)
+            tails = self._tails
+            for position, dimension in enumerate(dims):
+                selected[:, position] = tails[dimension][oid_array]
+        self._cost.charge_random_access(selected.size, self._coefficient_bytes)
         return selected
 
     def iter_fragments(self, order: Sequence[int] | None = None) -> Iterator[tuple[int, BAT]]:
@@ -246,7 +486,7 @@ class DecomposedStore:
         return self._row_sums is not None
 
     def row_sums(self) -> BAT:
-        """The materialised ``T(v)`` column (per-vector total).
+        """The materialised ``T(v)`` column (per-vector total, always float64).
 
         Raises :class:`StorageError` if the store was created with
         ``precompute_row_sums=False`` — the Ev bound then cannot be used
@@ -263,8 +503,9 @@ class DecomposedStore:
     def materialize_row_sums(self) -> BAT:
         """Materialise (and return) the ``T(v)`` column if not already present."""
         if self._row_sums is None:
+            source = self._matrix if self._matrix is not None else self._widened_from(self._tails)
             self._row_sums = BAT.dense(
-                self._matrix.sum(axis=1),
+                source.sum(axis=1),
                 alignment=self._alignment_token,
                 name=f"{self.name}.rowsum",
             )
@@ -274,15 +515,29 @@ class DecomposedStore:
 
     @property
     def matrix(self) -> np.ndarray:
-        """The underlying matrix (no cost charged; intended for ground truth)."""
+        """The float64 logical matrix (no cost charged; intended for ground truth).
+
+        For the default in-RAM float64 format this is the ingested matrix
+        itself.  For narrow or memory-mapped formats it is materialised (and
+        cached) from the fragment tails on first access — deliberately not on
+        the query path, so answering from a larger-than-RAM mapped store
+        never builds it; only explicit ground-truth / export access pays.
+        """
+        if self._matrix is None:
+            self._matrix = self._widened_from(self._tails)
         return self._matrix
 
     def vector(self, oid: int) -> np.ndarray:
-        """Return one full vector by OID (charged as N random accesses)."""
+        """Return one full (widened) vector by OID (charged as N random accesses)."""
         if oid < 0 or oid >= self.cardinality:
             raise StorageError(f"OID {oid} outside collection of size {self.cardinality}")
-        self._cost.charge_random_access(self.dimensionality, DOUBLE_BYTES)
-        return self._matrix[oid]
+        self._cost.charge_random_access(self.dimensionality, self._coefficient_bytes)
+        if self._matrix is not None:
+            return self._matrix[oid]
+        row = np.empty(self.dimensionality, dtype=np.float64)
+        for dimension, tail in enumerate(self._tails):
+            row[dimension] = tail[oid]
+        return row
 
     # -- candidate helpers -----------------------------------------------------
 
@@ -306,8 +561,9 @@ class DecomposedStore:
         """Storage relative to the plain row-major matrix of doubles.
 
         The paper claims "practically no storage overhead"; with virtual OIDs
-        the only overhead is the optional ``T(v)`` column, i.e. a factor of
-        ``(N + 1) / N``.
+        the only overhead of the default format is the optional ``T(v)``
+        column, i.e. a factor of ``(N + 1) / N``.  Narrow formats land below
+        1: the fragments themselves shrink by the dtype ratio.
         """
         base = self.cardinality * self.dimensionality * DOUBLE_BYTES
         return self.storage_bytes() / base
@@ -342,14 +598,21 @@ class DecomposedStore:
             self._deleted.set(int(oid))
 
     def reorganize(self) -> None:
-        """Apply buffered appends and deletes and rebuild the fragments."""
-        new_matrix = self._delta.apply(self._matrix)
+        """Apply buffered appends and deletes and rebuild the fragments.
+
+        Narrow stores apply the delta to the widened logical matrix and
+        re-quantise (appended float64 rows go through the same single
+        ``astype`` every ingested row did); mapped stores spill a fresh
+        temporary mapping.
+        """
+        new_matrix = self._delta.apply(self.matrix)
         had_row_sums = self._row_sums is not None
         self.__init__(
             new_matrix,
             cost=self._cost,
             name=self.name,
             precompute_row_sums=had_row_sums,
+            format=self._format,
         )
 
     # -- helpers -----------------------------------------------------------------
@@ -361,4 +624,36 @@ class DecomposedStore:
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<DecomposedStore {self.name!r} |{self.cardinality}| x {self.dimensionality}>"
+        return (
+            f"<DecomposedStore {self.name!r} |{self.cardinality}| x {self.dimensionality}"
+            f" [{self._format.spec}]>"
+        )
+
+
+def _is_mapped(array: np.ndarray) -> bool:
+    """Whether an array (or its base) is backed by a :class:`numpy.memmap`."""
+    while array is not None:
+        if isinstance(array, np.memmap):
+            return True
+        array = array.base
+    return False
+
+
+def _spill_to_mmap(
+    tails: list[np.ndarray], name: str
+) -> tuple[tempfile.TemporaryDirectory, list[np.ndarray]]:
+    """Write tails to a private temp directory and map them back read-only.
+
+    The returned :class:`~tempfile.TemporaryDirectory` must be kept alive by
+    the store for the lifetime of the mappings (deleting an open mapping's
+    file is safe on POSIX, but there is no reason to race the OS).
+    """
+    safe = "".join(ch if ch.isalnum() or ch in "-_" else "-" for ch in name) or "store"
+    mmap_dir = tempfile.TemporaryDirectory(prefix=f"repro-{safe}-fragments-")
+    base = pathlib.Path(mmap_dir.name)
+    mapped: list[np.ndarray] = []
+    for dimension, tail in enumerate(tails):
+        path = base / f"dim_{dimension:05d}.col"
+        np.ascontiguousarray(tail).tofile(path)
+        mapped.append(np.memmap(path, dtype=tail.dtype, mode="r"))
+    return mmap_dir, mapped

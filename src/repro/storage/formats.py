@@ -1,0 +1,210 @@
+"""The store-format abstraction: coefficient dtype x fragment residency.
+
+Every physical store in this package historically assumed one fragment
+format — in-RAM little-endian float64 columns.  The paper's cost model says
+kNN response time is dominated by the bytes the full-scan phase streams, so
+halving (float32) or quartering (float16) the stored coefficient width is a
+direct attack on the dominant term, and memory-mapping the fragments lets a
+collection larger than RAM keep serving queries.  A :class:`FragmentFormat`
+names one point in that grid and is threaded through storage, kernels, cost
+accounting and the planner.
+
+Identity-vs-tolerance contract
+------------------------------
+* ``float64`` formats change **nothing** about the numbers: the stored
+  coefficients are the ingested values, every partial score and bound is the
+  same float64 the seed engine produced, and answers are bitwise identical to
+  the default in-RAM store — for ``ram`` and ``mmap`` residency alike (a
+  mapping changes where bytes live, never what they are).
+* Narrow formats (``float32`` / ``float16``) quantise each coefficient
+  **once at ingest** (an ``astype`` round-to-nearest).  Everything downstream
+  — contributions, partial scores, pruning bounds, refinement — is computed
+  in float64 over the *widened* narrow values (the float32/float16 ->
+  float64 cast is exact, so streaming narrow columns into float64
+  accumulators loses nothing).  Branch-and-bound over a narrow store is
+  therefore **internally exact**: it returns bitwise the same answer as a
+  brute-force scan of the widened collection, and narrow pruning bounds can
+  never falsely dismiss a true neighbour of the quantised collection.
+  Against the unquantised float64 answer, scores differ by at most the
+  per-dtype :meth:`FragmentFormat.score_tolerance`, which is what the
+  hypothesis suite pins.
+
+Residency
+---------
+``ram`` keeps fragment columns as ordinary arrays.  ``mmap`` backs every
+fragment with a read-only :class:`numpy.memmap` — an in-memory build spills
+the columns to a private temporary directory first, while
+``load_decomposed`` / ``Index.open`` map the persisted fragment files
+directly, so opening an index never materialises the collection and a store
+larger than RAM pages fragments in on demand (the OS drops cold pages under
+pressure).  Row slicing a mapped store yields views of the parent's
+mappings: sharding never copies coefficients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StorageError
+
+#: dtype name -> (little-endian struct string, bytes per coefficient,
+#: unit roundoff of the significand).  The unit roundoff ``u`` is the largest
+#: relative error quantisation can introduce per coefficient: 0 for float64
+#: (ingested values are stored verbatim), 2**-24 for float32, 2**-11 for
+#: float16.
+_DTYPES: dict[str, tuple[str, int, float]] = {
+    "float64": ("<f8", 8, 0.0),
+    "float32": ("<f4", 4, 2.0**-24),
+    "float16": ("<f2", 2, 2.0**-11),
+}
+
+_RESIDENCIES = ("ram", "mmap")
+
+
+@dataclass(frozen=True)
+class FragmentFormat:
+    """One cell of the store-format matrix: coefficient dtype x residency.
+
+    Attributes
+    ----------
+    dtype:
+        Stored coefficient type: ``"float64"`` (the identity-preserving
+        default), ``"float32"`` or ``"float16"``.
+    residency:
+        Where fragment columns live: ``"ram"`` (ordinary arrays) or
+        ``"mmap"`` (read-only memory-mapped files).
+    """
+
+    dtype: str = "float64"
+    residency: str = "ram"
+
+    def __post_init__(self) -> None:
+        if self.dtype not in _DTYPES:
+            raise StorageError(
+                f"unknown fragment dtype {self.dtype!r}; supported: {sorted(_DTYPES)}"
+            )
+        if self.residency not in _RESIDENCIES:
+            raise StorageError(
+                f"unknown fragment residency {self.residency!r}; supported: {_RESIDENCIES}"
+            )
+
+    # -- parsing -------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "FragmentFormat":
+        """Parse ``"float32/mmap"``-style specs (residency defaults to ram)."""
+        parts = spec.split("/")
+        if len(parts) == 1:
+            return cls(dtype=parts[0])
+        if len(parts) == 2:
+            return cls(dtype=parts[0], residency=parts[1])
+        raise StorageError(f"malformed fragment format spec {spec!r} (want 'dtype[/residency]')")
+
+    @classmethod
+    def coerce(cls, value: "FragmentFormat | str | None") -> "FragmentFormat":
+        """Normalise any accepted format designation to a :class:`FragmentFormat`.
+
+        ``None`` means the identity-preserving default (``float64/ram``).
+        """
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls.parse(value)
+        raise StorageError(f"cannot interpret {value!r} as a fragment format")
+
+    # -- derived facts -------------------------------------------------------
+
+    @property
+    def spec(self) -> str:
+        """The canonical ``"dtype/residency"`` string of this format."""
+        return f"{self.dtype}/{self.residency}"
+
+    @property
+    def struct_string(self) -> str:
+        """Explicit little-endian numpy struct string (``"<f8"`` ...)."""
+        return _DTYPES[self.dtype][0]
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """The numpy dtype fragments of this format are stored as."""
+        return np.dtype(self.struct_string)
+
+    @property
+    def coefficient_bytes(self) -> int:
+        """Bytes one stored coefficient streams through the cost model."""
+        return _DTYPES[self.dtype][1]
+
+    @property
+    def unit_roundoff(self) -> float:
+        """Largest relative quantisation error per coefficient (0 for float64)."""
+        return _DTYPES[self.dtype][2]
+
+    @property
+    def is_identity(self) -> bool:
+        """Whether this format preserves ingested values bit for bit."""
+        return self.dtype == "float64"
+
+    @property
+    def is_mapped(self) -> bool:
+        """Whether fragments are memory-mapped rather than RAM-resident."""
+        return self.residency == "mmap"
+
+    def score_tolerance(self, dimensionality: int, value_range: float = 1.0) -> float:
+        """Documented bound on ``|score_narrow - score_float64|`` per query.
+
+        Each quantised coefficient ``x'`` satisfies ``|x' - x| <= u * |x|``
+        with ``u`` the :attr:`unit_roundoff`.  For coefficients and query
+        values within ``[0, value_range]``, one dimension's contribution then
+        moves by at most ``u * value_range`` for histogram intersection
+        (``min`` is 1-Lipschitz in its argument) and by at most
+        ``(2 + u) * u * value_range**2 <= 3 u * value_range**2`` for squared
+        Euclidean (``|(x'-q)^2 - (x-q)^2| <= |x'-x| * (|x'-q| + |x-q|)``).
+        Summed over ``d`` dimensions, ``4 * d * u * max(r, r**2)`` covers
+        both metrics with margin; float64 returns exactly 0.0.
+        """
+        if self.unit_roundoff == 0.0:
+            return 0.0
+        reach = max(value_range, value_range * value_range)
+        return 4.0 * dimensionality * self.unit_roundoff * reach
+
+    # -- conversions ---------------------------------------------------------
+
+    def quantise(self, values: np.ndarray) -> np.ndarray:
+        """The ingest-time quantisation: one round-to-nearest ``astype``.
+
+        For float64 this is a no-copy passthrough of float64 input — the
+        identity contract starts here.
+        """
+        return np.asarray(values).astype(self.np_dtype, copy=False)
+
+    def widen(self, values: np.ndarray) -> np.ndarray:
+        """The exact narrow -> float64 cast every compute path applies.
+
+        No-copy for float64 input, so the identity path never duplicates.
+        """
+        return np.asarray(values, dtype=np.float64)
+
+    # -- manifest ------------------------------------------------------------
+
+    def to_manifest(self) -> dict:
+        """JSON-serialisable record for the persistence manifest (v3)."""
+        return {"dtype": self.dtype, "residency": self.residency}
+
+    @classmethod
+    def from_manifest(cls, record: dict) -> "FragmentFormat":
+        """Rebuild a format from :meth:`to_manifest` output (validated)."""
+        try:
+            return cls(dtype=str(record["dtype"]), residency=str(record["residency"]))
+        except (KeyError, TypeError) as error:
+            raise StorageError(f"malformed fragment-format record: {record!r}") from error
+
+    def __str__(self) -> str:
+        return self.spec
+
+
+#: The identity-preserving default every store uses when no format is given.
+DEFAULT_FORMAT = FragmentFormat()

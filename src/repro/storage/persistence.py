@@ -4,24 +4,37 @@ The paper's physical design is literally "one table per dimension"; this
 module gives that a concrete on-disk shape so a collection can be ingested
 once and queried across process restarts:
 
-* every dimension fragment is stored as its own little-endian float64 binary
-  file (``dim_00000.col`` ...) — reading one dimension never touches the
-  others, which is the whole point of the layout;
-* the optional row-sum column (needed by the Ev bound) is a separate file;
-* a JSON manifest records the shape, dtype and layout version.
+* every dimension fragment is stored as its own little-endian binary file
+  (``dim_00000.col`` ...) in the store's fragment dtype — reading one
+  dimension never touches the others, which is the whole point of the
+  layout;
+* the optional row-sum column (needed by the Ev bound) is a separate file,
+  always ``<f8`` regardless of the fragment dtype;
+* a JSON manifest records the shape, fragment format and layout version.
 
 The format is deliberately simple (raw columns + manifest) rather than a
 custom container: it keeps the one-fragment-one-file property visible and
 makes the storage layout auditable with nothing but ``ls`` and ``numpy``.
 
+Layout versions: version 1 predates checksums; version 2 added per-fragment
+CRC-32 + ``fold64`` integrity records; version 3 added the fragment-format
+record (coefficient dtype x residency, plus a per-file ``fragments`` map).
+v1/v2 manifests still load — they imply the historical ``float64`` columns —
+and a float64 store saved by this build writes byte-identical fragment files
+to version 2.
+
 Integrity: every fragment file's CRC-32 is recorded in the manifest at save
-time (layout version 2), together with a fast vectorised ``fold64`` digest
-(word count + wrapping 64-bit word sum).  ``load_decomposed(...,
-verify="checksum")`` — and through it ``Index.open(verify="checksum")`` —
-verifies every fragment it reads and raises a typed
-:class:`~repro.errors.CorruptFragmentError` naming the fragment on any
-mismatch, instead of loading garbage; a manifest whose schema version this
-build cannot serve raises :class:`~repro.errors.ManifestVersionError`.
+time, together with a fast vectorised ``fold64`` digest (word count +
+wrapping 64-bit word sum).  ``load_decomposed(..., verify="checksum")`` —
+and through it ``Index.open(verify="checksum")`` — verifies every fragment
+it reads and raises a typed :class:`~repro.errors.CorruptFragmentError`
+naming the fragment on any mismatch, instead of loading garbage; a manifest
+whose schema version this build cannot serve raises
+:class:`~repro.errors.ManifestVersionError`.  When fragments are opened as
+memory maps the verification *streams* the file in fixed-size chunks
+instead of touching the mapping, so verify="checksum" does not defeat mmap
+laziness by faulting the whole collection into anonymous memory — pages
+read during verification pass through the page cache and remain evictable.
 
 Why two records per fragment: ``zlib.crc32`` holds the GIL and tops out
 around 2 GB/s, which would put checksum verification at ~20% of a
@@ -49,17 +62,27 @@ from repro.engine.cost import CostModel
 from repro.errors import CorruptFragmentError, ManifestVersionError, StorageError
 from repro.reliability.faults import fault_point
 from repro.storage.decomposed import DecomposedStore
+from repro.storage.formats import FragmentFormat
 
 #: Version tag written into every manifest; bump on layout changes.
-#: Version 2 added per-fragment content checksums.
-LAYOUT_VERSION = 2
+#: Version 2 added per-fragment content checksums; version 3 added the
+#: fragment-format record (dtype x residency).
+LAYOUT_VERSION = 3
 #: Manifest versions this build can still read (version 1 predates
-#: checksums, so it loads but cannot be checksum-verified).
-SUPPORTED_LAYOUT_VERSIONS = frozenset({1, 2})
+#: checksums, so it loads but cannot be checksum-verified; versions 1 and 2
+#: imply the historical in-RAM ``float64`` fragment format).
+SUPPORTED_LAYOUT_VERSIONS = frozenset({1, 2, 3})
 #: Fragment verification modes of :func:`load_decomposed`.
 VERIFY_MODES = ("none", "checksum")
 MANIFEST_NAME = "manifest.json"
 ROW_SUM_NAME = "row_sums.col"
+
+#: Chunk size of the streamed (mmap-friendly) verification readers.  4 MiB
+#: is large enough to amortise syscalls and a multiple of 8, so only the
+#: final chunk can carry a partial fold64 word.
+VERIFY_CHUNK_BYTES = 4 * 1024 * 1024
+
+_U64_MASK = 0xFFFFFFFFFFFFFFFF
 
 
 def fragment_checksum(data) -> str:
@@ -70,14 +93,25 @@ def fragment_checksum(data) -> str:
 def fragment_digest(column: np.ndarray) -> str:
     """The fast-verify digest of one fragment (see the module docstring).
 
-    Word count plus the wrapping sum of the fragment viewed as little-endian
-    64-bit words; computed straight off the loaded array, so the fault-free
-    verify path costs one memory-bandwidth reduction and no extra copy.
-    Fragments are always ``<f8`` columns, hence always 8-byte aligned.
+    Word count plus the wrapping sum of the fragment's raw bytes viewed as
+    little-endian 64-bit words, computed straight off the loaded array so
+    the fault-free verify path costs one memory-bandwidth reduction and no
+    extra copy.  A byte length that is not a multiple of 8 (possible for
+    narrow fragment dtypes) contributes one final zero-padded word; for the
+    8-byte-multiple columns every earlier layout version wrote, the digest
+    is bit-compatible with version 2.
     """
-    words = np.ascontiguousarray(column).view("<u8")
-    total = int(np.add.reduce(words, dtype=np.uint64))
-    return f"fold64:{words.size:016x}:{total:016x}"
+    raw = np.ascontiguousarray(column).reshape(-1).view(np.uint8)
+    full = raw.size - raw.size % 8
+    words = raw[:full].view("<u8")
+    count = int(words.size)
+    total = int(np.add.reduce(words, dtype=np.uint64)) if count else 0
+    if full != raw.size:
+        tail = np.zeros(8, dtype=np.uint8)
+        tail[: raw.size - full] = raw[full:]
+        total += int(tail.view("<u8")[0])
+        count += 1
+    return f"fold64:{count:016x}:{total & _U64_MASK:016x}"
 
 
 def fragment_file_name(dimension: int) -> str:
@@ -93,6 +127,10 @@ def save_decomposed(
     extra_manifest: dict | None = None,
 ) -> pathlib.Path:
     """Write a decomposed store to ``directory`` (one file per fragment).
+
+    Fragments are written in the store's own format dtype — persisting a
+    float32 store writes half the bytes of a float64 one, and reopening it
+    with ``residency="mmap"`` maps those files directly.
 
     Parameters
     ----------
@@ -120,15 +158,21 @@ def save_decomposed(
     if manifest_path.exists() and not overwrite:
         raise StorageError(f"{path} already contains a persisted collection (pass overwrite=True)")
 
-    matrix = store.matrix
+    fragment_format = store.format
+    struct_string = fragment_format.struct_string
     checksums: dict[str, str] = {}
     digests: dict[str, str] = {}
+    fragments: dict[str, dict] = {}
     for dimension in range(store.dimensionality):
-        column = np.ascontiguousarray(matrix[:, dimension], dtype="<f8")
+        column = np.ascontiguousarray(store.fragment_tail(dimension), dtype=struct_string)
         file_name = fragment_file_name(dimension)
         column.tofile(path / file_name)
         checksums[file_name] = fragment_checksum(column)
         digests[file_name] = fragment_digest(column)
+        fragments[file_name] = {
+            "dtype": fragment_format.dtype,
+            "residency": fragment_format.residency,
+        }
 
     has_row_sums = True
     try:
@@ -140,13 +184,19 @@ def save_decomposed(
         row_sum_column.tofile(path / ROW_SUM_NAME)
         checksums[ROW_SUM_NAME] = fragment_checksum(row_sum_column)
         digests[ROW_SUM_NAME] = fragment_digest(row_sum_column)
+        fragments[ROW_SUM_NAME] = {
+            "dtype": "float64",
+            "residency": fragment_format.residency,
+        }
 
     manifest = {
         "layout_version": LAYOUT_VERSION,
         "name": store.name,
         "cardinality": store.cardinality,
         "dimensionality": store.dimensionality,
-        "dtype": "<f8",
+        "dtype": struct_string,
+        "format": fragment_format.to_manifest(),
+        "fragments": fragments,
         "has_row_sums": has_row_sums,
         "checksums": checksums,
         "digests": digests,
@@ -178,6 +228,18 @@ def load_manifest(directory: str | pathlib.Path) -> dict:
     return manifest
 
 
+def manifest_format(manifest: dict) -> FragmentFormat:
+    """The fragment format a manifest describes.
+
+    Version 3 manifests carry an explicit ``format`` record; versions 1 and 2
+    predate the abstraction and always meant in-RAM ``float64`` columns.
+    """
+    record = manifest.get("format")
+    if record is None:
+        return FragmentFormat()
+    return FragmentFormat.from_manifest(record)
+
+
 def _verify_fragment(
     file_name: str, column: np.ndarray, checksums: dict, digests: dict
 ) -> None:
@@ -187,12 +249,43 @@ def _verify_fragment(
     full CRC-32 only runs to corroborate a fold mismatch, or when the
     manifest carries no fold record for this fragment at all.
     """
+    _report_verification(
+        file_name,
+        lambda: fragment_digest(column),
+        lambda: fragment_checksum(np.ascontiguousarray(column)),
+        checksums,
+        digests,
+    )
+
+
+def _verify_fragment_file(
+    file_name: str, fragment_path: pathlib.Path, checksums: dict, digests: dict
+) -> None:
+    """Streamed variant of :func:`_verify_fragment` for memory-mapped loads.
+
+    Reads the file in :data:`VERIFY_CHUNK_BYTES` chunks through ordinary
+    buffered I/O instead of touching a mapping, so verification of a
+    larger-than-RAM collection holds one chunk in memory at a time.
+    """
+    _report_verification(
+        file_name,
+        lambda: _streamed_fold64(fragment_path),
+        lambda: _streamed_crc32(fragment_path),
+        checksums,
+        digests,
+    )
+
+
+def _report_verification(
+    file_name: str, compute_digest, compute_checksum, checksums: dict, digests: dict
+) -> None:
+    """Shared verdict logic of the in-memory and streamed verifiers."""
     expected_digest = digests.get(file_name)
     if expected_digest is not None:
-        if fragment_digest(column) == expected_digest:
+        if compute_digest() == expected_digest:
             return
         expected_crc = checksums.get(file_name)
-        actual_crc = fragment_checksum(np.ascontiguousarray(column))
+        actual_crc = compute_checksum()
         if expected_crc == actual_crc:
             # The bytes match their authoritative checksum, so the fold
             # record itself is what rotted: the manifest is not trustworthy.
@@ -206,12 +299,51 @@ def _verify_fragment(
             f"(manifest records {expected_crc!r}, file hashes to {actual_crc!r})"
         )
     expected = checksums.get(file_name)
-    actual = fragment_checksum(np.ascontiguousarray(column))
+    actual = compute_checksum()
     if expected != actual:
         raise CorruptFragmentError(
             f"fragment {file_name} failed checksum verification "
             f"(manifest records {expected!r}, file hashes to {actual!r})"
         )
+
+
+def _streamed_fold64(path: pathlib.Path) -> str:
+    """The ``fold64`` digest of a file, read in fixed-size chunks.
+
+    Matches :func:`fragment_digest` bit for bit: full little-endian 64-bit
+    words summed with wraparound, plus one zero-padded word for a trailing
+    partial.  The accumulator is a Python int masked to 64 bits, so no numpy
+    scalar overflow warnings fire on legitimate wraparound.
+    """
+    total = 0
+    count = 0
+    leftover = b""
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(VERIFY_CHUNK_BYTES)
+            if not chunk:
+                break
+            # Chunks are 8-byte multiples, so a partial word only survives
+            # past the loop on the final (short) read.
+            full = len(chunk) - len(chunk) % 8
+            if full:
+                words = np.frombuffer(chunk, dtype="<u8", count=full // 8)
+                total = (total + int(np.add.reduce(words, dtype=np.uint64))) & _U64_MASK
+                count += full // 8
+            leftover = chunk[full:]
+    if leftover:
+        total = (total + int.from_bytes(leftover.ljust(8, b"\x00"), "little")) & _U64_MASK
+        count += 1
+    return f"fold64:{count:016x}:{total:016x}"
+
+
+def _streamed_crc32(path: pathlib.Path) -> str:
+    """The CRC-32 checksum of a file, read in fixed-size chunks."""
+    crc = 0
+    with open(path, "rb") as handle:
+        while chunk := handle.read(VERIFY_CHUNK_BYTES):
+            crc = zlib.crc32(chunk, crc)
+    return f"crc32:{crc & 0xFFFFFFFF:08x}"
 
 
 def load_decomposed(
@@ -220,6 +352,7 @@ def load_decomposed(
     cost: CostModel | None = None,
     dimensions: list[int] | None = None,
     verify: str = "none",
+    format: FragmentFormat | str | None = None,
 ) -> DecomposedStore:
     """Load a persisted collection back into a :class:`DecomposedStore`.
 
@@ -227,14 +360,23 @@ def load_decomposed(
     analogue of a subspace query: unneeded fragment files are never opened);
     the returned store then has that reduced dimensionality.
 
+    ``format`` overrides the persisted fragment format: ``None`` reopens the
+    collection exactly as saved.  A ``residency="mmap"`` target whose dtype
+    matches the files memory-maps the fragment files in place — the store
+    comes up without reading a single coefficient, and the OS pages
+    fragments in as queries touch them.  A *narrower* dtype than persisted
+    re-quantises each column at load (one ``astype``, identical to having
+    built the store narrow); a *wider* one widens exactly.
+
     ``verify="checksum"`` verifies every fragment read against the integrity
     records the manifest captured at save time (the fast ``fold64`` digest,
     corroborated by the authoritative CRC-32 on any disagreement — see the
     module docstring); a mismatch raises
-    :class:`~repro.errors.CorruptFragmentError` naming the fragment.  A
-    collection persisted before checksums existed (layout version 1) cannot
-    be verified and raises :class:`~repro.errors.ManifestVersionError` —
-    re-save it first.
+    :class:`~repro.errors.CorruptFragmentError` naming the fragment.
+    Memory-mapped targets are verified by streaming the files in chunks, so
+    verification never faults the whole mapping in.  A collection persisted
+    before checksums existed (layout version 1) cannot be verified and
+    raises :class:`~repro.errors.ManifestVersionError` — re-save it first.
     """
     if verify not in VERIFY_MODES:
         raise StorageError(f"unknown verify mode {verify!r}; supported: {VERIFY_MODES}")
@@ -242,6 +384,8 @@ def load_decomposed(
     manifest = load_manifest(path)
     cardinality = int(manifest["cardinality"])
     dimensionality = int(manifest["dimensionality"])
+    stored_dtype = np.dtype(manifest["dtype"])
+    target = manifest_format(manifest) if format is None else FragmentFormat.coerce(format)
     checksums = manifest.get("checksums")
     digests = manifest.get("digests") or {}
     if verify == "checksum" and checksums is None:
@@ -254,28 +398,65 @@ def load_decomposed(
     if any(dimension < 0 or dimension >= dimensionality for dimension in wanted):
         raise StorageError("requested dimension outside the persisted dimensionality")
 
-    matrix = np.empty((cardinality, len(wanted)), dtype=np.float64)
-    for position, dimension in enumerate(wanted):
+    # Map in place only when the on-disk dtype already matches the target —
+    # a dtype change has to rewrite every value anyway, so it loads eagerly
+    # and lets the store spill a fresh mapping if one was asked for.
+    map_in_place = target.is_mapped and stored_dtype == target.np_dtype
+    expected_bytes = cardinality * stored_dtype.itemsize
+    tails: list[np.ndarray] = []
+    for dimension in wanted:
         file_name = fragment_file_name(dimension)
         fragment_path = path / file_name
         fault_point("store.read_fragment", dimension=dimension, file=file_name)
         if not fragment_path.exists():
             raise StorageError(f"missing fragment file {fragment_path.name}")
-        column = np.fromfile(fragment_path, dtype=manifest["dtype"])
+        if map_in_place:
+            if verify == "checksum":
+                _verify_fragment_file(file_name, fragment_path, checksums, digests)
+            if fragment_path.stat().st_size != expected_bytes:
+                raise CorruptFragmentError(
+                    f"fragment {fragment_path.name} holds "
+                    f"{fragment_path.stat().st_size} bytes, expected {expected_bytes}"
+                )
+            tails.append(np.memmap(fragment_path, dtype=stored_dtype, mode="r"))
+            continue
+        column = np.fromfile(fragment_path, dtype=stored_dtype)
         if verify == "checksum":
             _verify_fragment(file_name, column, checksums, digests)
         if column.shape[0] != cardinality:
             raise CorruptFragmentError(
                 f"fragment {fragment_path.name} has {column.shape[0]} values, expected {cardinality}"
             )
-        matrix[:, position] = column
+        if column.dtype != target.np_dtype:
+            # Narrowing re-quantises (round-to-nearest, same as a narrow
+            # build); widening is exact.
+            column = target.quantise(np.asarray(column, dtype=np.float64))
+        tails.append(column)
 
-    return DecomposedStore(
-        matrix,
+    has_row_sums = bool(manifest.get("has_row_sums", True))
+    row_sum_tail = None
+    row_sum_path = path / ROW_SUM_NAME
+    # The persisted row sums are only the store's T(v) column when the loaded
+    # fragments hold exactly the persisted values — a dtype change shifts the
+    # coefficients, so the sums are recomputed over the widened result.
+    dtype_unchanged = stored_dtype == target.np_dtype
+    if has_row_sums and dimensions is None and dtype_unchanged and row_sum_path.exists():
+        row_sums = np.fromfile(row_sum_path, dtype="<f8")
+        if verify == "checksum":
+            _verify_fragment(ROW_SUM_NAME, row_sums, checksums, digests)
+        if row_sums.shape[0] == cardinality:
+            row_sum_tail = row_sums
+
+    store = DecomposedStore.from_fragments(
+        tails,
+        format=target,
         cost=cost,
         name=str(manifest.get("name", path.name)),
-        precompute_row_sums=bool(manifest.get("has_row_sums", True)),
+        row_sum_tail=row_sum_tail,
     )
+    if has_row_sums and row_sum_tail is None:
+        store.materialize_row_sums()
+    return store
 
 
 def persisted_size_bytes(directory: str | pathlib.Path) -> int:

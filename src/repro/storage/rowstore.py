@@ -5,16 +5,28 @@ vectors": every query reads every coefficient of every vector.  The
 :class:`RowStore` models that layout and charges whole-row reads to the cost
 model, so the comparison against the decomposed store is apples-to-apples in
 terms of bytes moved.
+
+The store honours the same :class:`~repro.storage.formats.FragmentFormat`
+grid as the decomposed store: narrow dtypes quantise the table once at
+ingest and charge scans at the narrow coefficient width (the baselines'
+bytes-moved comparison stays honest when the decomposed side is narrow),
+and ``mmap`` residency backs the table with a read-only mapping of a
+private temporary file.  All access paths return float64 — the exact
+widening of the stored coefficients — so scan arithmetic downstream is
+unchanged.
 """
 
 from __future__ import annotations
 
+import pathlib
+import tempfile
 from typing import Iterator
 
 import numpy as np
 
-from repro.engine.cost import CostModel, DOUBLE_BYTES
+from repro.engine.cost import CostModel
 from repro.errors import StorageError
+from repro.storage.formats import FragmentFormat
 
 
 class RowStore:
@@ -26,25 +38,39 @@ class RowStore:
         *,
         cost: CostModel | None = None,
         name: str = "collection",
+        format: FragmentFormat | str | None = None,
     ) -> None:
+        fragment_format = FragmentFormat.coerce(format)
         matrix = np.asarray(vectors, dtype=np.float64)
         if matrix.ndim != 2:
             raise StorageError(f"expected a 2-D vector matrix, got shape {matrix.shape}")
         if matrix.shape[0] == 0 or matrix.shape[1] == 0:
             raise StorageError("the collection must contain at least one vector and one dimension")
-        self._matrix = matrix
+        self._format = fragment_format
+        self._coefficient_bytes = fragment_format.coefficient_bytes
+        storage = (
+            matrix
+            if fragment_format.is_identity
+            else np.ascontiguousarray(matrix).astype(fragment_format.np_dtype)
+        )
+        self._mmap_dir = None
+        if fragment_format.is_mapped:
+            self._mmap_dir, storage = _spill_matrix(storage, name)
+        self._storage = storage
+        # The widened float64 view; shares storage on the identity path.
+        self._matrix = matrix if fragment_format.is_identity else None
         self._cost = cost if cost is not None else CostModel()
         self.name = name
 
     @property
     def cardinality(self) -> int:
         """Number of vectors stored."""
-        return int(self._matrix.shape[0])
+        return int(self._storage.shape[0])
 
     @property
     def dimensionality(self) -> int:
         """Number of dimensions per vector."""
-        return int(self._matrix.shape[1])
+        return int(self._storage.shape[1])
 
     def __len__(self) -> int:
         return self.cardinality
@@ -55,41 +81,79 @@ class RowStore:
         return self._cost
 
     @property
+    def format(self) -> FragmentFormat:
+        """The storage format (dtype x residency) of the table."""
+        return self._format
+
+    @property
+    def coefficient_bytes(self) -> int:
+        """Bytes per stored coefficient — what scans are charged at."""
+        return self._coefficient_bytes
+
+    @property
     def matrix(self) -> np.ndarray:
-        """The underlying matrix (no cost charged; intended for ground truth)."""
+        """The float64 logical matrix (no cost charged; intended for ground truth).
+
+        For narrow or mapped formats the widened copy is materialised (and
+        cached) on first access; the batch iterator :meth:`scan_rows` widens
+        one batch at a time instead and never triggers this.
+        """
+        if self._matrix is None:
+            self._matrix = np.asarray(self._storage, dtype=np.float64)
         return self._matrix
 
     def scan(self) -> np.ndarray:
-        """Return the full matrix, charging a complete sequential scan."""
-        self._cost.charge_scan(self._matrix.size, DOUBLE_BYTES)
-        return self._matrix
+        """Return the full (widened) matrix, charging a complete sequential scan."""
+        self._cost.charge_scan(self._storage.size, self._coefficient_bytes)
+        return self.matrix
 
     def scan_rows(self, batch_size: int = 4096) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         """Iterate ``(oids, rows)`` batches, charging each batch as it is read.
 
         Batching keeps the Python-level loop overhead of the sequential-scan
         baselines reasonable while still modelling a single pass over the
-        table.
+        table.  Rows come back float64 (widened batch by batch, so a narrow
+        or mapped table never materialises in full).
         """
         if batch_size <= 0:
             raise StorageError("batch_size must be positive")
         for start in range(0, self.cardinality, batch_size):
             stop = min(start + batch_size, self.cardinality)
-            rows = self._matrix[start:stop]
-            self._cost.charge_scan(rows.size, DOUBLE_BYTES)
-            yield np.arange(start, stop, dtype=np.int64), rows
+            rows = self._storage[start:stop]
+            self._cost.charge_scan(rows.size, self._coefficient_bytes)
+            yield (
+                np.arange(start, stop, dtype=np.int64),
+                np.asarray(rows, dtype=np.float64),
+            )
 
     def fetch_rows(self, oids: np.ndarray) -> np.ndarray:
-        """Return the rows with the given OIDs, charged as random accesses."""
+        """Return the (widened) rows with the given OIDs, charged as random accesses."""
         oid_array = np.asarray(oids, dtype=np.int64)
         if len(oid_array) and (oid_array.min() < 0 or oid_array.max() >= self.cardinality):
             raise StorageError("OID outside collection")
-        self._cost.charge_random_access(len(oid_array) * self.dimensionality, DOUBLE_BYTES)
-        return self._matrix[oid_array]
+        self._cost.charge_random_access(
+            len(oid_array) * self.dimensionality, self._coefficient_bytes
+        )
+        return np.asarray(self._storage[oid_array], dtype=np.float64)
 
     def storage_bytes(self) -> int:
-        """Bytes of the row-major representation (doubles only, no OIDs)."""
-        return self._matrix.size * DOUBLE_BYTES
+        """Bytes of the row-major representation (coefficients only, no OIDs)."""
+        return self._storage.size * self._coefficient_bytes
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<RowStore {self.name!r} |{self.cardinality}| x {self.dimensionality}>"
+        return (
+            f"<RowStore {self.name!r} |{self.cardinality}| x {self.dimensionality}"
+            f" [{self._format.spec}]>"
+        )
+
+
+def _spill_matrix(
+    matrix: np.ndarray, name: str
+) -> tuple[tempfile.TemporaryDirectory, np.ndarray]:
+    """Write the table to a private temp file and map it back read-only."""
+    safe = "".join(ch if ch.isalnum() or ch in "-_" else "-" for ch in name) or "store"
+    mmap_dir = tempfile.TemporaryDirectory(prefix=f"repro-{safe}-rows-")
+    path = pathlib.Path(mmap_dir.name) / "rows.tab"
+    np.ascontiguousarray(matrix).tofile(path)
+    mapped = np.memmap(path, dtype=matrix.dtype, mode="r", shape=matrix.shape)
+    return mmap_dir, mapped

@@ -154,11 +154,15 @@ def shard_decomposed(
 ) -> list[DecomposedStore]:
     """Materialise one :class:`DecomposedStore` per shard of ``plan``.
 
-    Each shard copies its rows of every fragment into fresh contiguous
-    columns (the same physical layout the parent has — a strided view would
-    reintroduce row-store locality) and charges a private cost model, so
-    worker threads never contend on the parent's counters.  Together the
-    shards hold each coefficient exactly once.
+    Each shard is a **zero-copy row slice** of the parent
+    (:meth:`DecomposedStore.row_slice`): its fragment tails are contiguous
+    views of the parent's columns — a slice of a contiguous column is itself
+    contiguous, so the decomposed physical layout survives — and its row-sum
+    column is a slice of the parent's (per-row sums do not depend on the row
+    subset, so slicing equals recomputing bit for bit).  Memory-mapped
+    parents shard without faulting a single coefficient in, and narrow
+    parents shard without re-quantising.  Every shard charges a private cost
+    model, so worker threads never contend on the parent's counters.
     """
     _check_shardable(store, plan)
     if costs is None:
@@ -166,11 +170,12 @@ def shard_decomposed(
     if len(costs) != plan.num_shards:
         raise StorageError(f"expected {plan.num_shards} cost models, got {len(costs)}")
     return [
-        DecomposedStore(
-            store.matrix[start:stop],
+        DecomposedStore.row_slice(
+            store,
+            start,
+            stop,
             cost=cost,
             name=f"{store.name}.shard{index}",
-            precompute_row_sums=store.has_row_sums,
         )
         for index, ((start, stop), cost) in enumerate(zip(plan.ranges, costs))
     ]
