@@ -24,6 +24,7 @@ The physical layer stays available for direct use::
 """
 
 from repro.api import (
+    ApproxParams,
     Capabilities,
     Index,
     Plan,
@@ -31,6 +32,7 @@ from repro.api import (
     QueryPlanner,
     Searcher,
 )
+from repro.approx import ApproxConfig
 from repro.baselines import RTreeIndex, SimilarityNetwork, VAFile
 from repro.bounds import (
     EqBound,
@@ -61,8 +63,10 @@ from repro.core import (
     weighted_search,
 )
 from repro.datasets import (
+    ClusteredCollection,
     describe_dataset,
     make_clustered,
+    make_clustered_collection,
     make_corel_like,
     make_skewed_weights,
     make_subspace_weights,
@@ -128,6 +132,8 @@ from repro.workload import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ApproxConfig",
+    "ApproxParams",
     "ArrivalSchedule",
     "AverageAggregate",
     "BackendError",
@@ -136,6 +142,7 @@ __all__ = [
     "BondSearcher",
     "Capabilities",
     "CircuitBreaker",
+    "ClusteredCollection",
     "CorruptFragmentError",
     "CompressedBondSearcher",
     "CompressedStore",
@@ -167,6 +174,7 @@ __all__ = [
     "load_decomposed",
     "ManifestVersionError",
     "make_clustered",
+    "make_clustered_collection",
     "make_corel_like",
     "make_skewed_weights",
     "make_subspace_weights",

@@ -25,6 +25,8 @@ from repro.api.backends import (
     BondBackend,
     BUILTIN_BACKENDS,
     CompressedBondBackend,
+    HNSWBackend,
+    IVFBackend,
     PartialAbandonBackend,
     RTreeBackend,
     SequentialScanBackend,
@@ -40,9 +42,10 @@ from repro.api.capabilities import (
 from repro.api.index import Index
 from repro.api.planner import Plan, PlanCandidate, QueryPlanner
 from repro.api.protocol import Searcher
-from repro.api.query import METRIC_ALIASES, QUERY_MODES, Query
+from repro.api.query import METRIC_ALIASES, QUERY_MODES, ApproxParams, Query
 
 __all__ = [
+    "ApproxParams",
     "BUILTIN_BACKENDS",
     "Backend",
     "BackendRegistry",
@@ -51,6 +54,8 @@ __all__ = [
     "CompressedBondBackend",
     "CostEstimate",
     "DEFAULT_REGISTRY",
+    "HNSWBackend",
+    "IVFBackend",
     "Index",
     "METRIC_ALIASES",
     "Plan",

@@ -12,10 +12,14 @@ partial_abandon    :class:`repro.core.sequential.PartialAbandonScan`  exact
 rtree              :class:`repro.baselines.rtree.RTreeIndex`       exact
 compressed_bond    :class:`repro.core.compressed.CompressedBondSearcher`  compressed
 vafile             :class:`repro.baselines.vafile.VAFile`          compressed
+ivf                :class:`repro.approx.ivf.IVFSearcher`           approx
+hnsw               :class:`repro.approx.hnsw.HNSWSearcher`         approx
 =================  ==============================================  =========
 
-(every backend additionally serves ``approx``, where the planner is free to
-pick the globally cheapest estimate).
+(every exact backend additionally serves ``approx``, where the planner is
+free to pick the globally cheapest estimate — an exact answer is simply
+recall 1.0.  The converse never holds: ``ivf`` and ``hnsw`` declare
+``exact=False`` and are only ever eligible for ``mode="approx"``.)
 
 A backend contributes three things: a :class:`~repro.api.capabilities.Capabilities`
 declaration, a ``create()`` hook building the underlying searcher from an
@@ -35,6 +39,8 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.api.capabilities import Capabilities, CostEstimate, register_backend
+from repro.approx.hnsw import HNSWSearcher, effective_ef_search
+from repro.approx.ivf import IVFSearcher, effective_nprobe
 from repro.baselines.rtree import RTreeIndex
 from repro.baselines.vafile import VAFile
 from repro.core.bond import BondSearcher
@@ -446,6 +452,176 @@ class VAFileBackend(Backend):
         return VAFile(index.compressed, metric=metric)
 
 
+class IVFBackend(Backend):
+    """Clustered pruning: BOND fused kernels over ``nprobe`` k-means partitions.
+
+    The paper's filter-and-refine idea generalised from dimensions to rows:
+    a seeded k-means :class:`~repro.approx.cluster.ClusterPlan` remaps the
+    collection into contiguous per-cluster stores, and each probed partition
+    runs the unchanged fused BOND engine.  ``exact=False``: the result is
+    exact only when every non-empty partition was probed (the searcher flags
+    that case itself).
+    """
+
+    capabilities = Capabilities(
+        backend="ivf",
+        description="seeded k-means clustered pruning, fused BOND per partition",
+        metrics=frozenset({"squared_euclidean"}),
+        modes=frozenset({"approx"}),
+        weighted=False,
+        subspace=False,
+        batched=True,
+        compressed=False,
+        exact=False,
+    )
+    engine = "ivf+fused"
+
+    @staticmethod
+    def _knobs(index: "Index", query: "Query") -> tuple[int, int]:
+        """Resolve ``(nprobe, n_clusters)`` from the query and build config."""
+        config = index.approx_config
+        n_clusters = config.resolve_n_clusters(index.cardinality)
+        params = query.approx_params
+        nprobe = effective_nprobe(
+            params.nprobe if params is not None else None,
+            params.target_recall if params is not None else None,
+            n_clusters=n_clusters,
+            default=config.default_nprobe,
+        )
+        return nprobe, n_clusters
+
+    def estimate(self, index: "Index", query: "Query", metric: Metric) -> CostEstimate:
+        n, d = index.cardinality, index.dimensionality
+        nprobe, n_clusters = self._knobs(index, query)
+        fraction = nprobe / n_clusters
+        reads = _batch_read_factor(query.batch_size, shared=True)
+        # Centroid scan (once per batch) + the probed share of the fused
+        # BOND traffic; pruning behaviour inside a partition matches the
+        # unsharded engine's.
+        centroid_bytes = float(n_clusters * d * DOUBLE_BYTES)
+        scan_bytes = fraction * BOND_PRUNE_FRACTION * n * d * index.format.coefficient_bytes * reads
+        ops = (
+            2.0 * n_clusters * d * query.batch_size
+            + fraction * BOND_PRUNE_FRACTION * n * d * query.batch_size
+        )
+        return CostEstimate(
+            bytes_read=centroid_bytes + scan_bytes,
+            arithmetic_ops=ops,
+            detail=f"probes {nprobe}/{n_clusters} partitions (~{fraction:.0%} of rows)"
+            + _format_note(index),
+        )
+
+    def create(self, index: "Index", metric: Metric) -> IVFSearcher:
+        return IVFSearcher(
+            index.ivf_partitions,
+            metric=metric,
+            default_nprobe=index.approx_config.default_nprobe,
+        )
+
+    def answer(
+        self, index: "Index", query: "Query", metric: Metric
+    ) -> SearchResult | BatchSearchResult:
+        """Execute with the query's ``approx_params`` knobs threaded through."""
+        fault_point("backend.answer", backend=self.name)
+        searcher = index.searcher_for(self, query, metric)
+        params = query.approx_params
+        nprobe = params.nprobe if params is not None else None
+        target_recall = params.target_recall if params is not None else None
+        if query.is_batch:
+            return searcher.search_batch(
+                query.query_matrix, query.k, nprobe=nprobe, target_recall=target_recall
+            )
+        trace = PruningTrace() if query.trace else None
+        return searcher.search(
+            query.single_vector,
+            query.k,
+            nprobe=nprobe,
+            target_recall=target_recall,
+            trace=trace,
+        )
+
+
+class HNSWBackend(Backend):
+    """Hierarchical navigable small-world graph with an ``ef_search`` beam.
+
+    Greedy descent through the upper layers, then a beam of width
+    ``ef_search`` on layer 0; wider beams evaluate more distances and reach
+    higher recall.  ``exact=False``: only the exhaustive fallback
+    (``ef_search >= cardinality``) is flagged exact.
+    """
+
+    capabilities = Capabilities(
+        backend="hnsw",
+        description="navigable small-world graph, ef_search-wide beam on layer 0",
+        metrics=frozenset({"squared_euclidean"}),
+        modes=frozenset({"approx"}),
+        weighted=False,
+        subspace=False,
+        batched=True,
+        compressed=False,
+        exact=False,
+    )
+    engine = "graph-beam"
+
+    def estimate(self, index: "Index", query: "Query", metric: Metric) -> CostEstimate:
+        n, d = index.cardinality, index.dimensionality
+        config = index.approx_config
+        params = query.approx_params
+        ef = effective_ef_search(
+            params.ef_search if params is not None else None,
+            params.target_recall if params is not None else None,
+            k=query.k,
+            cardinality=n,
+            default=config.default_ef_search,
+        )
+        if ef >= n:
+            # Exhaustive fallback: one full scan per query.
+            return CostEstimate(
+                bytes_read=float(n * d * DOUBLE_BYTES * query.batch_size),
+                arithmetic_ops=2.0 * n * d * query.batch_size,
+                detail=f"ef_search={ef} >= {n} rows: exhaustive fallback",
+            )
+        # Beam search evaluates ~ef_search * log2(N) candidates per query,
+        # each a random row access of d doubles.
+        evaluations = ef * max(1.0, np.log2(max(n, 2.0)))
+        return CostEstimate(
+            bytes_read=evaluations * d * DOUBLE_BYTES * query.batch_size,
+            arithmetic_ops=2.0 * evaluations * d * query.batch_size,
+            detail=f"~{evaluations:.0f} distance evaluations at ef_search={ef}",
+        )
+
+    def create(self, index: "Index", metric: Metric) -> HNSWSearcher:
+        return HNSWSearcher(
+            index.hnsw_graph,
+            index.vectors,
+            metric=metric,
+            cost=index.cost,
+            default_ef_search=index.approx_config.default_ef_search,
+        )
+
+    def answer(
+        self, index: "Index", query: "Query", metric: Metric
+    ) -> SearchResult | BatchSearchResult:
+        """Execute with the query's ``approx_params`` knobs threaded through."""
+        fault_point("backend.answer", backend=self.name)
+        searcher = index.searcher_for(self, query, metric)
+        params = query.approx_params
+        ef_search = params.ef_search if params is not None else None
+        target_recall = params.target_recall if params is not None else None
+        if query.is_batch:
+            return searcher.search_batch(
+                query.query_matrix, query.k, ef_search=ef_search, target_recall=target_recall
+            )
+        trace = PruningTrace() if query.trace else None
+        return searcher.search(
+            query.single_vector,
+            query.k,
+            ef_search=ef_search,
+            target_recall=target_recall,
+            trace=trace,
+        )
+
+
 #: The built-in backends, in planner tie-break order (the paper's preferred
 #: methods first).
 BUILTIN_BACKENDS = tuple(
@@ -458,5 +634,7 @@ BUILTIN_BACKENDS = tuple(
         VAFileBackend(),
         PartialAbandonBackend(),
         RTreeBackend(),
+        IVFBackend(),
+        HNSWBackend(),
     )
 )

@@ -34,6 +34,14 @@ import numpy as np
 from repro.api.capabilities import BackendRegistry
 from repro.api.planner import Plan, QueryPlanner
 from repro.api.query import Query
+from repro.approx import (
+    ApproxConfig,
+    ClusterPlan,
+    HNSWGraph,
+    IVFPartitions,
+    build_cluster_plan,
+    build_hnsw_graph,
+)
 from repro.core.result import BatchSearchResult, SearchResult
 from repro.engine.cost import CostModel
 from repro.errors import BackendError, FailoverExhausted, QueryError
@@ -41,7 +49,14 @@ from repro.metrics.base import Metric
 from repro.storage.compressed import CompressedStore
 from repro.storage.decomposed import DecomposedStore
 from repro.storage.formats import FragmentFormat
-from repro.storage.persistence import load_decomposed, load_manifest, save_decomposed
+from repro.storage.persistence import (
+    approx_sidecar_records,
+    load_approx_array,
+    load_decomposed,
+    load_manifest,
+    save_decomposed,
+    write_approx_sidecars,
+)
 from repro.storage.rowstore import RowStore
 from repro.storage.sharding import ShardPlan
 
@@ -87,6 +102,14 @@ class Index:
         the float64-widened quantised collection (see the
         :mod:`repro.storage.formats` contract).  Persisted by :meth:`save`
         and restored by :meth:`open`.
+    approx:
+        The :class:`~repro.approx.ApproxConfig` (or a mapping of its fields)
+        of the approximate tier: IVF cluster count and k-means budget, HNSW
+        degree and construction beam, the shared seed, and the default query
+        knobs.  The structures themselves build lazily on first
+        ``mode="approx"`` use; built structures are persisted by
+        :meth:`save` (manifest v4 sidecar arrays) and reopened lazily by
+        :meth:`open`.
     """
 
     SHARD_FAILURE_MODES = ("fail", "partial")
@@ -102,6 +125,7 @@ class Index:
         shards: int = 1,
         on_shard_failure: str = "fail",
         format: "FragmentFormat | str | None" = None,
+        approx: "ApproxConfig | dict | None" = None,
     ) -> None:
         matrix = np.asarray(vectors, dtype=np.float64)
         if matrix.ndim != 2 or matrix.shape[0] == 0 or matrix.shape[1] == 0:
@@ -114,6 +138,7 @@ class Index:
             shards=shards,
             on_shard_failure=on_shard_failure,
             format=FragmentFormat.coerce(format),
+            approx=approx,
             cardinality=int(matrix.shape[0]),
             dimensionality=int(matrix.shape[1]),
         )
@@ -135,6 +160,7 @@ class Index:
         format: "FragmentFormat",
         cardinality: int,
         dimensionality: int,
+        approx: "ApproxConfig | dict | None" = None,
     ) -> None:
         """Option validation + shared state; matrix-independent, so the
         :meth:`open` path can run it without materialising the collection."""
@@ -153,6 +179,14 @@ class Index:
         self._cardinality = cardinality
         self._dimensionality = dimensionality
         self._shard_plan: ShardPlan | None = None
+        self._approx_config = ApproxConfig.coerce(approx)
+        # Approximate-tier structures: built lazily on first use, or loaded
+        # lazily from the sidecar records of an opened v4 manifest.
+        self._cluster_plan: ClusterPlan | None = None
+        self._hnsw_graph: HNSWGraph | None = None
+        self._ivf_partitions: IVFPartitions | None = None
+        self._approx_records: dict | None = None
+        self._approx_dir: pathlib.Path | None = None
         self._cost = cost if cost is not None else CostModel()
         self._planner = QueryPlanner(self, registry=registry)
         self._input: np.ndarray | None = None
@@ -176,6 +210,7 @@ class Index:
         registry: BackendRegistry | None = None,
         shards: int = 1,
         on_shard_failure: str = "fail",
+        approx: "ApproxConfig | dict | None" = None,
     ) -> "Index":
         """An index over an already-constructed decomposed store.
 
@@ -193,6 +228,7 @@ class Index:
             shards=shards,
             on_shard_failure=on_shard_failure,
             format=store.format,
+            approx=approx,
             cardinality=store.cardinality,
             dimensionality=store.dimensionality,
         )
@@ -236,29 +272,82 @@ class Index:
             # Restore the exact persisted shard layout (an explicit shards=
             # override recomputes a fresh balanced plan instead).
             index._shard_plan = ShardPlan.from_manifest(manifest["sharding"])
+        if "approx" in manifest:
+            # Persisted approximate structures load lazily, like the
+            # fragment stores: nothing is read until the first approx query
+            # (or explicit cluster_plan / hnsw_graph access) needs them.
+            index._approx_records = dict(manifest["approx"])
+            index._approx_dir = pathlib.Path(path)
         return index
 
     def save(self, path: str | pathlib.Path, *, overwrite: bool = False) -> pathlib.Path:
         """Persist the collection plus the facade's build options.
 
-        The manifest records the build options under ``"index"`` and the
-        shard layout under ``"sharding"``, so :meth:`open` restores both the
-        shard count and the exact row boundaries.
+        The manifest records the build options under ``"index"`` (including
+        the approximate-tier config) and the shard layout under
+        ``"sharding"``, so :meth:`open` restores both the shard count and
+        the exact row boundaries.  Approximate structures that exist — built
+        in this process, or carried over from the manifest this index was
+        opened from — are persisted as manifest-v4 sidecar arrays with the
+        same integrity records as the fragments; an index that never touched
+        the approximate tier writes no sidecars and its manifest carries no
+        ``approx`` section.
         """
-        return save_decomposed(
+        approx_section, sidecar_files = self._approx_save_payload()
+        extra_manifest = {
+            "index": {
+                "bits": self._bits,
+                "shards": self._shards,
+                "on_shard_failure": self._on_shard_failure,
+                "format": self._format.spec,
+                "approx": self._approx_config.to_manifest(),
+            },
+            "sharding": self.shard_plan.to_manifest(),
+        }
+        if approx_section:
+            extra_manifest["approx"] = approx_section
+        target = save_decomposed(
             self.decomposed,
             path,
             overwrite=overwrite,
-            extra_manifest={
-                "index": {
-                    "bits": self._bits,
-                    "shards": self._shards,
-                    "on_shard_failure": self._on_shard_failure,
-                    "format": self._format.spec,
-                },
-                "sharding": self.shard_plan.to_manifest(),
-            },
+            extra_manifest=extra_manifest,
         )
+        write_approx_sidecars(target, sidecar_files)
+        return target
+
+    def _approx_save_payload(self) -> tuple[dict, dict]:
+        """Manifest section + sidecar payloads of the existing approx structures.
+
+        "Existing" means built in memory or recorded in the manifest this
+        index was opened from (the latter are loaded here so a v4 -> v4
+        round trip preserves them); structures that were never needed are
+        not built just to be saved.
+        """
+        section: dict = {}
+        files: dict = {}
+        records = self._approx_records or {}
+        if self._cluster_plan is not None or "ivf" in records:
+            plan = self.cluster_plan
+            arrays, payload = approx_sidecar_records(plan.to_arrays(), structure="ivf")
+            section["ivf"] = {
+                "seed": plan.seed,
+                "iterations": plan.iterations,
+                "n_clusters": plan.n_clusters,
+                "arrays": arrays,
+            }
+            files.update(payload)
+        if self._hnsw_graph is not None or "hnsw" in records:
+            graph = self.hnsw_graph
+            arrays, payload = approx_sidecar_records(graph.to_arrays(), structure="hnsw")
+            section["hnsw"] = {
+                "m": graph.m,
+                "ef_construction": graph.ef_construction,
+                "seed": graph.seed,
+                "entry_point": graph.entry_point,
+                "arrays": arrays,
+            }
+            files.update(payload)
+        return section, files
 
     # -- shape / shared state -----------------------------------------------------
 
@@ -328,6 +417,74 @@ class Index:
         if self._shard_plan is None:
             self._shard_plan = ShardPlan.balanced(self.cardinality, self._shards)
         return self._shard_plan
+
+    # -- approximate-tier structures ----------------------------------------------
+
+    @property
+    def approx_config(self) -> ApproxConfig:
+        """The approximate-tier build configuration."""
+        return self._approx_config
+
+    @property
+    def cluster_plan(self) -> ClusterPlan:
+        """The IVF cluster plan: persisted arrays if present, else a seeded build."""
+        if self._cluster_plan is None:
+            record = (self._approx_records or {}).get("ivf")
+            if record is not None:
+                assert self._approx_dir is not None
+                arrays = {
+                    name: load_approx_array(self._approx_dir, array_record)
+                    for name, array_record in record["arrays"].items()
+                }
+                self._cluster_plan = ClusterPlan.from_arrays(
+                    arrays, seed=record["seed"], iterations=record["iterations"]
+                )
+            else:
+                config = self._approx_config
+                self._cluster_plan = build_cluster_plan(
+                    self.vectors,
+                    n_clusters=config.resolve_n_clusters(self.cardinality),
+                    iterations=config.kmeans_iterations,
+                    seed=config.seed,
+                )
+        return self._cluster_plan
+
+    @property
+    def ivf_partitions(self) -> IVFPartitions:
+        """The permuted store + zero-copy partition slices of the IVF backend."""
+        if self._ivf_partitions is None:
+            self._ivf_partitions = IVFPartitions(
+                self.decomposed, self.cluster_plan, cost=self._cost, name=self._name
+            )
+        return self._ivf_partitions
+
+    @property
+    def hnsw_graph(self) -> HNSWGraph:
+        """The HNSW graph: persisted arrays if present, else a seeded build."""
+        if self._hnsw_graph is None:
+            record = (self._approx_records or {}).get("hnsw")
+            if record is not None:
+                assert self._approx_dir is not None
+                arrays = {
+                    name: load_approx_array(self._approx_dir, array_record)
+                    for name, array_record in record["arrays"].items()
+                }
+                self._hnsw_graph = HNSWGraph.from_arrays(
+                    arrays,
+                    m=record["m"],
+                    ef_construction=record["ef_construction"],
+                    seed=record["seed"],
+                    entry_point=record["entry_point"],
+                )
+            else:
+                config = self._approx_config
+                self._hnsw_graph = build_hnsw_graph(
+                    self.vectors,
+                    m=config.m,
+                    ef_construction=config.ef_construction,
+                    seed=config.seed,
+                )
+        return self._hnsw_graph
 
     @property
     def planner(self) -> QueryPlanner:
@@ -410,9 +567,12 @@ class Index:
         With ``failover=True``, an execution-time
         :class:`~repro.errors.BackendError` from the planned backend is not
         final: the planner's :meth:`~repro.api.planner.Plan.failover_chain`
-        is walked (next-cheapest eligible backend first) until one answers.
-        Every backend is exact, so a failover answer is bitwise identical to
-        the planned one.  When the whole chain fails the per-backend errors
+        is walked (next-cheapest eligible *exact* backend first) until one
+        answers.  Exact substitutes return answers bitwise identical to the
+        planned exact backend — and when an approximate backend fails over,
+        the substitute is exact too (recall 1.0 satisfies any approx
+        request; the chain never swaps one approximation for another).
+        When the whole chain fails the per-backend errors
         are collected into :class:`~repro.errors.FailoverExhausted`; a
         single-entry chain re-raises the original error unchanged.
         """

@@ -32,6 +32,10 @@ class PlanCandidate:
     backend: str
     estimate: CostEstimate | None
     rejection: str | None
+    #: Whether the backend guarantees exact answers (from its capabilities);
+    #: failover only substitutes exact backends, never one approximation for
+    #: another.
+    exact: bool = True
 
     @property
     def eligible(self) -> bool:
@@ -62,16 +66,24 @@ class Plan:
     def failover_chain(self) -> tuple[str, ...]:
         """Backend names to try in order when execution (not planning) fails.
 
-        The chosen backend first, then every other *eligible* candidate in
-        ascending estimated-cost order (the sort is stable, so equal
-        estimates keep their registration-order tie-break).  A query that
-        pins ``query.backend`` gets a single-entry chain — an explicit pin
-        means "this backend or nothing", never a silent substitution.
+        The chosen backend first, then every other *eligible and exact*
+        candidate in ascending estimated-cost order (the sort is stable, so
+        equal estimates keep their registration-order tie-break).  Only
+        exact backends are substituted: an exact answer satisfies any mode
+        (including ``approx`` — it is simply recall 1.0), but swapping one
+        approximate backend for another would silently change the
+        recall/knob semantics the caller asked for.  A query that pins
+        ``query.backend`` gets a single-entry chain — an explicit pin means
+        "this backend or nothing", never a silent substitution.
         """
         if self.query.backend is not None:
             return (self.backend_name,)
         eligible = sorted(
-            (candidate for candidate in self.candidates if candidate.eligible),
+            (
+                candidate
+                for candidate in self.candidates
+                if candidate.eligible and candidate.exact
+            ),
             key=lambda candidate: candidate.estimate.score,
         )
         rest = [c.backend for c in eligible if c.backend != self.backend_name]
@@ -143,12 +155,13 @@ class QueryPlanner:
         candidates: list[PlanCandidate] = []
         best: tuple[float, "Backend", CostEstimate] | None = None
         for backend in self._registry:
+            exact = backend.capabilities.exact
             rejection = backend.rejection_reason(query, metric)
             if rejection is not None:
-                candidates.append(PlanCandidate(backend.name, None, rejection))
+                candidates.append(PlanCandidate(backend.name, None, rejection, exact))
                 continue
             estimate = backend.estimate(self._index, query, metric)
-            candidates.append(PlanCandidate(backend.name, estimate, None))
+            candidates.append(PlanCandidate(backend.name, estimate, None, exact))
             if query.backend is not None and backend.name != query.backend:
                 continue
             if best is None or estimate.score < best[0]:

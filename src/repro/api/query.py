@@ -15,6 +15,7 @@ threads without defensive copies.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -31,10 +32,92 @@ from repro.metrics.weighted import WeightedSquaredEuclidean
 #: * ``"compressed"`` — filter on the 8-bit quantised fragments, refine the
 #:   survivors on the exact vectors (still an exact answer — the interval
 #:   bounds make false dismissals impossible);
-#: * ``"approx"``     — any capable backend, exactness not required; the
-#:   planner simply picks the cheapest estimate (every backend shipped today
-#:   happens to be exact, so this currently degrades gracefully).
+#: * ``"approx"``     — exactness not required: the approximate tier
+#:   (:mod:`repro.approx` — clustered IVF pruning and the HNSW graph) becomes
+#:   eligible next to every exact backend, and the planner picks the cheapest
+#:   estimate.  :attr:`Query.approx_params` carries the recall/speed knobs.
 QUERY_MODES = ("exact", "compressed", "approx")
+
+
+@dataclass(frozen=True)
+class ApproxParams:
+    """The recall/speed knobs of a ``mode="approx"`` query.
+
+    All fields are optional: an unset knob falls back to the index's
+    :class:`repro.approx.ApproxConfig` default.  Exact backends ignore the
+    whole object (their answers are exact regardless); the approximate
+    backends honour whichever knob addresses them.
+
+    Attributes
+    ----------
+    nprobe:
+        How many nearest partitions the ``ivf`` backend scans (clamped to the
+        cluster count; ``nprobe >= n_clusters`` degenerates to an exact
+        exhaustive answer).
+    ef_search:
+        Beam width of the ``hnsw`` backend's layer-0 search (clamped below by
+        ``k``; ``ef_search >= cardinality`` degenerates to an exact scored
+        scan).
+    target_recall:
+        Declarative alternative to the physical knobs: a recall@k floor in
+        ``(0, 1]`` that each approximate backend maps to a conservative knob
+        setting (``1.0`` forces the exhaustive, exact-equivalent
+        configuration).  An explicit physical knob takes precedence for the
+        backend it addresses.
+    """
+
+    nprobe: int | None = None
+    ef_search: int | None = None
+    target_recall: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("nprobe", "ef_search"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+                raise QueryError(f"approx_params.{name} must be an integer, got {value!r}")
+            if value < 1:
+                raise QueryError(f"approx_params.{name} must be at least 1, got {value}")
+            object.__setattr__(self, name, int(value))
+        if self.target_recall is not None:
+            recall = float(self.target_recall)
+            if not np.isfinite(recall) or not (0.0 < recall <= 1.0):
+                raise QueryError(
+                    f"approx_params.target_recall must lie in (0, 1], got {self.target_recall!r}"
+                )
+            object.__setattr__(self, "target_recall", recall)
+
+    @classmethod
+    def coerce(cls, value: "ApproxParams | dict | None") -> "ApproxParams | None":
+        """Validate a user-supplied value (instance, mapping or ``None``).
+
+        Unknown mapping keys are rejected with :class:`QueryError` at the
+        facade boundary — a typo like ``n_probe`` must not silently fall back
+        to the default knobs.
+        """
+        if value is None or isinstance(value, cls):
+            return value
+        if isinstance(value, dict):
+            known = {field.name for field in dataclasses.fields(cls)}
+            unknown = sorted(set(value) - known)
+            if unknown:
+                raise QueryError(
+                    f"unknown approx_params key(s) {unknown}; known: {sorted(known)}"
+                )
+            return cls(**value)
+        raise QueryError(
+            f"approx_params must be an ApproxParams or a mapping of its fields, got {type(value).__name__}"
+        )
+
+    def describe(self) -> str:
+        """Compact ``knob=value`` summary used by ``Query.describe()``."""
+        parts = [
+            f"{field.name}={getattr(self, field.name)}"
+            for field in dataclasses.fields(self)
+            if getattr(self, field.name) is not None
+        ]
+        return ", ".join(parts) if parts else "defaults"
 
 #: Metric aliases accepted by :attr:`Query.metric`.
 METRIC_ALIASES: dict[str, type[Metric]] = {
@@ -100,6 +183,12 @@ class Query:
         ``weights``.
     mode:
         Accuracy / storage mode, one of :data:`QUERY_MODES`.
+    approx_params:
+        Optional :class:`ApproxParams` (or a mapping of its fields) tuning
+        the approximate tier; only legal with ``mode="approx"``.  Exact
+        backends must ignore it, approximate backends must honour it;
+        unknown mapping keys raise :class:`~repro.errors.QueryError` here,
+        at the facade boundary.
     batch:
         Explicit batch flag.  ``None`` (default) infers it from the shape of
         ``vectors``; ``True`` with a single vector answers a batch of one.
@@ -121,6 +210,7 @@ class Query:
     weights: np.ndarray | None = None
     subspace: np.ndarray | None = None
     mode: str = "exact"
+    approx_params: "ApproxParams | dict | None" = None
     batch: bool | None = None
     trace: bool = False
     backend: str | None = None
@@ -155,6 +245,12 @@ class Query:
             raise QueryError("k must be at least 1")
         if self.mode not in QUERY_MODES:
             raise QueryError(f"mode must be one of {QUERY_MODES}, got {self.mode!r}")
+        if self.approx_params is not None:
+            if self.mode != "approx":
+                raise QueryError(
+                    f"approx_params only apply to mode='approx' queries, got mode={self.mode!r}"
+                )
+            object.__setattr__(self, "approx_params", ApproxParams.coerce(self.approx_params))
         if self.weights is not None and self.subspace is not None:
             raise QueryError("weights and subspace are mutually exclusive")
 
@@ -306,6 +402,8 @@ class Query:
             parts.append(f"weighted({int(np.count_nonzero(self.weights))} non-zero)")
         if self.subspace is not None:
             parts.append(f"subspace({self.subspace.size} dims)")
+        if self.approx_params is not None:
+            parts.append(f"approx({self.approx_params.describe()})")
         if self.backend is not None:
             parts.append(f"backend={self.backend}")
         if self.trace:

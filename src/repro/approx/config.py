@@ -1,0 +1,108 @@
+"""Build-time configuration of the approximate tier.
+
+One frozen :class:`ApproxConfig` describes everything the two approximate
+backends need to *build* their structures — the IVF cluster count, the
+k-means iteration budget, the HNSW graph degree and construction beam, and
+the single seed both draw from.  The config round-trips through the
+persisted manifest, so an index reopened from disk plans and answers with
+exactly the knobs it was built with.
+
+The determinism contract of :mod:`repro.approx` starts here: the same config
+over the same collection produces bitwise-identical structures on every run
+(k-means uses a seeded generator with a fixed iteration count; the HNSW
+level draws are keyed per OID off the same seed), which is what makes the
+byte-identical-manifest property in ``tests/test_approx.py`` possible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+
+from repro.errors import QueryError
+
+#: Default seed of both approximate structures; persisted in the manifest.
+DEFAULT_APPROX_SEED = 7
+
+
+@dataclass(frozen=True)
+class ApproxConfig:
+    """Knobs of the approximate tier, fixed at build time.
+
+    Attributes
+    ----------
+    n_clusters:
+        Partition count of the IVF backend; ``None`` (default) resolves to
+        ``round(sqrt(cardinality))`` clamped to ``[1, 1024]`` — the classic
+        inverted-file sizing that balances the centroid scan against the
+        partition scans.
+    kmeans_iterations:
+        Fixed Lloyd iteration count (no convergence test — a data-dependent
+        stopping rule would make the structure depend on floating-point
+        noise instead of only on seed + knobs).
+    m:
+        HNSW degree bound: each node keeps at most ``m`` neighbours per
+        upper layer and ``2 * m`` on layer 0.
+    ef_construction:
+        Beam width of the HNSW insertion searches.
+    seed:
+        Seed of the k-means initialisation and the per-OID HNSW level draws.
+    default_nprobe:
+        Partitions the IVF backend scans when the query sets no knob.
+    default_ef_search:
+        Layer-0 beam width of the HNSW backend when the query sets no knob.
+    """
+
+    n_clusters: int | None = None
+    kmeans_iterations: int = 10
+    m: int = 8
+    ef_construction: int = 48
+    seed: int = DEFAULT_APPROX_SEED
+    default_nprobe: int = 4
+    default_ef_search: int = 32
+
+    def __post_init__(self) -> None:
+        if self.n_clusters is not None and self.n_clusters < 1:
+            raise QueryError(f"n_clusters must be at least 1, got {self.n_clusters}")
+        if self.kmeans_iterations < 1:
+            raise QueryError(f"kmeans_iterations must be at least 1, got {self.kmeans_iterations}")
+        if self.m < 2:
+            raise QueryError(f"m must be at least 2, got {self.m}")
+        if self.ef_construction < 1:
+            raise QueryError(f"ef_construction must be at least 1, got {self.ef_construction}")
+        if self.default_nprobe < 1:
+            raise QueryError(f"default_nprobe must be at least 1, got {self.default_nprobe}")
+        if self.default_ef_search < 1:
+            raise QueryError(f"default_ef_search must be at least 1, got {self.default_ef_search}")
+
+    @classmethod
+    def coerce(cls, value: "ApproxConfig | dict | None") -> "ApproxConfig":
+        """An :class:`ApproxConfig` from an instance, a mapping or ``None``."""
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, dict):
+            known = {field.name for field in fields(cls)}
+            unknown = sorted(set(value) - known)
+            if unknown:
+                raise QueryError(f"unknown approx config key(s) {unknown}; known: {sorted(known)}")
+            return cls(**value)
+        raise QueryError(
+            f"approx must be an ApproxConfig or a mapping of its fields, got {type(value).__name__}"
+        )
+
+    def resolve_n_clusters(self, cardinality: int) -> int:
+        """The effective IVF partition count for a collection of this size."""
+        if self.n_clusters is not None:
+            return min(self.n_clusters, cardinality)
+        return max(1, min(1024, int(round(math.sqrt(cardinality))), cardinality))
+
+    def to_manifest(self) -> dict:
+        """JSON-ready record persisted under the manifest's ``index`` options."""
+        return {field.name: getattr(self, field.name) for field in fields(self)}
+
+    @classmethod
+    def from_manifest(cls, record: dict) -> "ApproxConfig":
+        """Rebuild the config from its manifest record."""
+        return cls.coerce(dict(record))

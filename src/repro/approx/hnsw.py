@@ -1,0 +1,469 @@
+"""Hierarchical navigable small-world graph (the SNIPPETS.md explainer).
+
+A multi-layer proximity graph: every node lives on layer 0, and each node's
+top layer is a geometric draw so higher layers form sparser and sparser
+"express lanes".  Search greedily descends the upper layers towards the
+query, then runs a best-first beam of width ``ef_search`` on layer 0; larger
+beams trade speed for recall.
+
+Determinism contract:
+
+* the level of OID ``v`` is drawn from ``random.Random(f"{seed}:{v}")`` — a
+  private stream per node, so a build replays bit for bit regardless of how
+  the surrounding code consumes randomness;
+* nodes are inserted in ascending OID order, every candidate ordering uses
+  the total order ``(distance, oid)``, and neighbour trimming keeps the
+  lexicographically smallest ``(distance, oid)`` pairs — no iteration-order
+  or hash dependence anywhere;
+* ``ef_search >= cardinality`` abandons the graph walk for a full scored
+  scan (the graph cannot promise reaching every node once trimming has cut
+  edges), which makes the exhaustive configuration OID-identical to the
+  exact tier by construction and flags ``exact=True``.
+
+The graph serialises as flat adjacency arrays (per-layer CSR over the full
+OID space) so the manifest sidecar files are plain little-endian arrays like
+every fragment file, and reopening an index restores the graph lazily.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.result import BatchSearchResult, SearchResult
+from repro.engine.cost import CostModel, DOUBLE_BYTES
+from repro.errors import QueryError
+from repro.metrics.base import Metric
+
+#: Upper bound on any node's layer; ``random.random()`` can't produce a draw
+#: above ~25 for m >= 4 (the geometric tail dies at 53 bits of entropy), so
+#: the cap only guards degenerate tiny-m configurations.
+MAX_LEVEL_CAP = 48
+
+
+def node_level(seed: int, oid: int, m: int) -> int:
+    """The layer draw of one OID: ``floor(-ln(U) / ln(m))`` per-node stream."""
+    draw = random.Random(f"{seed}:{oid}").random()
+    if draw <= 0.0:
+        return MAX_LEVEL_CAP
+    return min(MAX_LEVEL_CAP, int(-math.log(draw) / math.log(m)))
+
+
+def effective_ef_search(
+    ef_search: int | None,
+    target_recall: float | None,
+    *,
+    k: int,
+    cardinality: int,
+    default: int,
+) -> int:
+    """Resolve the query knobs to a concrete beam width (always >= ``k``).
+
+    An explicit ``ef_search`` wins.  A ``target_recall`` of 1.0 forces the
+    exhaustive configuration; lower floors widen the beam hyperbolically in
+    the target (``~ 4k * r / (1 - r)``) — monotone and conservative, since
+    the contract is a floor.  With neither knob the build default applies.
+    """
+    if ef_search is not None:
+        return max(int(ef_search), k)
+    if target_recall is not None:
+        if target_recall >= 1.0:
+            return cardinality
+        scaled = math.ceil(4.0 * k * target_recall / (1.0 - target_recall))
+        return max(k, min(cardinality, scaled))
+    return max(default, k)
+
+
+@dataclass
+class HNSWGraph:
+    """The built graph: per-layer CSR adjacency over the full OID space.
+
+    Attributes
+    ----------
+    m / ef_construction / seed:
+        The build knobs (persisted; answers depend on them only through the
+        edges they produced).
+    entry_point:
+        Node the descent starts from (a node on the top layer).
+    levels:
+        ``(cardinality,)`` int32 top layer per node.
+    indptr:
+        ``(num_layers, cardinality + 1)`` int64 CSR row pointers; layer ``l``
+        of node ``v`` owns ``neighbors[l][indptr[l, v]:indptr[l, v + 1]]``.
+    neighbors:
+        One int32 edge array per layer, layer 0 first.
+    """
+
+    m: int
+    ef_construction: int
+    seed: int
+    entry_point: int
+    levels: np.ndarray
+    indptr: np.ndarray
+    neighbors: tuple[np.ndarray, ...]
+
+    @property
+    def cardinality(self) -> int:
+        """Number of nodes (every OID lives on layer 0)."""
+        return int(self.levels.shape[0])
+
+    @property
+    def max_level(self) -> int:
+        """Top layer of the graph."""
+        return int(self.indptr.shape[0]) - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Total directed edge count across all layers."""
+        return int(sum(edges.shape[0] for edges in self.neighbors))
+
+    def neighborhood(self, level: int, node: int) -> np.ndarray:
+        """The neighbour list of ``node`` on ``level``."""
+        row = self.indptr[level]
+        return self.neighbors[level][row[node] : row[node + 1]]
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Flat array payload (persisted as manifest sidecar files)."""
+        spans = np.zeros(len(self.neighbors) + 1, dtype=np.int64)
+        np.cumsum([edges.shape[0] for edges in self.neighbors], out=spans[1:])
+        flat = (
+            np.concatenate(self.neighbors)
+            if self.num_edges
+            else np.empty(0, dtype=np.int32)
+        )
+        return {
+            "levels": self.levels,
+            "indptr": self.indptr,
+            "neighbors": flat.astype(np.int32),
+            "spans": spans,
+        }
+
+    @classmethod
+    def from_arrays(
+        cls,
+        arrays: dict[str, np.ndarray],
+        *,
+        m: int,
+        ef_construction: int,
+        seed: int,
+        entry_point: int,
+    ) -> "HNSWGraph":
+        """Rebuild a graph from its persisted arrays."""
+        indptr = np.ascontiguousarray(arrays["indptr"], dtype=np.int64)
+        if indptr.ndim == 1:
+            indptr = indptr[None, :]
+        flat = np.ascontiguousarray(arrays["neighbors"], dtype=np.int32)
+        spans = np.ascontiguousarray(arrays["spans"], dtype=np.int64)
+        neighbors = tuple(
+            flat[spans[level] : spans[level + 1]] for level in range(indptr.shape[0])
+        )
+        return cls(
+            m=int(m),
+            ef_construction=int(ef_construction),
+            seed=int(seed),
+            entry_point=int(entry_point),
+            levels=np.ascontiguousarray(arrays["levels"], dtype=np.int32),
+            indptr=indptr,
+            neighbors=neighbors,
+        )
+
+
+def _search_layer(query, entry, ef, neighbor_fn, distance_fn):
+    """Best-first beam of width ``ef`` on one layer.
+
+    ``entry`` is a list of ``(distance, oid)`` pairs.  Returns up to ``ef``
+    pairs sorted ascending by ``(distance, oid)`` — a deterministic total
+    order, so forced ties cannot reorder results between runs.
+    """
+    visited = {oid for _, oid in entry}
+    candidates = list(entry)
+    heapq.heapify(candidates)
+    # Max-heap over (distance, oid): the root is the worst kept result, ties
+    # evicting the larger OID first (consistent with ascending-OID ranking).
+    results = [(-distance, -oid) for distance, oid in entry]
+    heapq.heapify(results)
+    while len(results) > ef:
+        heapq.heappop(results)
+    while candidates:
+        distance, node = heapq.heappop(candidates)
+        if len(results) >= ef and distance > -results[0][0]:
+            break
+        fresh = [int(nb) for nb in neighbor_fn(node) if int(nb) not in visited]
+        if not fresh:
+            continue
+        visited.update(fresh)
+        for nd, nb in zip(distance_fn(fresh).tolist(), fresh):
+            slot = (-nd, -nb)
+            if len(results) < ef or slot > results[0]:
+                heapq.heappush(results, slot)
+                heapq.heappush(candidates, (nd, nb))
+                if len(results) > ef:
+                    heapq.heappop(results)
+    return sorted((-negd, -negoid) for negd, negoid in results)
+
+
+def _select_neighbors(ranked, bound, matrix):
+    """The paper's heuristic neighbour selection (its Algorithm 4).
+
+    Walks the ``(distance, oid)``-ranked candidates and keeps one only if it
+    is closer to the base point than to every already-kept neighbour —
+    naively keeping the ``bound`` closest candidates wires tight clusters
+    into isolated cliques with no edges crossing between them, and beam
+    search then cannot leave the entry point's cluster (recall collapses on
+    exactly the clustered collections this tier targets).  Remaining slots
+    backfill from the discarded candidates in rank order, keeping the degree
+    (and so search work) predictable.
+    """
+    selected: list[int] = []
+    selected_rows: list[np.ndarray] = []
+    discarded: list[int] = []
+    for distance, oid in ranked:
+        if len(selected) >= bound:
+            break
+        row = matrix[oid]
+        keep = True
+        for kept_row in selected_rows:
+            delta = row - kept_row
+            if float(delta @ delta) < distance:
+                keep = False
+                break
+        if keep:
+            selected.append(oid)
+            selected_rows.append(row)
+        else:
+            discarded.append(oid)
+    for oid in discarded:
+        if len(selected) >= bound:
+            break
+        selected.append(oid)
+    return selected
+
+
+def build_hnsw_graph(
+    matrix: np.ndarray, *, m: int = 8, ef_construction: int = 48, seed: int = 7
+) -> HNSWGraph:
+    """Build the graph by inserting nodes in ascending OID order."""
+    matrix = np.ascontiguousarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] == 0:
+        raise QueryError("an HNSW graph needs a non-empty 2-D matrix")
+    if m < 2:
+        raise QueryError(f"m must be at least 2, got {m}")
+    if ef_construction < 1:
+        raise QueryError(f"ef_construction must be at least 1, got {ef_construction}")
+    cardinality = matrix.shape[0]
+    levels = np.array(
+        [node_level(seed, oid, m) for oid in range(cardinality)], dtype=np.int32
+    )
+
+    # Mutable adjacency: one list-of-lists per layer (upper layers hold
+    # mostly-empty rows; the CSR freeze below drops the slack).
+    adjacency: list[list[list[int]]] = [
+        [[] for _ in range(cardinality)] for _ in range(int(levels.max()) + 1)
+    ]
+    entry_point = 0
+    top_level = int(levels[0])
+
+    def distances_from(query, ids):
+        rows = matrix[ids]
+        deltas = rows - query
+        return np.einsum("ij,ij->i", deltas, deltas)
+
+    for oid in range(1, cardinality):
+        query = matrix[oid]
+        level = int(levels[oid])
+        entry_distance = float(distances_from(query, [entry_point])[0])
+        beam = [(entry_distance, entry_point)]
+        for layer in range(top_level, level, -1):
+            beam = _search_layer(
+                query,
+                beam,
+                1,
+                lambda node, _l=layer: adjacency[_l][node],
+                lambda ids: distances_from(query, ids),
+            )
+        for layer in range(min(level, top_level), -1, -1):
+            beam = _search_layer(
+                query,
+                beam,
+                ef_construction,
+                lambda node, _l=layer: adjacency[_l][node],
+                lambda ids: distances_from(query, ids),
+            )
+            degree_bound = 2 * m if layer == 0 else m
+            selected = _select_neighbors(beam, m, matrix)
+            adjacency[layer][oid] = list(selected)
+            for neighbor in selected:
+                links = adjacency[layer][neighbor]
+                links.append(oid)
+                if len(links) > degree_bound:
+                    link_distances = distances_from(matrix[neighbor], links)
+                    ranked = sorted(zip(link_distances.tolist(), links))
+                    adjacency[layer][neighbor] = _select_neighbors(
+                        ranked, degree_bound, matrix
+                    )
+        if level > top_level:
+            entry_point = oid
+            top_level = level
+
+    indptr = np.zeros((top_level + 1, cardinality + 1), dtype=np.int64)
+    neighbors: list[np.ndarray] = []
+    for layer in range(top_level + 1):
+        degrees = [len(adjacency[layer][node]) for node in range(cardinality)]
+        np.cumsum(degrees, out=indptr[layer, 1:])
+        flat = [nb for node in range(cardinality) for nb in adjacency[layer][node]]
+        neighbors.append(np.asarray(flat, dtype=np.int32))
+    return HNSWGraph(
+        m=int(m),
+        ef_construction=int(ef_construction),
+        seed=int(seed),
+        entry_point=int(entry_point),
+        levels=levels,
+        indptr=indptr,
+        neighbors=tuple(neighbors),
+    )
+
+
+class HNSWSearcher:
+    """Beam search over a built :class:`HNSWGraph`.
+
+    Scores the surfaced candidates with the query's metric (so returned
+    scores are bit-compatible with the exact tier's) while navigating the
+    graph on its native squared Euclidean distance.  Every distance
+    evaluation is charged to the cost model as a random row access — the
+    graph's whole point is that it touches few rows, and the accounting
+    should show it.
+    """
+
+    def __init__(
+        self,
+        graph: HNSWGraph,
+        matrix: np.ndarray,
+        *,
+        metric: Metric,
+        cost: CostModel,
+        default_ef_search: int = 32,
+    ) -> None:
+        if graph.cardinality != matrix.shape[0]:
+            raise QueryError(
+                f"graph covers {graph.cardinality} rows, the collection holds {matrix.shape[0]}"
+            )
+        self._graph = graph
+        self._matrix = np.ascontiguousarray(matrix, dtype=np.float64)
+        self._metric = metric
+        self._cost = cost
+        self._default_ef_search = default_ef_search
+
+    @property
+    def graph(self) -> HNSWGraph:
+        """The underlying graph."""
+        return self._graph
+
+    def _exhaustive(self, query: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray, bool]:
+        matrix = self._matrix
+        self._cost.charge_block_scan(matrix.shape[0], matrix.shape[1], DOUBLE_BYTES)
+        self._cost.charge_arithmetic(2 * matrix.size)
+        scores = self._metric.score(matrix, self._metric.validate_query(query))
+        order = self._metric.best_first(scores)[: min(k, matrix.shape[0])]
+        return order.astype(np.int64), scores[order], True
+
+    def _beam(self, query: np.ndarray, k: int, ef: int) -> tuple[np.ndarray, np.ndarray, bool]:
+        graph = self._graph
+        matrix = self._matrix
+        evaluated = 0
+
+        def distances_from(ids):
+            nonlocal evaluated
+            evaluated += len(ids)
+            rows = matrix[ids]
+            deltas = rows - query
+            return np.einsum("ij,ij->i", deltas, deltas)
+
+        node = graph.entry_point
+        beam = [(float(distances_from([node])[0]), node)]
+        for layer in range(graph.max_level, 0, -1):
+            beam = _search_layer(
+                query,
+                beam,
+                1,
+                lambda n, _l=layer: graph.neighborhood(_l, n),
+                distances_from,
+            )
+        beam = _search_layer(
+            query,
+            beam,
+            ef,
+            lambda n: graph.neighborhood(0, n),
+            distances_from,
+        )
+        self._cost.charge_random_access(evaluated, matrix.shape[1] * DOUBLE_BYTES)
+        self._cost.charge_arithmetic(2 * evaluated * matrix.shape[1])
+        candidates = np.asarray([oid for _, oid in beam], dtype=np.int64)
+        # Rank the surfaced candidates exactly like the exact tier would:
+        # metric scores, ascending-OID pre-sort, metric-order stable ranking.
+        candidates = np.sort(candidates)
+        scores = self._metric.score(matrix[candidates], self._metric.validate_query(query))
+        best = self._metric.best_first(scores)[: min(k, candidates.shape[0])]
+        return candidates[best], scores[best], False
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        *,
+        ef_search: int | None = None,
+        target_recall: float | None = None,
+        trace=None,
+    ) -> SearchResult:
+        """Top-k via an ``ef_search``-wide beam (or the exhaustive fallback)."""
+        started = time.perf_counter()
+        snapshot = self._cost.snapshot()
+        query = np.asarray(query, dtype=np.float64)
+        ef = effective_ef_search(
+            ef_search,
+            target_recall,
+            k=k,
+            cardinality=self._graph.cardinality,
+            default=self._default_ef_search,
+        )
+        if ef >= self._graph.cardinality:
+            oids, scores, exact = self._exhaustive(query, k)
+        else:
+            oids, scores, exact = self._beam(query, k, ef)
+        return SearchResult(
+            oids=oids,
+            scores=scores,
+            cost=self._cost.delta_since(snapshot),
+            elapsed_seconds=time.perf_counter() - started,
+            exact=exact,
+        )
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        *,
+        ef_search: int | None = None,
+        target_recall: float | None = None,
+    ) -> BatchSearchResult:
+        """Per-query beams (graph walks don't share reads across queries)."""
+        started = time.perf_counter()
+        snapshot = self._cost.snapshot()
+        queries = np.asarray(queries, dtype=np.float64)
+        results = []
+        for position in range(queries.shape[0]):
+            single = self.search(
+                queries[position], k, ef_search=ef_search, target_recall=target_recall
+            )
+            results.append(
+                SearchResult(oids=single.oids, scores=single.scores, exact=single.exact)
+            )
+        return BatchSearchResult(
+            results=results,
+            cost=self._cost.delta_since(snapshot),
+            elapsed_seconds=time.perf_counter() - started,
+        )

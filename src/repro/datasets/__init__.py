@@ -21,18 +21,25 @@ exercised too.  See DESIGN.md for the substitution rationale.
 """
 
 from repro.datasets.corel import CorelLikeConfig, make_corel_like
-from repro.datasets.clustered import ClusteredConfig, make_clustered
+from repro.datasets.clustered import (
+    ClusteredCollection,
+    ClusteredConfig,
+    make_clustered,
+    make_clustered_collection,
+)
 from repro.datasets.weights import make_skewed_weights, make_subspace_weights
 from repro.datasets.hsv import hsv_histogram, make_synthetic_images, quantize_hsv
 from repro.datasets.statistics import DatasetStatistics, describe_dataset
 
 __all__ = [
+    "ClusteredCollection",
     "ClusteredConfig",
     "CorelLikeConfig",
     "DatasetStatistics",
     "describe_dataset",
     "hsv_histogram",
     "make_clustered",
+    "make_clustered_collection",
     "make_corel_like",
     "make_skewed_weights",
     "make_subspace_weights",

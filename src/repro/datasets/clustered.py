@@ -86,11 +86,56 @@ def _zipfian_coordinates(rng: np.random.Generator, shape: tuple[int, int], skew:
     return uniform ** (1.0 + skew)
 
 
-def make_clustered(config: ClusteredConfig | None = None, **overrides) -> np.ndarray:
-    """Generate a clustered synthetic collection in the unit hypercube.
+@dataclass(frozen=True)
+class ClusteredCollection:
+    """A clustered collection together with its generating ground truth.
 
-    Returns a ``cardinality x dimensionality`` float64 matrix with every value
-    in [0, 1].
+    Attributes
+    ----------
+    vectors:
+        The ``cardinality x dimensionality`` float64 matrix, shuffled so OID
+        order does not encode cluster membership.
+    labels:
+        Per-row generating cluster index, aligned with ``vectors`` (i.e.
+        post-shuffle); noise rows carry ``-1``.  These are *generator*
+        labels — an approximate index builds its own partitioning and never
+        sees them; they exist so experiments can ask "was the miss a noise
+        point?" without re-deriving membership.
+    centres:
+        The ``num_clusters x dimensionality`` cluster-centre matrix.
+    config:
+        The generator parameters that produced the collection.
+    """
+
+    vectors: np.ndarray
+    labels: np.ndarray
+    centres: np.ndarray
+    config: ClusteredConfig
+
+    def exact_topk(self, queries: np.ndarray, k: int, metric=None) -> list["SearchResult"]:
+        """Brute-force ground-truth top-k for one query or a batch.
+
+        Defaults to squared Euclidean distance (the metric the approximate
+        tier serves); results use the repo-wide deterministic tie-break, so
+        they are directly comparable OID-for-OID with any exact searcher.
+        """
+        from repro.metrics.euclidean import SquaredEuclidean
+        from repro.workload.ground_truth import exact_top_k
+
+        if metric is None:
+            metric = SquaredEuclidean()
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        return [exact_top_k(self.vectors, query, k, metric) for query in queries]
+
+
+def make_clustered_collection(
+    config: ClusteredConfig | None = None, **overrides
+) -> ClusteredCollection:
+    """Generate a clustered collection *with* its generating labels.
+
+    Same distribution and seeding as :func:`make_clustered` — for any config,
+    ``make_clustered(config)`` equals ``make_clustered_collection(config).vectors``
+    bitwise.
     """
     if config is None:
         config = ClusteredConfig(**overrides)
@@ -110,12 +155,30 @@ def make_clustered(config: ClusteredConfig | None = None, **overrides) -> np.nda
 
     noise = rng.random((num_noise, config.dimensionality))
     vectors = np.concatenate([clustered, noise], axis=0)
+    labels = np.concatenate(
+        [assignments.astype(np.int64), np.full(num_noise, -1, dtype=np.int64)]
+    )
 
     # Shuffle so cluster members and noise are interleaved (OID order must
     # not encode cluster membership, otherwise pruning curves would be
     # artificially smooth).
     permutation = rng.permutation(config.cardinality)
-    return vectors[permutation]
+    return ClusteredCollection(
+        vectors=vectors[permutation],
+        labels=labels[permutation],
+        centres=centres,
+        config=config,
+    )
+
+
+def make_clustered(config: ClusteredConfig | None = None, **overrides) -> np.ndarray:
+    """Generate a clustered synthetic collection in the unit hypercube.
+
+    Returns a ``cardinality x dimensionality`` float64 matrix with every value
+    in [0, 1].  :func:`make_clustered_collection` returns the same matrix
+    together with the generating cluster labels.
+    """
+    return make_clustered_collection(config, **overrides).vectors
 
 
 def make_multifeature_collections(

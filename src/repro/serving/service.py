@@ -5,7 +5,8 @@ into the micro-batches the batch engines are fast at.  Callers ``await
 service.submit(vector, k=...)`` and get their own
 :class:`~repro.core.result.SearchResult` back; between submission and
 execution the service coalesces compatible requests (same ``k``, metric,
-mode, backend pin) under a **latency budget**: the oldest waiting request
+mode, backend pin, approx knobs) under a **latency budget**: the oldest
+waiting request
 never waits longer than the budget for peers to share its batch, and a full
 batch flushes immediately.  Execution happens through the PR 3 platform —
 ``Index.answer(Query(..., batch=True))`` on a worker executor, so the event
@@ -329,13 +330,14 @@ class SearchService:
         subspace: np.ndarray | None = None,
         mode: str = "exact",
         backend: str | None = None,
+        approx_params: "dict | None" = None,
         timeout: float | None = None,
     ) -> SearchResult:
         """Submit one query and await its result.
 
         The arguments mirror the :class:`~repro.api.query.Query` fields; the
         query is validated here, at the service boundary (bad ``k``, bad
-        weights, non-finite vectors all raise
+        weights, non-finite vectors, unknown ``approx_params`` keys all raise
         :class:`~repro.errors.QueryError` before anything queues).  Raises
         :class:`~repro.errors.QueueFull` when admission control rejects the
         submission and :class:`~repro.errors.ServiceClosed` when the service
@@ -360,6 +362,7 @@ class SearchService:
             subspace=subspace,
             mode=mode,
             backend=backend,
+            approx_params=approx_params,
         )
         if query.is_batch:
             raise ServingError(
@@ -382,7 +385,16 @@ class SearchService:
         request = _PendingRequest(
             sequence=next(self._sequence),
             query=query,
-            batch_key=(query.k, query.mode, query.backend, query.metric_spec_key()),
+            # approx_params is frozen (hashable); queries with different
+            # knobs must never share a micro-batch — they would otherwise
+            # silently run with one request's recall settings.
+            batch_key=(
+                query.k,
+                query.mode,
+                query.backend,
+                query.metric_spec_key(),
+                query.approx_params,
+            ),
             signature=self._policy.signature(query),
             future=self._loop.create_future(),
             arrival=now,
@@ -772,7 +784,8 @@ class SearchService:
         """One batch query carrying every rider's vector, first rider's spec.
 
         All riders share a batch key, so ``k`` / metric / mode / backend pin
-        are interchangeable; batches of one still take the batch path so the
+        / approx knobs are interchangeable; batches of one still take the
+        batch path so the
         execution shape is uniform (the batch engines are bitwise identical
         to their single-query paths, which the serving test suite re-pins
         end to end).
@@ -788,6 +801,7 @@ class SearchService:
             mode=first.mode,
             batch=True,
             backend=first.backend,
+            approx_params=first.approx_params,
             normalize_weights=first.normalize_weights,
         )
 

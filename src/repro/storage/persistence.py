@@ -18,10 +18,13 @@ makes the storage layout auditable with nothing but ``ls`` and ``numpy``.
 
 Layout versions: version 1 predates checksums; version 2 added per-fragment
 CRC-32 + ``fold64`` integrity records; version 3 added the fragment-format
-record (coefficient dtype x residency, plus a per-file ``fragments`` map).
-v1/v2 manifests still load — they imply the historical ``float64`` columns —
-and a float64 store saved by this build writes byte-identical fragment files
-to version 2.
+record (coefficient dtype x residency, plus a per-file ``fragments`` map);
+version 4 added the optional ``approx`` manifest section pointing at the
+approximate tier's sidecar arrays (``approx_*.apx``: IVF centroids /
+permutation / offsets and HNSW levels / adjacency), each carrying the same
+CRC-32 + ``fold64`` records as the fragments.  v1-v3 manifests still load —
+they simply carry no approximate structures — and a float64 store saved by
+this build writes byte-identical fragment files to version 2.
 
 Integrity: every fragment file's CRC-32 is recorded in the manifest at save
 time, together with a fast vectorised ``fold64`` digest (word count +
@@ -66,12 +69,15 @@ from repro.storage.formats import FragmentFormat
 
 #: Version tag written into every manifest; bump on layout changes.
 #: Version 2 added per-fragment content checksums; version 3 added the
-#: fragment-format record (dtype x residency).
-LAYOUT_VERSION = 3
+#: fragment-format record (dtype x residency); version 4 added the optional
+#: ``approx`` section (IVF cluster plan + HNSW graph sidecar arrays).
+LAYOUT_VERSION = 4
 #: Manifest versions this build can still read (version 1 predates
 #: checksums, so it loads but cannot be checksum-verified; versions 1 and 2
-#: imply the historical in-RAM ``float64`` fragment format).
-SUPPORTED_LAYOUT_VERSIONS = frozenset({1, 2, 3})
+#: imply the historical in-RAM ``float64`` fragment format; versions 1-3
+#: carry no approximate-tier structures, so an index opened from them plans
+#: the approximate backends against lazily rebuilt structures).
+SUPPORTED_LAYOUT_VERSIONS = frozenset({1, 2, 3, 4})
 #: Fragment verification modes of :func:`load_decomposed`.
 VERIFY_MODES = ("none", "checksum")
 MANIFEST_NAME = "manifest.json"
@@ -464,3 +470,81 @@ def persisted_size_bytes(directory: str | pathlib.Path) -> int:
     path = pathlib.Path(directory)
     load_manifest(path)
     return sum(file.stat().st_size for file in path.glob("*.col"))
+
+
+# -- approximate-tier sidecar arrays (layout version 4) -----------------------
+#
+# The IVF cluster plan and the HNSW graph persist as flat little-endian
+# arrays next to the fragment files, one ``approx_<structure>_<name>.apx``
+# file each (the distinct extension keeps ``persisted_size_bytes`` a pure
+# fragment measure).  The manifest's ``approx`` section records dtype, shape
+# and the same CRC-32 + fold64 integrity pair as the fragments; loads always
+# verify the fold64 digest — the arrays are small, so the check is free
+# relative to the read.
+
+
+def approx_sidecar_records(
+    arrays: dict[str, np.ndarray], *, structure: str
+) -> tuple[dict[str, dict], dict[str, np.ndarray]]:
+    """Manifest records plus to-be-written payloads for one structure's arrays.
+
+    Returns ``(records, files)``: ``records`` goes under the manifest's
+    ``approx.<structure>.arrays`` key, ``files`` maps file names to the
+    contiguous arrays :func:`write_approx_sidecars` writes.  Splitting record
+    computation from writing lets :meth:`repro.api.Index.save` embed the
+    integrity records in the manifest it hands to :func:`save_decomposed`
+    and write the payload files afterwards.
+    """
+    records: dict[str, dict] = {}
+    files: dict[str, np.ndarray] = {}
+    for name, array in arrays.items():
+        data = np.ascontiguousarray(array)
+        if data.dtype.byteorder == ">":
+            data = data.astype(data.dtype.newbyteorder("<"))
+        file_name = f"approx_{structure}_{name}.apx"
+        records[name] = {
+            "file": file_name,
+            "dtype": data.dtype.str,
+            "shape": list(data.shape),
+            "checksum": fragment_checksum(data),
+            "digest": fragment_digest(data),
+        }
+        files[file_name] = data
+    return records, files
+
+
+def write_approx_sidecars(
+    directory: str | pathlib.Path, files: dict[str, np.ndarray]
+) -> None:
+    """Write the sidecar payloads of :func:`approx_sidecar_records`."""
+    path = pathlib.Path(directory)
+    for file_name, data in files.items():
+        data.tofile(path / file_name)
+
+
+def load_approx_array(directory: str | pathlib.Path, record: dict) -> np.ndarray:
+    """Load one sidecar array back, verifying its fold64 digest.
+
+    A digest mismatch is corroborated against the authoritative CRC-32
+    exactly like fragment verification, and surfaces as a typed
+    :class:`~repro.errors.CorruptFragmentError` naming the file.
+    """
+    file_name = str(record["file"])
+    fragment_path = pathlib.Path(directory) / file_name
+    fault_point("store.read_fragment", file=file_name)
+    if not fragment_path.exists():
+        raise StorageError(f"missing approximate-tier sidecar file {file_name}")
+    data = np.fromfile(fragment_path, dtype=np.dtype(record["dtype"]))
+    _verify_fragment(
+        file_name,
+        data,
+        {file_name: record.get("checksum")},
+        {file_name: record.get("digest")},
+    )
+    shape = tuple(int(extent) for extent in record["shape"])
+    expected = int(np.prod(shape)) if shape else 1
+    if data.size != expected:
+        raise CorruptFragmentError(
+            f"sidecar {file_name} holds {data.size} values, expected {expected}"
+        )
+    return data.reshape(shape)
