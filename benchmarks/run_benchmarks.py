@@ -73,6 +73,19 @@ degradation policy, and a corrupted on-disk fragment).  The exit code
 enforces the reliability contract: every query resolves to a bitwise
 identical answer or a typed error, never a silently wrong one.
 
+The ``updates`` axis measures the live-mutability layer of
+:mod:`repro.mutability`: acknowledged-insert throughput (each ``insert`` is
+WAL-appended and fsynced before it returns), the wall-clock pause of
+``reorganize()`` merging a 64-row tail into fresh fragments, and the
+overhead of the tail-overlay machinery on an **update-free** index (the
+empty-tail fast path; the acceptance bar is < 2% over the direct batched
+search).  The exit code enforces the rebuild-identity contract — an updated
+index answers bitwise like a from-scratch build at the same logical state,
+before and after reorganisation — and, under ``--chaos``, a crash matrix: a
+simulated kill at each durability fault point (``wal.append``,
+``wal.fsync``, ``manifest.commit``, ``file.rename``) must leave the store
+directory opening as the old or the new snapshot, never a torn one.
+
 The sequential-scan baseline (SSH) and its batched variant are measured as
 context.  Every engine's top-k (OIDs *and* scores) is verified to be
 identical to the seed path (brute force for the compressed axis) before any
@@ -1031,6 +1044,193 @@ def run_recall_frontier_benchmark(
     }
 
 
+def run_updates_benchmark(
+    *,
+    data,
+    queries,
+    k: int,
+    repeats: int,
+    num_queries: int,
+    chaos: bool,
+) -> dict:
+    """The ``updates`` axis: WAL-backed live mutability.
+
+    Measures insert acknowledgement throughput (WAL append + fsync per
+    call), the tail-overlay overhead on an **update-free** index (the
+    empty-tail fast path must stay within 2% of the direct batched search),
+    and the reorganisation pause.  Correctness gates, enforced by the exit
+    code: an updated index's answers must be bitwise identical to an index
+    rebuilt from scratch at the same logical state (OID compaction undone
+    with an explicit order-preserving mapping), and — under ``--chaos`` — a
+    simulated kill at each durability fault point must leave the store
+    directory opening as the old or the new snapshot, never a torn one.
+    """
+    print("\nupdates (WAL-backed live mutability):")
+    log = IdentityLog()
+    rng = np.random.default_rng(1031)
+    batch_query = Query(queries, k=k, metric="histogram", mode="exact")
+
+    with tempfile.TemporaryDirectory(prefix="bench_updates_") as tmp:
+        home = pathlib.Path(tmp) / "store"
+
+        # -- tail-overlay overhead on an update-free index: the facade's
+        # empty-tail fast path vs the direct batched searcher.
+        clean = Index.build(data, name="bench-updates")
+        direct = BondSearcher(DecomposedStore(data), engine="fused")
+        direct_seconds = _time_per_query(
+            lambda: direct.search_batch(queries, k), num_queries, repeats
+        )
+        facade_seconds = _time_per_query(
+            lambda: clean.answer(batch_query), num_queries, repeats
+        )
+        overlay_overhead_pct = 100.0 * (facade_seconds / direct_seconds - 1.0)
+
+        # -- insert throughput: acknowledged (fsynced) single-row inserts.
+        clean.save(home)
+        insert_rows = rng.random((64, data.shape[1]))
+        insert_rows /= insert_rows.sum(axis=1, keepdims=True)
+        start = time.perf_counter()
+        for row in insert_rows:
+            clean.insert(row)
+        insert_seconds = time.perf_counter() - start
+        inserts_per_second = len(insert_rows) / insert_seconds
+
+        # -- reorganize pause: merge the 64-row tail into fresh fragments
+        # (the longest answer-invisible stall a mutating index takes).
+        start = time.perf_counter()
+        clean.reorganize()
+        reorganize_seconds = time.perf_counter() - start
+
+        # -- identity vs rebuild: inserts and deletes overlaid on the base
+        # must answer bitwise like a from-scratch build at the same logical
+        # state.  Deletes compact OIDs at the rebuild, so the reference
+        # answers are mapped through the explicit order-preserving mapping.
+        live = Index.build(data, name="bench-identity")
+        fresh = rng.random((16, data.shape[1]))
+        fresh /= fresh.sum(axis=1, keepdims=True)
+        live.insert(fresh)
+        doomed = [3, int(data.shape[0]) - 1, int(data.shape[0]) + 2]
+        live.delete(doomed)
+        survivors = [
+            oid for oid in range(data.shape[0] + len(fresh)) if oid not in set(doomed)
+        ]
+        logical = np.vstack([data, fresh])[survivors]
+        rebuilt = Index.build(logical, name="bench-rebuilt")
+        compact = {old: new for new, old in enumerate(survivors)}
+        probe_queries = np.vstack([queries[: max(1, num_queries // 2)], fresh[:2]])
+        live_answers = [
+            live.answer(Query(row, k=k, metric="histogram")) for row in probe_queries
+        ]
+        class _Mapped:  # identity checks read only .oids / .scores
+            def __init__(self, oids, scores):
+                self.oids, self.scores = oids, scores
+
+        mapped = [
+            _Mapped(
+                np.array([compact[int(oid)] for oid in answer.oids]), answer.scores
+            )
+            for answer in live_answers
+        ]
+        reference = [
+            rebuilt.answer(Query(row, k=k, metric="histogram")) for row in probe_queries
+        ]
+        log.check("overlay_vs_rebuild", reference, mapped)
+
+        # -- the same identity after reorganize() compacts the live index.
+        live.reorganize()
+        reorganized = [
+            live.answer(Query(row, k=k, metric="histogram")) for row in probe_queries
+        ]
+        log.check("reorganized_vs_rebuild", reference, reorganized)
+
+    report = {
+        "insert_throughput": {
+            "acknowledged_inserts_per_second": inserts_per_second,
+            "rows": len(insert_rows),
+        },
+        "overlay_overhead": {
+            "update_free_overhead_pct": overlay_overhead_pct,
+            "meets_2pct_target": bool(overlay_overhead_pct < 2.0),
+        },
+        "reorganize": {
+            "pause_seconds": reorganize_seconds,
+            "tail_rows_merged": len(insert_rows),
+        },
+        "identical_topk": log.ok,
+        "divergences": log.divergences,
+    }
+    print(f"  acknowledged insert throughput : {inserts_per_second:>10.1f} rows/s (fsync per call)")
+    print(f"  reorganize pause (64-row tail) : {reorganize_seconds * 1e3:>10.2f} ms")
+    print(
+        f"  update-free overlay overhead   : {overlay_overhead_pct:>+9.2f}% "
+        f"(target < 2%: {'met' if report['overlay_overhead']['meets_2pct_target'] else 'NOT met'})"
+    )
+    for name, ok in log.ok.items():
+        marker = "ok" if ok else f"MISMATCH ({log.divergences[name]})"
+        print(f"  rebuild identity [{name}]: {marker}")
+
+    if chaos:
+        report["chaos"] = _updates_crash_matrix(data, queries[0], k)
+    return report
+
+
+def _updates_crash_matrix(data, probe, k: int) -> dict:
+    """Kill an attached index at each durability fault point; reopen; verify.
+
+    The contract: after a simulated crash at ``wal.append``, ``wal.fsync``,
+    ``manifest.commit``, or ``file.rename``, the directory must open as
+    either the pre-crash snapshot (plus its replayable WAL suffix) or the
+    committed post-crash one — and answer exactly like one of them.
+    """
+    scenarios = {}
+    sample = data[: min(2_000, data.shape[0])]
+    for point, action in (
+        ("wal.append", "insert"),
+        ("wal.fsync", "insert"),
+        ("manifest.commit", "reorganize"),
+        ("file.rename", "reorganize"),
+    ):
+        with tempfile.TemporaryDirectory(prefix="bench_crash_") as tmp:
+            home = pathlib.Path(tmp) / "store"
+            index = Index.build(sample, name="crash")
+            index.save(home)
+            rng = np.random.default_rng(7)
+            rows = rng.random((4, sample.shape[1]))
+            rows /= rows.sum(axis=1, keepdims=True)
+            index.insert(rows[:2])
+            before = index.answer(Query(probe, k=k, metric="histogram"))
+            ok, detail = True, ""
+            try:
+                with FaultPlan(seed=3).arm(point, error=OSError):
+                    if action == "insert":
+                        index.insert(rows[2:])
+                    else:
+                        index.reorganize()
+                ok, detail = False, f"armed fault at {point} did not fire"
+            except ReproError:
+                pass
+            except OSError:
+                pass
+            if ok:
+                try:
+                    reopened = Index.open(home)
+                    after = reopened.answer(Query(probe, k=k, metric="histogram"))
+                    if not (
+                        np.array_equal(after.oids, before.oids)
+                        and np.array_equal(after.scores, before.scores)
+                    ):
+                        ok, detail = False, "reopened answer matches neither snapshot"
+                except ReproError as error:
+                    ok, detail = False, f"reopen failed: {type(error).__name__}: {error}"
+        scenarios[point] = {"ok": ok, "detail": detail}
+
+    print("\n  crash matrix (kill at fault point -> reopen -> verify):")
+    for point, row in scenarios.items():
+        verdict = "held" if row["ok"] else f"FAILED ({row['detail']})"
+        print(f"    {point:<18} {verdict}")
+    return {"scenarios": scenarios, "ok": all(row["ok"] for row in scenarios.values())}
+
+
 def _run_axis(name: str, fn, failures: dict[str, str]):
     """Run one benchmark axis, recording (instead of propagating) its failure.
 
@@ -1231,6 +1431,18 @@ def run_benchmark(
         ),
         axis_failures,
     )
+    updates = _run_axis(
+        "updates",
+        lambda: run_updates_benchmark(
+            data=data,
+            queries=queries,
+            k=k,
+            repeats=repeats,
+            num_queries=num_queries,
+            chaos=chaos,
+        ),
+        axis_failures,
+    )
     return {
         "benchmark": "BENCH_knn",
         "config": {
@@ -1260,6 +1472,7 @@ def run_benchmark(
         "serving": serving,
         "reliability": reliability,
         "recall_frontier": recall_frontier,
+        "updates": updates,
         "axis_failures": axis_failures,
     }
 
@@ -1356,6 +1569,7 @@ def main(argv: list[str] | None = None) -> int:
         "store_formats": (report["store_formats"], "identical_topk"),
         "serving": (report["serving"], "identical_served_vs_direct"),
         "recall_frontier": (report["recall_frontier"], "identical_topk"),
+        "updates": (report["updates"], "identical_topk"),
     }
     for axis, (section, key) in identity_axes.items():
         if section is None:
@@ -1385,6 +1599,25 @@ def main(argv: list[str] | None = None) -> int:
                     file=sys.stderr,
                 )
                 failed = True
+    updates = report["updates"]
+    if updates is not None:
+        if not updates["overlay_overhead"]["meets_2pct_target"]:
+            print(
+                "ERROR: update-free overlay overhead "
+                f"{updates['overlay_overhead']['update_free_overhead_pct']:+.2f}% "
+                "breaches the 2% gate",
+                file=sys.stderr,
+            )
+            failed = True
+        if "chaos" in updates:
+            for name, row in updates["chaos"]["scenarios"].items():
+                if not row["ok"]:
+                    print(
+                        f"ERROR: updates crash scenario {name!r} failed: "
+                        f"{row['detail'] or 'contract violated'}",
+                        file=sys.stderr,
+                    )
+                    failed = True
     if failed:
         return 1
     print(
@@ -1432,6 +1665,15 @@ def main(argv: list[str] | None = None) -> int:
         "recall frontier: all per-config recall floors met "
         f"(floor {report['recall_frontier']['config']['recall_floor']}, "
         "exhaustive settings identical to the exact tier)"
+    )
+    updates_report = report["updates"]
+    print(
+        f"updates: {updates_report['insert_throughput']['acknowledged_inserts_per_second']:.0f} "
+        f"acknowledged inserts/s, reorganize pause "
+        f"{updates_report['reorganize']['pause_seconds'] * 1e3:.1f} ms, "
+        f"update-free overlay overhead "
+        f"{updates_report['overlay_overhead']['update_free_overhead_pct']:+.2f}% "
+        f"(target < 2%: {'met' if updates_report['overlay_overhead']['meets_2pct_target'] else 'NOT met'})"
     )
     if args.chaos:
         print("chaos scenarios: all held (identical answer or typed error)")

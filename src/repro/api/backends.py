@@ -29,6 +29,12 @@ estimates are deliberately simple closed forms over collection shape — they
 only need to get the *ranking* right (BOND beats a scan, the compressed
 filter beats a VA-file scan, an R-tree only wins in low dimensions), which is
 exactly the knowledge the paper's measurements establish.
+
+Every ``answer()`` passes through the ``backend.answer`` fault point with the
+backend's name and the index's current store *generation* as context, so a
+deterministic :class:`~repro.reliability.faults.FaultPlan` can target (say)
+"the first sharded answer after the reorganisation committed generation 2"
+when rehearsing failover under live updates.
 """
 
 from __future__ import annotations
@@ -145,7 +151,9 @@ class Backend(abc.ABC):
         which is what keeps facade answers bitwise identical to direct
         searcher calls.
         """
-        fault_point("backend.answer", backend=self.name)
+        fault_point(
+            "backend.answer", backend=self.name, generation=getattr(index, "generation", 0)
+        )
         searcher = index.searcher_for(self, query, metric)
         if query.is_batch:
             return searcher.search_batch(query.query_matrix, query.k)
@@ -404,7 +412,9 @@ class ShardedBondBackend(Backend):
         self, index: "Index", query: "Query", metric: Metric
     ) -> SearchResult | BatchSearchResult:
         """Route the query to the mode-matching sharded engine."""
-        fault_point("backend.answer", backend=self.name)
+        fault_point(
+            "backend.answer", backend=self.name, generation=getattr(index, "generation", 0)
+        )
         searcher = index.searcher_for(self, query, metric)
         engine = searcher.engine_for_mode(query.mode)
         if query.is_batch:
@@ -522,7 +532,9 @@ class IVFBackend(Backend):
         self, index: "Index", query: "Query", metric: Metric
     ) -> SearchResult | BatchSearchResult:
         """Execute with the query's ``approx_params`` knobs threaded through."""
-        fault_point("backend.answer", backend=self.name)
+        fault_point(
+            "backend.answer", backend=self.name, generation=getattr(index, "generation", 0)
+        )
         searcher = index.searcher_for(self, query, metric)
         params = query.approx_params
         nprobe = params.nprobe if params is not None else None
@@ -603,7 +615,9 @@ class HNSWBackend(Backend):
         self, index: "Index", query: "Query", metric: Metric
     ) -> SearchResult | BatchSearchResult:
         """Execute with the query's ``approx_params`` knobs threaded through."""
-        fault_point("backend.answer", backend=self.name)
+        fault_point(
+            "backend.answer", backend=self.name, generation=getattr(index, "generation", 0)
+        )
         searcher = index.searcher_for(self, query, metric)
         params = query.approx_params
         ef_search = params.ef_search if params is not None else None

@@ -23,11 +23,39 @@ backends construct the underlying searchers with exactly the defaults a
 direct caller would get and invoke the same ``search`` / ``search_batch``
 entry points (the equivalence suite in ``tests/test_api_facade.py`` pins
 this for every registered backend and mode).
+
+Live mutability
+---------------
+
+``insert(rows)`` / ``delete(oids)`` mutate the collection while it serves:
+updates accumulate in an in-memory delta tail
+(:class:`~repro.mutability.tail.TailState`, the paper's Section 6.2
+differential file) that every ``answer`` overlays exactly on the chosen
+backend's base answer — deleted rows filtered, live tail rows scored and
+merged through the stack's deterministic score-then-OID tie-break — so an
+updated index answers **bitwise identically** to one rebuilt from scratch at
+the same logical state.  ``reorganize()`` merges the tail into fresh base
+fragments and publishes them as a new epoch with a single atomic reference
+swap: in-flight queries pin the epoch they started on, so serving never
+stops and never reads a torn state.
+
+When the index is *attached* to a directory (``save`` attaches, ``open``
+re-attaches), every update is written to a checksummed write-ahead log and
+fsynced **before** it is acknowledged, and ``reorganize()`` commits the
+merged fragments as a new manifest generation (temp + fsync + atomic
+rename).  ``open`` recovers by loading the newest committed generation and
+replaying the WAL suffix beyond the manifest's watermark — a kill at any
+instant yields the state as of some acknowledged prefix of updates, never a
+torn store and never a wrong answer.  An unattached (purely in-memory)
+index supports the same operations without the durability.
 """
 
 from __future__ import annotations
 
+import contextlib
+import dataclasses
 import pathlib
+import threading
 
 import numpy as np
 
@@ -44,18 +72,25 @@ from repro.approx import (
 )
 from repro.core.result import BatchSearchResult, SearchResult
 from repro.engine.cost import CostModel
-from repro.errors import BackendError, FailoverExhausted, QueryError
+from repro.engine.updates import DeltaLog
+from repro.errors import BackendError, FailoverExhausted, QueryError, StorageError
 from repro.metrics.base import Metric
+from repro.mutability.epoch import Epoch
+from repro.mutability.overlay import inflated_k, overlay_answer
+from repro.mutability.tail import TailState
+from repro.mutability.wal import OP_INSERT, WriteAheadLog, read_wal, wal_token
 from repro.storage.compressed import CompressedStore
 from repro.storage.decomposed import DecomposedStore
 from repro.storage.formats import FragmentFormat
 from repro.storage.persistence import (
+    MANIFEST_NAME,
     approx_sidecar_records,
     load_approx_array,
     load_decomposed,
     load_manifest,
+    manifest_mutability,
+    next_generation,
     save_decomposed,
-    write_approx_sidecars,
 )
 from repro.storage.rowstore import RowStore
 from repro.storage.sharding import ShardPlan
@@ -63,6 +98,9 @@ from repro.storage.sharding import ShardPlan
 # Importing the backends module registers the built-ins with the default
 # registry; the import is for its side effect.
 import repro.api.backends  # noqa: F401
+
+#: File name of the write-ahead log inside an attached store directory.
+WAL_NAME = "wal.log"
 
 
 class Index:
@@ -108,7 +146,7 @@ class Index:
         degree and construction beam, the shared seed, and the default query
         knobs.  The structures themselves build lazily on first
         ``mode="approx"`` use; built structures are persisted by
-        :meth:`save` (manifest v4 sidecar arrays) and reopened lazily by
+        :meth:`save` (manifest v4+ sidecar arrays) and reopened lazily by
         :meth:`open`.
     """
 
@@ -142,11 +180,12 @@ class Index:
             cardinality=int(matrix.shape[0]),
             dimensionality=int(matrix.shape[1]),
         )
-        self._input = matrix
+        epoch = self._epoch
+        epoch.input = matrix
         # The logical (format-quantised, float64-widened) collection; for the
         # identity format it IS the ingested matrix, narrow formats derive it
         # lazily in the `vectors` property.
-        self._vectors = matrix if self._format.is_identity else None
+        epoch.vectors = matrix if self._format.is_identity else None
 
     def _setup(
         self,
@@ -176,29 +215,36 @@ class Index:
         self._on_shard_failure = on_shard_failure
         self._shards = int(shards)
         self._format = format
-        self._cardinality = cardinality
         self._dimensionality = dimensionality
-        self._shard_plan: ShardPlan | None = None
         self._approx_config = ApproxConfig.coerce(approx)
-        # Approximate-tier structures: built lazily on first use, or loaded
-        # lazily from the sidecar records of an opened v4 manifest.
-        self._cluster_plan: ClusterPlan | None = None
-        self._hnsw_graph: HNSWGraph | None = None
-        self._ivf_partitions: IVFPartitions | None = None
-        self._approx_records: dict | None = None
-        self._approx_dir: pathlib.Path | None = None
         self._cost = cost if cost is not None else CostModel()
         self._planner = QueryPlanner(self, registry=registry)
-        self._input: np.ndarray | None = None
-        self._vectors: np.ndarray | None = None
-        # Lazily materialised physical representations.
-        self._row_store: RowStore | None = None
-        self._decomposed: DecomposedStore | None = None
-        self._compressed: CompressedStore | None = None
-        # Caches keyed by the query's metric specification so repeated
-        # answers reuse metric instances and (expensive-to-build) searchers.
+        # Metric instances are stateless, so the cache survives epoch swaps.
         self._metrics: dict[tuple, Metric] = {}
-        self._searchers: dict[tuple[str, tuple], object] = {}
+        # -- mutability state ------------------------------------------------
+        # All reads go through the current epoch (atomically swapped);
+        # mutations serialise on the mutation lock; queries never take it.
+        self._epoch = self._fresh_epoch(generation=0, base_cardinality=cardinality)
+        self._tls = threading.local()
+        self._mutation_lock = threading.RLock()
+        # Attachment: set by save()/open(); None means purely in-memory.
+        self._home: pathlib.Path | None = None
+        self._wal: WriteAheadLog | None = None
+
+    def _fresh_epoch(self, *, generation: int, base_cardinality: int) -> Epoch:
+        return Epoch(
+            generation=generation,
+            base_cardinality=base_cardinality,
+            dimensionality=self._dimensionality,
+            tail=TailState.empty(
+                base_cardinality=base_cardinality,
+                dimensionality=self._dimensionality,
+                format=self._format,
+                cost=self._cost,
+                name=f"{self._name}-tail",
+            ),
+            delta=DeltaLog(self._dimensionality),
+        )
 
     @classmethod
     def _from_store(
@@ -232,8 +278,39 @@ class Index:
             cardinality=store.cardinality,
             dimensionality=store.dimensionality,
         )
-        index._decomposed = store
+        index._epoch.decomposed = store
         return index
+
+    # -- epoch pinning -------------------------------------------------------------
+
+    def _current_epoch(self) -> Epoch:
+        """The epoch this thread should read: its pinned one, else the live one."""
+        pinned = getattr(self._tls, "epoch", None)
+        return pinned if pinned is not None else self._epoch
+
+    @contextlib.contextmanager
+    def pin(self):
+        """Pin the current epoch for the duration of the block.
+
+        Everything the block reads through the index — stores, shard plan,
+        tail, searcher cache — comes from one consistent epoch even if a
+        concurrent ``reorganize()`` publishes the next generation mid-block.
+        Pins nest (the inner pin reuses the outer epoch), and the answer
+        path takes no locks: pinning is one thread-local assignment and a
+        refcount touch.
+        """
+        existing = getattr(self._tls, "epoch", None)
+        if existing is not None:
+            yield existing
+            return
+        epoch = self._epoch
+        epoch.acquire()
+        self._tls.epoch = epoch
+        try:
+            yield epoch
+        finally:
+            self._tls.epoch = None
+            epoch.release()
 
     # -- construction / persistence ----------------------------------------------
 
@@ -258,6 +335,18 @@ class Index:
         any mismatch; for memory-mapped targets the files are verified by
         streaming in chunks, never by faulting the mapping in — see
         :func:`~repro.storage.persistence.load_decomposed`.
+
+        **Recovery.** The newest *committed* manifest generation is loaded
+        (an interrupted save or reorganisation can never publish a torn one
+        — the manifest rename is the commit point), and any write-ahead-log
+        records beyond the manifest's LSN watermark are replayed into the
+        delta tail, restoring exactly the acknowledged updates.  A WAL left
+        behind by a superseded manifest lineage (crash between a
+        reorganisation's commit and its log reset) is recognised by its
+        lineage token and ignored — its records are already inside the
+        committed fragments.  The opened index is attached: further updates
+        log to the same WAL, and ``reorganize()`` commits the next
+        generation in place.
         """
         manifest = load_manifest(path)
         saved = dict(manifest.get("index", {}))
@@ -271,64 +360,138 @@ class Index:
         if "sharding" in manifest and "shards" not in opts:
             # Restore the exact persisted shard layout (an explicit shards=
             # override recomputes a fresh balanced plan instead).
-            index._shard_plan = ShardPlan.from_manifest(manifest["sharding"])
+            index._epoch.shard_plan = ShardPlan.from_manifest(manifest["sharding"])
         if "approx" in manifest:
             # Persisted approximate structures load lazily, like the
             # fragment stores: nothing is read until the first approx query
             # (or explicit cluster_plan / hnsw_graph access) needs them.
-            index._approx_records = dict(manifest["approx"])
-            index._approx_dir = pathlib.Path(path)
+            index._epoch.approx_records = dict(manifest["approx"])
+            index._epoch.approx_dir = pathlib.Path(path)
+        index._recover(pathlib.Path(path), manifest)
         return index
 
+    def _recover(self, home: pathlib.Path, manifest: dict) -> None:
+        """Attach to ``home`` and replay the WAL suffix into the delta tail."""
+        mutability = manifest_mutability(manifest)
+        epoch = self._epoch
+        epoch.generation = mutability["generation"]
+        token = wal_token((home / MANIFEST_NAME).read_bytes())
+        records, last_lsn = read_wal(home / WAL_NAME, token=token)
+        watermark = mutability["wal_lsn"]
+        tail = epoch.tail
+        for record in records:
+            if record.lsn <= watermark:
+                # Already merged into the committed fragments.
+                continue
+            if record.op == OP_INSERT:
+                epoch.delta.record_append(record.vectors)
+                tail = tail.with_insert(record.vectors, lsn=record.lsn)
+            else:
+                epoch.delta.record_delete(record.oids)
+                tail = tail.with_delete(record.oids, lsn=record.lsn)
+        epoch.tail = tail
+        self._home = home
+        self._wal = WriteAheadLog(
+            home / WAL_NAME, token=token, next_lsn=max(watermark, last_lsn) + 1
+        )
+
     def save(self, path: str | pathlib.Path, *, overwrite: bool = False) -> pathlib.Path:
-        """Persist the collection plus the facade's build options.
+        """Persist the collection plus the facade's build options — atomically.
 
         The manifest records the build options under ``"index"`` (including
         the approximate-tier config) and the shard layout under
         ``"sharding"``, so :meth:`open` restores both the shard count and
         the exact row boundaries.  Approximate structures that exist — built
         in this process, or carried over from the manifest this index was
-        opened from — are persisted as manifest-v4 sidecar arrays with the
-        same integrity records as the fragments; an index that never touched
-        the approximate tier writes no sidecars and its manifest carries no
+        opened from — are persisted as sidecar arrays with the same
+        integrity records as the fragments; an index that never touched the
+        approximate tier writes no sidecars and its manifest carries no
         ``approx`` section.
+
+        Every data file (fragments, row sums, sidecars) is written before
+        the manifest commits via temp + fsync + atomic rename, so a crash
+        mid-save leaves the target directory holding its previous store (or
+        nothing), never a torn one.  Saving over an existing store commits
+        the next generation under fresh file names and garbage-collects the
+        superseded files after the commit.
+
+        A pending delta tail cannot be saved as-is — call
+        :meth:`reorganize` first (attached indexes persist the merge
+        automatically).  On success the index is **attached** to ``path``:
+        subsequent updates are WAL-logged there and recoverable by
+        :meth:`open`.
         """
-        approx_section, sidecar_files = self._approx_save_payload()
-        extra_manifest = {
-            "index": {
-                "bits": self._bits,
-                "shards": self._shards,
-                "on_shard_failure": self._on_shard_failure,
-                "format": self._format.spec,
-                "approx": self._approx_config.to_manifest(),
-            },
-            "sharding": self.shard_plan.to_manifest(),
-        }
-        if approx_section:
-            extra_manifest["approx"] = approx_section
-        target = save_decomposed(
-            self.decomposed,
-            path,
-            overwrite=overwrite,
-            extra_manifest=extra_manifest,
-        )
-        write_approx_sidecars(target, sidecar_files)
+        with self.pin() as epoch:
+            if not epoch.tail.is_empty:
+                raise StorageError(
+                    "the index has unmerged live updates; call reorganize() before "
+                    "save() so the persisted fragments reflect the logical collection"
+                )
+            target_path = pathlib.Path(path)
+            generation = next_generation(target_path)
+            if (target_path / MANIFEST_NAME).exists() and not overwrite:
+                # save_decomposed would raise too; raising before any file is
+                # written keeps a refused save perfectly side-effect free.
+                raise StorageError(
+                    f"{target_path} already contains a persisted collection "
+                    "(pass overwrite=True)"
+                )
+            approx_section, sidecar_files = self._approx_save_payload(generation)
+            extra_manifest = {
+                "index": {
+                    "bits": self._bits,
+                    "shards": self._shards,
+                    "on_shard_failure": self._on_shard_failure,
+                    "format": self._format.spec,
+                    "approx": self._approx_config.to_manifest(),
+                },
+                "sharding": self.shard_plan.to_manifest(),
+            }
+            if approx_section:
+                extra_manifest["approx"] = approx_section
+            target = save_decomposed(
+                self.decomposed,
+                path,
+                overwrite=overwrite,
+                extra_manifest=extra_manifest,
+                generation=generation,
+                sidecar_files=sidecar_files,
+            )
+        self._attach(target)
         return target
 
-    def _approx_save_payload(self) -> tuple[dict, dict]:
+    def _attach(self, home: pathlib.Path) -> None:
+        """Bind the index to a freshly committed store directory.
+
+        Any write-ahead log already at ``home`` belongs to a superseded
+        manifest lineage (every record it held is either inside the
+        committed fragments or belongs to a different store entirely), so it
+        is dropped; a fresh log is created lazily on the first update.
+        """
+        token = wal_token((home / MANIFEST_NAME).read_bytes())
+        if self._wal is not None:
+            self._wal.close()
+        (home / WAL_NAME).unlink(missing_ok=True)
+        self._home = home
+        self._wal = WriteAheadLog(home / WAL_NAME, token=token, next_lsn=1)
+
+    def _approx_save_payload(self, generation: int = 0) -> tuple[dict, dict]:
         """Manifest section + sidecar payloads of the existing approx structures.
 
         "Existing" means built in memory or recorded in the manifest this
-        index was opened from (the latter are loaded here so a v4 -> v4
-        round trip preserves them); structures that were never needed are
-        not built just to be saved.
+        index was opened from (the latter are loaded here so a round trip
+        preserves them); structures that were never needed are not built
+        just to be saved.
         """
+        epoch = self._current_epoch()
         section: dict = {}
         files: dict = {}
-        records = self._approx_records or {}
-        if self._cluster_plan is not None or "ivf" in records:
+        records = epoch.approx_records or {}
+        if epoch.cluster_plan is not None or "ivf" in records:
             plan = self.cluster_plan
-            arrays, payload = approx_sidecar_records(plan.to_arrays(), structure="ivf")
+            arrays, payload = approx_sidecar_records(
+                plan.to_arrays(), structure="ivf", generation=generation
+            )
             section["ivf"] = {
                 "seed": plan.seed,
                 "iterations": plan.iterations,
@@ -336,9 +499,11 @@ class Index:
                 "arrays": arrays,
             }
             files.update(payload)
-        if self._hnsw_graph is not None or "hnsw" in records:
+        if epoch.hnsw_graph is not None or "hnsw" in records:
             graph = self.hnsw_graph
-            arrays, payload = approx_sidecar_records(graph.to_arrays(), structure="hnsw")
+            arrays, payload = approx_sidecar_records(
+                graph.to_arrays(), structure="hnsw", generation=generation
+            )
             section["hnsw"] = {
                 "m": graph.m,
                 "ef_construction": graph.ef_construction,
@@ -353,21 +518,23 @@ class Index:
 
     @property
     def vectors(self) -> np.ndarray:
-        """The logical collection matrix, float64 (no cost charged).
+        """The logical **base** collection matrix, float64 (no cost charged).
 
         For the identity format this is the ingested matrix itself.  For a
         narrow format it is the quantised collection widened back to float64
         — the values every backend actually answers over — materialised (and
         cached) on first access; the query path of the decomposed backends
         never needs it, so answering from a lazy (mapped) index does not
-        trigger it.
+        trigger it.  Live tail rows are *not* part of this matrix — they
+        overlay answers until :meth:`reorganize` merges them.
         """
-        if self._vectors is None:
-            if self._input is not None:
-                self._vectors = self._format.widen(self._format.quantise(self._input))
+        epoch = self._current_epoch()
+        if epoch.vectors is None:
+            if epoch.input is not None:
+                epoch.vectors = self._format.widen(self._format.quantise(epoch.input))
             else:
-                self._vectors = self.decomposed.matrix
-        return self._vectors
+                epoch.vectors = self.decomposed.matrix
+        return epoch.vectors
 
     @property
     def name(self) -> str:
@@ -381,8 +548,8 @@ class Index:
 
     @property
     def cardinality(self) -> int:
-        """Number of vectors."""
-        return self._cardinality
+        """Number of vectors in the **base** snapshot (excluding the live tail)."""
+        return self._current_epoch().base_cardinality
 
     @property
     def dimensionality(self) -> int:
@@ -412,11 +579,181 @@ class Index:
         """The row partition of the ``sharded_bond`` backend.
 
         A balanced plan over :attr:`shards` shards, computed on first use —
-        or the exact layout restored from a persisted manifest.
+        or the exact layout restored from a persisted manifest.  The plan
+        covers the base snapshot; live tail rows overlay every backend's
+        answer and are re-sharded at the next :meth:`reorganize`.
         """
-        if self._shard_plan is None:
-            self._shard_plan = ShardPlan.balanced(self.cardinality, self._shards)
-        return self._shard_plan
+        epoch = self._current_epoch()
+        if epoch.shard_plan is None:
+            epoch.shard_plan = ShardPlan.balanced(epoch.base_cardinality, self._shards)
+        return epoch.shard_plan
+
+    # -- live mutability ----------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """The committed store generation this index serves (0 for in-memory)."""
+        return self._current_epoch().generation
+
+    @property
+    def live_count(self) -> int:
+        """Logical collection size: live base rows plus live tail rows."""
+        return self._current_epoch().tail.live_count
+
+    @property
+    def tail_rows(self) -> int:
+        """Rows inserted since the last reorganisation (dead ones included)."""
+        return self._current_epoch().tail.tail_rows
+
+    @property
+    def deleted_count(self) -> int:
+        """Base rows deleted since the last reorganisation."""
+        return self._current_epoch().tail.deleted_base_count
+
+    @property
+    def pending_updates(self) -> int:
+        """Buffered update operations awaiting the next :meth:`reorganize`."""
+        return len(self._current_epoch().delta)
+
+    def insert(self, vectors: np.ndarray) -> np.ndarray:
+        """Insert one or more vectors; returns their assigned OIDs.
+
+        The rows become visible to every subsequent ``answer`` immediately
+        (via the tail overlay) and are merged into the base fragments at the
+        next :meth:`reorganize`.  On an attached index the insert is written
+        to the write-ahead log and fsynced **before** this method returns —
+        an acknowledged insert survives any crash.  OIDs continue past the
+        current coordinate system (base rows, then tail rows in insert
+        order) and are compacted by the next reorganisation exactly like
+        :meth:`repro.engine.updates.DeltaLog.apply` does.
+        """
+        rows = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if rows.ndim != 2 or rows.shape[0] == 0:
+            raise QueryError(f"insert needs one or more vector rows, got shape {rows.shape}")
+        if rows.shape[1] != self._dimensionality:
+            raise QueryError(
+                f"inserted vectors have {rows.shape[1]} dimensions, "
+                f"index has {self._dimensionality}"
+            )
+        with self._mutation_lock:
+            epoch = self._epoch
+            if self._wal is not None:
+                lsn = self._wal.append_insert(rows)
+            else:
+                lsn = epoch.tail.last_lsn + 1
+            # Durable (or in-memory acknowledged) — now publish.
+            epoch.delta.record_append(rows)
+            start = epoch.tail.total_cardinality
+            epoch.tail = epoch.tail.with_insert(rows, lsn=lsn)
+            return np.arange(start, start + rows.shape[0], dtype=np.int64)
+
+    def delete(self, oids) -> int:
+        """Delete the vectors with the given OIDs; returns how many were named.
+
+        Takes effect immediately for every subsequent ``answer``.  OIDs are
+        validated against the current coordinate system (base plus tail)
+        before anything is logged; deleting an already-deleted row again is
+        a no-op, an OID that never existed raises.  On an attached index the
+        delete is WAL-logged and fsynced before this method returns.
+        """
+        oid_array = np.atleast_1d(np.asarray(oids, dtype=np.int64))
+        if oid_array.ndim != 1:
+            raise QueryError("delete expects a flat sequence of OIDs")
+        if oid_array.size == 0:
+            return 0
+        with self._mutation_lock:
+            epoch = self._epoch
+            # Validate BEFORE logging: the WAL must never hold a record that
+            # cannot replay.
+            if oid_array.min() < 0 or oid_array.max() >= epoch.tail.total_cardinality:
+                raise StorageError(
+                    f"delete targets an OID outside the collection "
+                    f"(coordinate system is [0, {epoch.tail.total_cardinality}))"
+                )
+            if self._wal is not None:
+                lsn = self._wal.append_delete(oid_array)
+            else:
+                lsn = epoch.tail.last_lsn + 1
+            epoch.delta.record_delete(oid_array)
+            epoch.tail = epoch.tail.with_delete(oid_array, lsn=lsn)
+            return int(oid_array.size)
+
+    def reorganize(self) -> int:
+        """Merge the delta tail into fresh base fragments; returns the generation.
+
+        The paper's "periodic reorganisation": buffered appends and deletes
+        are applied to the base collection (via
+        :meth:`~repro.engine.updates.DeltaLog.apply` on a snapshot — a
+        failure leaves the live state untouched), the merged collection gets
+        fresh stores, a fresh shard plan, and a cleared tail, and the whole
+        bundle is published as the next epoch with one atomic swap.
+        In-flight queries finish on the epoch they pinned; new queries see
+        the new one.  Serving never stops.
+
+        On an attached index the merged fragments are committed **durably**
+        as the next manifest generation (every data file fsynced, manifest
+        temp + fsync + atomic rename) before the epoch swaps and before the
+        WAL resets — a crash anywhere leaves the directory opening as either
+        the old generation plus its replayable WAL, or the new generation.
+
+        Approximate-tier structures are built over the base snapshot, so a
+        reorganisation drops them; they rebuild lazily (same seeds) over the
+        merged collection on next use.  A clean index is a no-op.
+        """
+        with self._mutation_lock:
+            epoch = self._epoch
+            if epoch.tail.is_empty and not len(epoch.delta):
+                return epoch.generation
+            merged = epoch.delta.snapshot().apply(self.vectors)
+            if merged.shape[0] == 0:
+                raise StorageError(
+                    "reorganisation would delete every row; an index cannot be empty"
+                )
+            generation = epoch.generation + 1
+            new_epoch = self._fresh_epoch(
+                generation=generation, base_cardinality=int(merged.shape[0])
+            )
+            new_epoch.input = merged
+            new_epoch.vectors = merged if self._format.is_identity else None
+            if self._home is not None:
+                # Build the merged store and commit it durably BEFORE the
+                # swap: if anything here raises (including injected faults),
+                # the live epoch, delta log, and WAL are untouched.
+                new_epoch.decomposed = DecomposedStore(
+                    merged, cost=self._cost, name=self._name, format=self._format
+                )
+                extra_manifest = {
+                    "index": {
+                        "bits": self._bits,
+                        "shards": self._shards,
+                        "on_shard_failure": self._on_shard_failure,
+                        "format": self._format.spec,
+                        "approx": self._approx_config.to_manifest(),
+                    },
+                    "sharding": ShardPlan.balanced(
+                        int(merged.shape[0]), self._shards
+                    ).to_manifest(),
+                }
+                save_decomposed(
+                    new_epoch.decomposed,
+                    self._home,
+                    overwrite=True,
+                    extra_manifest=extra_manifest,
+                    generation=generation,
+                    wal_lsn=epoch.tail.last_lsn,
+                    durable=True,
+                )
+                token = wal_token((self._home / MANIFEST_NAME).read_bytes())
+                # The commit owns every logged record; swap, then retire the
+                # old log under the new lineage.  A crash between the commit
+                # and the reset is safe: the old log's token no longer
+                # matches the manifest, so open() ignores it.
+                self._epoch = new_epoch
+                assert self._wal is not None
+                self._wal.reset(token=token)
+            else:
+                self._epoch = new_epoch
+            return generation
 
     # -- approximate-tier structures ----------------------------------------------
 
@@ -428,48 +765,51 @@ class Index:
     @property
     def cluster_plan(self) -> ClusterPlan:
         """The IVF cluster plan: persisted arrays if present, else a seeded build."""
-        if self._cluster_plan is None:
-            record = (self._approx_records or {}).get("ivf")
+        epoch = self._current_epoch()
+        if epoch.cluster_plan is None:
+            record = (epoch.approx_records or {}).get("ivf")
             if record is not None:
-                assert self._approx_dir is not None
+                assert epoch.approx_dir is not None
                 arrays = {
-                    name: load_approx_array(self._approx_dir, array_record)
+                    name: load_approx_array(epoch.approx_dir, array_record)
                     for name, array_record in record["arrays"].items()
                 }
-                self._cluster_plan = ClusterPlan.from_arrays(
+                epoch.cluster_plan = ClusterPlan.from_arrays(
                     arrays, seed=record["seed"], iterations=record["iterations"]
                 )
             else:
                 config = self._approx_config
-                self._cluster_plan = build_cluster_plan(
+                epoch.cluster_plan = build_cluster_plan(
                     self.vectors,
                     n_clusters=config.resolve_n_clusters(self.cardinality),
                     iterations=config.kmeans_iterations,
                     seed=config.seed,
                 )
-        return self._cluster_plan
+        return epoch.cluster_plan
 
     @property
     def ivf_partitions(self) -> IVFPartitions:
         """The permuted store + zero-copy partition slices of the IVF backend."""
-        if self._ivf_partitions is None:
-            self._ivf_partitions = IVFPartitions(
+        epoch = self._current_epoch()
+        if epoch.ivf_partitions is None:
+            epoch.ivf_partitions = IVFPartitions(
                 self.decomposed, self.cluster_plan, cost=self._cost, name=self._name
             )
-        return self._ivf_partitions
+        return epoch.ivf_partitions
 
     @property
     def hnsw_graph(self) -> HNSWGraph:
         """The HNSW graph: persisted arrays if present, else a seeded build."""
-        if self._hnsw_graph is None:
-            record = (self._approx_records or {}).get("hnsw")
+        epoch = self._current_epoch()
+        if epoch.hnsw_graph is None:
+            record = (epoch.approx_records or {}).get("hnsw")
             if record is not None:
-                assert self._approx_dir is not None
+                assert epoch.approx_dir is not None
                 arrays = {
-                    name: load_approx_array(self._approx_dir, array_record)
+                    name: load_approx_array(epoch.approx_dir, array_record)
                     for name, array_record in record["arrays"].items()
                 }
-                self._hnsw_graph = HNSWGraph.from_arrays(
+                epoch.hnsw_graph = HNSWGraph.from_arrays(
                     arrays,
                     m=record["m"],
                     ef_construction=record["ef_construction"],
@@ -478,13 +818,13 @@ class Index:
                 )
             else:
                 config = self._approx_config
-                self._hnsw_graph = build_hnsw_graph(
+                epoch.hnsw_graph = build_hnsw_graph(
                     self.vectors,
                     m=config.m,
                     ef_construction=config.ef_construction,
                     seed=config.seed,
                 )
-        return self._hnsw_graph
+        return epoch.hnsw_graph
 
     @property
     def planner(self) -> QueryPlanner:
@@ -496,29 +836,32 @@ class Index:
     @property
     def row_store(self) -> RowStore:
         """The horizontal (NSM) representation, built on first use."""
-        if self._row_store is None:
-            source = self._input if self._input is not None else self.vectors
-            self._row_store = RowStore(
+        epoch = self._current_epoch()
+        if epoch.row_store is None:
+            source = epoch.input if epoch.input is not None else self.vectors
+            epoch.row_store = RowStore(
                 source, cost=self._cost, name=self._name, format=self._format
             )
-        return self._row_store
+        return epoch.row_store
 
     @property
     def decomposed(self) -> DecomposedStore:
         """The vertically decomposed representation, built on first use."""
-        if self._decomposed is None:
-            source = self._input if self._input is not None else self.vectors
-            self._decomposed = DecomposedStore(
+        epoch = self._current_epoch()
+        if epoch.decomposed is None:
+            source = epoch.input if epoch.input is not None else self.vectors
+            epoch.decomposed = DecomposedStore(
                 source, cost=self._cost, name=self._name, format=self._format
             )
-        return self._decomposed
+        return epoch.decomposed
 
     @property
     def compressed(self) -> CompressedStore:
         """The 8-bit quantised representation, built on first use."""
-        if self._compressed is None:
-            self._compressed = CompressedStore(self.decomposed, bits=self._bits)
-        return self._compressed
+        epoch = self._current_epoch()
+        if epoch.compressed is None:
+            epoch.compressed = CompressedStore(self.decomposed, bits=self._bits)
+        return epoch.compressed
 
     # -- planning and answering ---------------------------------------------------
 
@@ -538,13 +881,16 @@ class Index:
         facade: the R-tree is bulk-loaded once, the compressed store is
         quantised once, and BOND's reusable scratch buffers persist across
         ``answer()`` calls exactly as they would for a long-lived directly
-        constructed searcher.
+        constructed searcher.  The cache lives on the epoch — searchers hold
+        references to the epoch's stores, so a reorganisation retires them
+        with the rest of the old generation.
         """
+        epoch = self._current_epoch()
         key = (backend.name, query.metric_spec_key())
-        searcher = self._searchers.get(key)
+        searcher = epoch.searchers.get(key)
         if searcher is None:
             searcher = backend.create(self, metric)
-            self._searchers[key] = searcher
+            epoch.searchers[key] = searcher
         return searcher
 
     def plan(self, query: Query) -> Plan:
@@ -555,6 +901,104 @@ class Index:
         """The planning transcript for ``query`` (nothing is executed)."""
         return self._planner.explain(query)
 
+    def execute(
+        self, query: Query, *, backend: str | None = None, plan: Plan | None = None
+    ) -> SearchResult | BatchSearchResult:
+        """Execute ``query`` on one backend, with the live-update overlay.
+
+        The building block under :meth:`answer` that external executors
+        (the serving layer's retry/failover loop) call directly: ``plan``
+        reuses an existing planning decision, ``backend`` overrides which
+        backend runs (a failover substitute).  Like :meth:`answer`, the
+        whole execution is pinned to one epoch and the delta tail is
+        overlaid exactly on the base answer.
+        """
+        with self.pin() as epoch:
+            if plan is None:
+                plan = self._planner.plan(query)
+            chosen = (
+                plan.backend if backend is None else self._planner.registry.get(backend)
+            )
+            return self._execute_on(chosen, query, plan.metric, epoch)
+
+    def _execute_on(
+        self, backend, query: Query, metric: Metric, epoch: Epoch
+    ) -> SearchResult | BatchSearchResult:
+        """Run one backend and overlay the epoch's tail on its answer.
+
+        The update-free path is untouched (and bitwise identical to the
+        pre-mutability facade): an empty tail hands the query straight to
+        the backend.  With live updates, the backend answers over the base
+        snapshot at an inflated top-k (enough to survive the delete filter),
+        and the overlay merges the live tail rows deterministically.
+        """
+        tail = epoch.tail
+        if tail.is_empty:
+            return backend.answer(self, query, metric)
+        base_k = inflated_k(query.k, tail)
+        base_query = query if base_k == query.k else dataclasses.replace(query, k=base_k)
+        base = backend.answer(self, base_query, metric)
+        tail_scores = self._tail_scores(backend, query, metric, tail)
+        return overlay_answer(base, query.k, metric, tail, self._cost, tail_scores)
+
+    def _tail_index(self, tail: TailState) -> "Index":
+        """The tail-only sub-index of one tail state, built once per state.
+
+        Covers exactly the live tail rows (local OID = rank among the live
+        rows, ascending — the order of ``tail.live_oids``) in the same
+        fragment format, sharing the same cost model, so a backend scoring
+        the tail charges and quantises exactly as it will once the rows are
+        reorganised into the base.
+        """
+        sub = tail.sub_index
+        if sub is None:
+            sub = Index(
+                tail.live_raw_rows(),
+                name=f"{self._name}-tail",
+                bits=self._bits,
+                cost=self._cost,
+                format=self._format,
+            )
+            tail.sub_index = sub
+        return sub
+
+    def _tail_scores(self, backend, query: Query, metric: Metric, tail: TailState):
+        """Per-query scores of every live tail row, or None without live rows.
+
+        Exact backends score the tail **through their own kernels** over the
+        tail-only sub-index: every exact engine's per-row score accumulates
+        in a query-determined order independent of the rest of the
+        collection, so these scores are bitwise what the same backend
+        computes over the rebuilt (post-reorganisation) collection — the
+        property the rebuild-identity contract rests on.  Approximate
+        backends (no bitwise contract) use a plain exact metric scan of the
+        tail instead, which also means a fresh insert can never be hidden by
+        a stale graph or cluster assignment.
+        """
+        live = tail.live_tail_count
+        if live == 0:
+            return None
+        if getattr(backend.capabilities, "exact", True):
+            sub = self._tail_index(tail)
+            sub_query = dataclasses.replace(query, k=live)
+            answer = backend.answer(sub, sub_query, metric)
+            results = (
+                answer.results if isinstance(answer, BatchSearchResult) else [answer]
+            )
+            scores = np.empty((len(results), live), dtype=np.float64)
+            for row, result in enumerate(results):
+                scores[row, result.oids] = result.scores
+            return scores
+        _, rows = tail.live_tail()
+        matrix = query.query_matrix
+        scores = np.empty((matrix.shape[0], live), dtype=np.float64)
+        for row in range(matrix.shape[0]):
+            scores[row] = metric.score(rows, matrix[row])
+        self._cost.charge_arithmetic(
+            int(rows.size) * metric.arithmetic_ops_per_value() * matrix.shape[0]
+        )
+        return scores
+
     def answer(
         self, query: Query, *, failover: bool = False
     ) -> SearchResult | BatchSearchResult:
@@ -562,7 +1006,10 @@ class Index:
 
         Returns a :class:`~repro.core.result.SearchResult` for single-vector
         queries and a :class:`~repro.core.result.BatchSearchResult` for
-        batches, exactly as the underlying searcher would.
+        batches, exactly as the underlying searcher would.  Under live
+        updates (see :meth:`insert` / :meth:`delete`) the answer is the
+        overlay-corrected top-k: bitwise identical to an index rebuilt from
+        scratch at the same logical state.
 
         With ``failover=True``, an execution-time
         :class:`~repro.errors.BackendError` from the planned backend is not
@@ -576,21 +1023,22 @@ class Index:
         are collected into :class:`~repro.errors.FailoverExhausted`; a
         single-entry chain re-raises the original error unchanged.
         """
-        plan = self._planner.plan(query)
-        if not failover:
-            return plan.backend.answer(self, query, plan.metric)
-        attempts: list[tuple[str, BackendError]] = []
-        chain = plan.failover_chain()
-        for backend_name in chain:
-            backend = self._planner.registry.get(backend_name)
-            try:
-                return backend.answer(self, query, plan.metric)
-            except BackendError as exc:
-                attempts.append((backend_name, exc))
-        if len(chain) == 1:
-            raise attempts[0][1]
-        summary = "; ".join(f"{name}: {error}" for name, error in attempts)
-        raise FailoverExhausted(
-            f"all {len(attempts)} capable backends failed ({summary})",
-            attempts=attempts,
-        )
+        with self.pin() as epoch:
+            plan = self._planner.plan(query)
+            if not failover:
+                return self._execute_on(plan.backend, query, plan.metric, epoch)
+            attempts: list[tuple[str, BackendError]] = []
+            chain = plan.failover_chain()
+            for backend_name in chain:
+                backend = self._planner.registry.get(backend_name)
+                try:
+                    return self._execute_on(backend, query, plan.metric, epoch)
+                except BackendError as exc:
+                    attempts.append((backend_name, exc))
+            if len(chain) == 1:
+                raise attempts[0][1]
+            summary = "; ".join(f"{name}: {error}" for name, error in attempts)
+            raise FailoverExhausted(
+                f"all {len(attempts)} capable backends failed ({summary})",
+                attempts=attempts,
+            )

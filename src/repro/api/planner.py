@@ -8,6 +8,13 @@ eligible backend's cost-model hook for an estimate, and picks the cheapest.
 ``explain()`` renders the whole decision — every candidate with its estimate
 or rejection reason — as a transcript, so "why did my query run on that
 backend?" is always one call away.
+
+When the index carries live updates (see :meth:`repro.api.Index.insert`),
+every eligible estimate gains the same additive surcharge for the tail
+overlay — the live tail is scanned and scored on top of whichever backend
+answers, so the extra work is backend-independent and the ranking between
+backends is unchanged; the surcharge keeps the absolute estimates honest
+and is called out in the ``explain()`` transcript.
 """
 
 from __future__ import annotations
@@ -151,6 +158,7 @@ class QueryPlanner:
                 f"the index has {self._index.dimensionality}"
             )
         metric = self._index.resolved_metric(query)
+        surcharge = self._tail_surcharge(query)
 
         candidates: list[PlanCandidate] = []
         best: tuple[float, "Backend", CostEstimate] | None = None
@@ -161,6 +169,8 @@ class QueryPlanner:
                 candidates.append(PlanCandidate(backend.name, None, rejection, exact))
                 continue
             estimate = backend.estimate(self._index, query, metric)
+            if surcharge is not None:
+                estimate = self._apply_surcharge(estimate, surcharge)
             candidates.append(PlanCandidate(backend.name, estimate, None, exact))
             if query.backend is not None and backend.name != query.backend:
                 continue
@@ -192,6 +202,36 @@ class QueryPlanner:
             backend=backend,
             estimate=estimate,
             candidates=tuple(candidates),
+        )
+
+    def _tail_surcharge(self, query: Query) -> CostEstimate | None:
+        """Backend-independent extra cost of the live-update overlay, or None.
+
+        An update-free index (and any index-like object without mutability
+        counters) plans exactly as before.  With live updates, every answer
+        additionally scans and scores the tail rows and filters the deleted
+        base OIDs out of the (inflated) base top-k — identical work whatever
+        backend produced the base answer, hence one uniform additive term.
+        """
+        tail_rows = int(getattr(self._index, "tail_rows", 0) or 0)
+        deleted = int(getattr(self._index, "deleted_count", 0) or 0)
+        if not tail_rows and not deleted:
+            return None
+        queries = max(1, int(query.query_matrix.shape[0]))
+        dims = self._index.dimensionality
+        return CostEstimate(
+            bytes_read=float(tail_rows * dims * 8),
+            arithmetic_ops=float(queries * tail_rows * dims),
+            detail=f"+ live tail overlay ({tail_rows} rows, {deleted} deletes)",
+        )
+
+    @staticmethod
+    def _apply_surcharge(estimate: CostEstimate, surcharge: CostEstimate) -> CostEstimate:
+        detail = f"{estimate.detail} {surcharge.detail}".strip() if estimate.detail else surcharge.detail
+        return CostEstimate(
+            bytes_read=estimate.bytes_read + surcharge.bytes_read,
+            arithmetic_ops=estimate.arithmetic_ops + surcharge.arithmetic_ops,
+            detail=detail,
         )
 
     def explain(self, query: Query) -> str:

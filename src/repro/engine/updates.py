@@ -48,8 +48,13 @@ class DeltaLog:
     entries: list[DeltaEntry] = field(default_factory=list)
 
     def record_append(self, vectors: np.ndarray) -> None:
-        """Buffer the append of one or more vectors (rows)."""
-        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        """Buffer the append of one or more vectors (rows).
+
+        The rows are **copied** into the log: a caller mutating its array
+        after recording must not retroactively change what was logged (the
+        WAL has already made the recorded values durable).
+        """
+        vectors = np.array(np.atleast_2d(np.asarray(vectors, dtype=np.float64)), copy=True)
         if vectors.shape[1] != self.dimensionality:
             raise StorageError(
                 f"appended vectors have {vectors.shape[1]} dimensions, store has {self.dimensionality}"
@@ -57,8 +62,12 @@ class DeltaLog:
         self.entries.append(DeltaEntry(DeltaOperation.APPEND, vectors))
 
     def record_delete(self, oids: Sequence[int] | np.ndarray) -> None:
-        """Buffer the deletion of the vectors with the given OIDs."""
-        oid_array = np.asarray(list(np.atleast_1d(oids)), dtype=np.int64)
+        """Buffer the deletion of the vectors with the given OIDs (copied)."""
+        oid_array = np.array(
+            np.atleast_1d(np.asarray(oids, dtype=np.int64)), dtype=np.int64, copy=True
+        )
+        if oid_array.ndim != 1:
+            raise StorageError("deleted OIDs must form a flat sequence")
         self.entries.append(DeltaEntry(DeltaOperation.DELETE, oid_array))
 
     @property
@@ -82,13 +91,26 @@ class DeltaLog:
     def __len__(self) -> int:
         return len(self.entries)
 
+    def snapshot(self) -> "DeltaLog":
+        """A shallow copy sharing the (immutable-by-convention) entry payloads.
+
+        ``apply`` clears the log it was called on; reorganisation applies a
+        snapshot so a failure while persisting the merged result leaves the
+        original log — and thus the live index — untouched.
+        """
+        return DeltaLog(self.dimensionality, entries=list(self.entries))
+
     def apply(self, base: np.ndarray) -> np.ndarray:
         """Merge the log into ``base`` and return the reorganised matrix.
 
         Appends are concatenated in order; deletes remove rows by their OID in
-        the coordinate system that was current when the delete was issued
-        (i.e. deletes can target previously appended rows).  The log is
-        cleared on success.
+        the coordinate system that was current when the delete was issued.
+        That coordinate system is ``base`` rows followed by appended rows in
+        log order — deletes mark rows dead but never shift OIDs mid-log, so a
+        delete can target a previously appended row (its OID is
+        ``base_rows + offset``) and a deleted OID is **not reused** until the
+        reorganisation compacts survivors.  The log is cleared on success and
+        only on success.
         """
         current = np.asarray(base, dtype=np.float64)
         if current.ndim != 2 or current.shape[1] != self.dimensionality:

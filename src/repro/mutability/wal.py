@@ -1,0 +1,309 @@
+"""The checksummed write-ahead log behind ``Index.insert`` / ``Index.delete``.
+
+Every acknowledged mutation of an attached (persisted) index is first made
+durable here: the record is built, written, **fsynced, and only then
+acknowledged** — so a kill at any instant leaves the log holding exactly the
+acknowledged updates plus at most one torn trailing record, which replay
+detects by checksum and truncates away.
+
+File layout::
+
+    header:  RPWL0001 (8 bytes)  token (8 ASCII hex bytes)
+    record:  magic u32 | lsn u64 | op u8 | payload_len u32 | payload | crc32 u32
+
+All integers are little-endian.  The CRC-32 covers ``lsn`` through
+``payload``, so a record whose tail was never written (or was half-written
+by a crash) fails its checksum and marks the torn tail.  LSNs are assigned
+by the writer, strictly increasing; replay rejects a non-monotonic sequence
+as corruption rather than applying updates out of order.
+
+The **token** ties a log to the manifest generation lineage it belongs to:
+it is the CRC-32 of the manifest bytes at the moment the log was created
+(manifests of this store are byte-deterministic, so the token is too).  A
+reorganisation commits a new manifest and resets the log under the new
+token; an open that finds a log whose token does not match the current
+manifest knows the log is a leftover of an earlier lineage (e.g. a crash
+landed between the manifest commit and the log reset) and ignores it —
+every record it held was already merged into the committed generation.
+
+Payloads:
+
+* ``insert`` (op 1): ``rows u32 | dims u32 | rows*dims float64 coefficients``
+  — the *logical* (pre-quantisation) vectors; replay re-applies the store
+  format's quantisation, which is deterministic, so a replayed tail is
+  bitwise identical to the acknowledged one.
+* ``delete`` (op 2): ``count u32 | count int64 OIDs``.
+
+Fault points (see :mod:`repro.reliability.faults`): ``wal.append`` fires
+before any byte is written, ``wal.fsync`` after the write but before the
+fsync — arming either simulates a crash on the unacknowledged side of the
+durability boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import struct
+import zlib
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.reliability.faults import fault_point
+
+#: Fixed 8-byte file header preceding the lineage token.
+WAL_HEADER = b"RPWL0001"
+#: Per-record magic word.
+RECORD_MAGIC = 0x57414C52  # "WALR"
+#: Record operation codes.
+OP_INSERT = 1
+OP_DELETE = 2
+
+_HEAD = struct.Struct("<IQBI")  # magic, lsn, op, payload_len
+_CRC = struct.Struct("<I")
+_HEADER_LEN = len(WAL_HEADER) + 8  # header + 8 ASCII token bytes
+
+#: Hard cap on a single record payload (sanity bound against reading a
+#: corrupt length field as a multi-GB allocation).
+MAX_PAYLOAD_BYTES = 1 << 31
+
+
+def wal_token(manifest_bytes: bytes) -> str:
+    """The 8-hex-digit lineage token of a manifest's exact bytes."""
+    return f"{zlib.crc32(manifest_bytes) & 0xFFFFFFFF:08x}"
+
+
+class WalRecord:
+    """One decoded WAL record."""
+
+    __slots__ = ("lsn", "op", "vectors", "oids")
+
+    def __init__(self, lsn: int, op: int, *, vectors=None, oids=None) -> None:
+        self.lsn = lsn
+        self.op = op
+        self.vectors = vectors
+        self.oids = oids
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "insert" if self.op == OP_INSERT else "delete"
+        return f"<WalRecord lsn={self.lsn} {kind}>"
+
+
+def _encode_insert(lsn: int, vectors: np.ndarray) -> bytes:
+    rows = np.ascontiguousarray(vectors, dtype="<f8")
+    payload = struct.pack("<II", rows.shape[0], rows.shape[1]) + rows.tobytes()
+    return _encode(lsn, OP_INSERT, payload)
+
+
+def _encode_delete(lsn: int, oids: np.ndarray) -> bytes:
+    oid_array = np.ascontiguousarray(oids, dtype="<i8")
+    payload = struct.pack("<I", oid_array.shape[0]) + oid_array.tobytes()
+    return _encode(lsn, OP_DELETE, payload)
+
+
+def _encode(lsn: int, op: int, payload: bytes) -> bytes:
+    head = _HEAD.pack(RECORD_MAGIC, lsn, op, len(payload))
+    crc = zlib.crc32(head[4:] + payload) & 0xFFFFFFFF
+    return head + payload + _CRC.pack(crc)
+
+
+def _decode_payload(lsn: int, op: int, payload: bytes) -> WalRecord:
+    if op == OP_INSERT:
+        if len(payload) < 8:
+            raise StorageError(f"WAL insert record {lsn} payload is truncated")
+        rows, dims = struct.unpack_from("<II", payload)
+        expected = 8 + rows * dims * 8
+        if len(payload) != expected or dims == 0:
+            raise StorageError(f"WAL insert record {lsn} has an inconsistent payload")
+        vectors = np.frombuffer(payload, dtype="<f8", offset=8).reshape(rows, dims)
+        return WalRecord(lsn, op, vectors=np.asarray(vectors, dtype=np.float64).copy())
+    if op == OP_DELETE:
+        if len(payload) < 4:
+            raise StorageError(f"WAL delete record {lsn} payload is truncated")
+        (count,) = struct.unpack_from("<I", payload)
+        if len(payload) != 4 + count * 8:
+            raise StorageError(f"WAL delete record {lsn} has an inconsistent payload")
+        oids = np.frombuffer(payload, dtype="<i8", offset=4)
+        return WalRecord(lsn, op, oids=np.asarray(oids, dtype=np.int64).copy())
+    raise StorageError(f"WAL record {lsn} carries unknown operation code {op}")
+
+
+def read_wal(
+    path: str | pathlib.Path, *, token: str, repair: bool = True
+) -> tuple[list[WalRecord], int]:
+    """Read every intact record of a WAL file; returns ``(records, last_lsn)``.
+
+    A missing file or a token mismatch (the log belongs to an earlier
+    manifest lineage whose updates are already merged) yields no records.  A
+    torn tail — short read, bad magic, bad CRC at the end of the file — is
+    **truncated away** when ``repair=True`` (the open path: the torn record
+    was never acknowledged, so dropping it restores the last acknowledged
+    state).  Corruption *before* the tail (a record that parses but breaks
+    LSN monotonicity) raises a typed :class:`~repro.errors.StorageError`
+    instead of replaying updates out of order.
+    """
+    wal_path = pathlib.Path(path)
+    if not wal_path.exists():
+        return [], 0
+    data = wal_path.read_bytes()
+    if len(data) < _HEADER_LEN or data[: len(WAL_HEADER)] != WAL_HEADER:
+        # Never written past (or through) its header: treat as empty; repair
+        # truncates the fragment so the next append starts clean.
+        if repair and len(data):
+            _rewrite(wal_path, WAL_HEADER + token.encode("ascii"))
+        return [], 0
+    file_token = data[len(WAL_HEADER) : _HEADER_LEN].decode("ascii", errors="replace")
+    if file_token != token:
+        # A leftover of an earlier manifest lineage (crash between a commit
+        # and its log reset): every record is already merged.  Repair retires
+        # it under the current token — otherwise a later append would land
+        # behind the stale header and be ignored by the next open.
+        if repair:
+            _rewrite(wal_path, WAL_HEADER + token.encode("ascii"))
+        return [], 0
+
+    records: list[WalRecord] = []
+    offset = _HEADER_LEN
+    valid_end = offset
+    last_lsn = 0
+    while offset < len(data):
+        if offset + _HEAD.size > len(data):
+            break  # torn head
+        magic, lsn, op, payload_len = _HEAD.unpack_from(data, offset)
+        if magic != RECORD_MAGIC or payload_len > MAX_PAYLOAD_BYTES:
+            break  # torn / garbage tail
+        end = offset + _HEAD.size + payload_len + _CRC.size
+        if end > len(data):
+            break  # torn payload
+        payload = data[offset + _HEAD.size : end - _CRC.size]
+        (crc,) = _CRC.unpack_from(data, end - _CRC.size)
+        if zlib.crc32(data[offset + 4 : end - _CRC.size]) & 0xFFFFFFFF != crc:
+            break  # torn record: checksum failed
+        if lsn <= last_lsn:
+            raise StorageError(
+                f"WAL records out of order at byte {offset}: lsn {lsn} after {last_lsn}"
+            )
+        records.append(_decode_payload(lsn, op, payload))
+        last_lsn = lsn
+        offset = end
+        valid_end = end
+    if repair and valid_end < len(data):
+        _rewrite(wal_path, data[:valid_end])
+    return records, last_lsn
+
+
+def _rewrite(path: pathlib.Path, content: bytes) -> None:
+    """Repair helper: rewrite the log to exactly ``content`` and fsync."""
+    with open(path, "r+b" if path.exists() else "wb") as handle:
+        handle.seek(0)
+        handle.write(content)
+        handle.truncate(len(content))
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+class WriteAheadLog:
+    """Append-side handle of one store directory's write-ahead log.
+
+    Parameters
+    ----------
+    path:
+        The ``wal.log`` file inside the store directory.
+    token:
+        Lineage token of the manifest this log belongs to (see
+        :func:`wal_token`).
+    next_lsn:
+        First LSN this handle will assign (replay determines it as
+        ``max(manifest wal_lsn, last intact record) + 1``).
+
+    The file is created lazily on the first append — a freshly saved index
+    that is never mutated leaves no ``wal.log`` behind.  Appends are
+    crash-atomic from the caller's perspective: on any failure (including an
+    injected ``wal.append`` / ``wal.fsync`` fault) the handle rolls the file
+    back to the pre-append length before re-raising, so an *unacknowledged*
+    record never survives in a live process; in a real crash the process is
+    gone and replay's checksum truncation provides the same guarantee.
+    """
+
+    def __init__(self, path: str | pathlib.Path, *, token: str, next_lsn: int = 1) -> None:
+        self._path = pathlib.Path(path)
+        self._token = token
+        self._next_lsn = int(next_lsn)
+        self._handle = None
+
+    @property
+    def path(self) -> pathlib.Path:
+        """Location of the log file."""
+        return self._path
+
+    @property
+    def token(self) -> str:
+        """Lineage token written into the log header."""
+        return self._token
+
+    @property
+    def next_lsn(self) -> int:
+        """The LSN the next append will carry."""
+        return self._next_lsn
+
+    def _ensure_open(self):
+        if self._handle is None:
+            fresh = not self._path.exists() or self._path.stat().st_size == 0
+            self._handle = open(self._path, "ab")
+            if fresh:
+                self._handle.write(WAL_HEADER + self._token.encode("ascii"))
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+        return self._handle
+
+    def append_insert(self, vectors: np.ndarray) -> int:
+        """Durably log an insert; returns its LSN once the fsync lands."""
+        lsn = self._next_lsn
+        fault_point("wal.append", lsn=lsn, op="insert")
+        self._append(_encode_insert(lsn, vectors), lsn)
+        return lsn
+
+    def append_delete(self, oids: np.ndarray) -> int:
+        """Durably log a delete; returns its LSN once the fsync lands."""
+        lsn = self._next_lsn
+        fault_point("wal.append", lsn=lsn, op="delete")
+        self._append(_encode_delete(lsn, oids), lsn)
+        return lsn
+
+    def _append(self, record: bytes, lsn: int) -> None:
+        handle = self._ensure_open()
+        offset = handle.tell()
+        try:
+            handle.write(record)
+            handle.flush()
+            fault_point("wal.fsync", lsn=lsn)
+            os.fsync(handle.fileno())
+        except BaseException:
+            # Roll the file back so the live handle never acknowledges (or
+            # later replays past) a record whose fsync did not complete.
+            try:
+                handle.truncate(offset)
+                handle.seek(0, os.SEEK_END)
+            except OSError:  # pragma: no cover - rollback is best effort
+                pass
+            raise
+        self._next_lsn = lsn + 1
+
+    def reset(self, *, token: str) -> None:
+        """Start a fresh log under a new lineage ``token`` (post-commit).
+
+        Called after a manifest generation commit merged every logged record:
+        the old records are dropped and the header is rewritten.  The LSN
+        sequence continues — LSNs are unique across generations, which is
+        what lets the manifest's ``wal_lsn`` watermark delimit replay.
+        """
+        self.close()
+        self._token = token
+        _rewrite(self._path, WAL_HEADER + token.encode("ascii"))
+
+    def close(self) -> None:
+        """Close the underlying file handle (reopened lazily on next append)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

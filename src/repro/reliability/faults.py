@@ -20,6 +20,19 @@ The registered fault points:
                      context: ``backend``
 ``executor.dispatch``  worker-thread batch body of the serving layer
                      (:class:`repro.serving.SearchService`); no context
+``wal.append``       write-ahead-log record construction, before any byte is
+                     written (:class:`repro.mutability.WriteAheadLog`);
+                     context: ``lsn``, ``op``
+``wal.fsync``        after the WAL record bytes are written but before the
+                     ``fsync`` that makes the update acknowledgeable;
+                     context: ``lsn``
+``manifest.commit``  immediately before the atomic manifest rename that
+                     commits a new store generation
+                     (:func:`repro.storage.persistence.save_decomposed`);
+                     context: ``generation``
+``file.rename``      every atomic ``os.replace`` of the storage layer (the
+                     manifest commit point and any future rename site);
+                     context: ``source``, ``target``
 ===================  ==========================================================
 
 Production code calls :func:`fault_point` at these sites; with no plan
@@ -48,7 +61,16 @@ from repro.errors import FaultInjectionError, TransientBackendError
 
 #: The fault points production code declares via :func:`fault_point`.
 FAULT_POINTS = frozenset(
-    {"shard.map", "store.read_fragment", "backend.answer", "executor.dispatch"}
+    {
+        "shard.map",
+        "store.read_fragment",
+        "backend.answer",
+        "executor.dispatch",
+        "wal.append",
+        "wal.fsync",
+        "manifest.commit",
+        "file.rename",
+    }
 )
 
 #: Supported fault actions.

@@ -31,6 +31,12 @@ Because every backend is exact, a retried or failed-over answer is bitwise
 identical to the first-try answer — the only caller-visible outcomes are the
 right answer or a typed error.
 
+The service keeps answering while the index mutates: execution goes through
+``Index.execute``, which pins one epoch per batch and overlays the live
+delta tail on whichever backend answers — so a batch that runs concurrently
+with ``insert``/``delete``/``reorganize()`` sees one consistent snapshot and
+returns exactly what ``Index.answer`` would have at that instant.
+
 Typical usage::
 
     from repro.api import Index
@@ -723,16 +729,20 @@ class SearchService:
         before = self._index.cost.snapshot()
         plan = self._index.plan(batch_query)
         chain = plan.failover_chain() if self._config.failover else (plan.backend_name,)
-        registry = self._index.planner.registry
         started = time.perf_counter()
         attempts: list[tuple[str, BackendError]] = []
         transient: TransientBackendError | None = None
 
         def try_backend(name: str) -> BatchSearchResult | None:
+            # Executing through the index (not the raw backend) keeps the
+            # live-update overlay in the path: a failover substitute answers
+            # over the same pinned epoch + delta tail the planned backend
+            # would have, so served answers stay bitwise identical to
+            # Index.answer even while updates stream in.
             nonlocal transient
             breaker = self._breaker(name)
             try:
-                result = registry.get(name).answer(self._index, batch_query, plan.metric)
+                result = self._index.execute(batch_query, backend=name, plan=plan)
             except BackendError as exc:
                 breaker.record_failure()
                 attempts.append((name, exc))

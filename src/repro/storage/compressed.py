@@ -14,6 +14,16 @@ approximate value and per-value lower/upper bounds on the original value.
 :class:`CompressedStore` holds one compressed fragment per dimension next to
 the exact :class:`~repro.storage.decomposed.DecomposedStore` used for
 refinement.
+
+A compressed store is a **base-snapshot** structure: its quantisation grid
+(per-dimension min/max) is fixed when the store is built, so live updates
+never mutate it.  Under the facade's mutability layer
+(:mod:`repro.mutability`) the compressed backends answer over the base
+snapshot of the current epoch and the delta tail is overlaid exactly on top;
+``Index.reorganize()`` retires the store with its epoch and the next
+compressed query quantises the merged collection afresh — which is also what
+keeps the error-adjusted bounds valid (they are bounds over exactly the
+collection the grid was built from).
 """
 
 from __future__ import annotations

@@ -603,8 +603,12 @@ class DecomposedStore:
         Narrow stores apply the delta to the widened logical matrix and
         re-quantise (appended float64 rows go through the same single
         ``astype`` every ingested row did); mapped stores spill a fresh
-        temporary mapping.
+        temporary mapping.  A clean store (empty delta) is a no-op — in
+        particular, the fragments are not rebuilt, so zero-copy views taken
+        over them stay valid.
         """
+        if not len(self._delta):
+            return
         new_matrix = self._delta.apply(self.matrix)
         had_row_sums = self._row_sums is not None
         self.__init__(

@@ -22,9 +22,30 @@ record (coefficient dtype x residency, plus a per-file ``fragments`` map);
 version 4 added the optional ``approx`` manifest section pointing at the
 approximate tier's sidecar arrays (``approx_*.apx``: IVF centroids /
 permutation / offsets and HNSW levels / adjacency), each carrying the same
-CRC-32 + ``fold64`` records as the fragments.  v1-v3 manifests still load —
-they simply carry no approximate structures — and a float64 store saved by
-this build writes byte-identical fragment files to version 2.
+CRC-32 + ``fold64`` records as the fragments.  Version 5 made saves
+**crash-atomic** and added the ``mutability`` section (store generation +
+WAL watermark, see below).  v1-v4 manifests still load — they carry no
+approximate structures / updates — and a float64 generation-0 store saved
+by this build writes byte-identical fragment files to version 2.
+
+Crash atomicity (version 5): every data file is written *first* (fragments,
+row sums, approximate sidecars — under generation-tagged names when the
+target directory already holds a committed store, so nothing is overwritten
+in place), then the manifest is written to ``manifest.json.tmp``, fsynced,
+and atomically renamed over ``manifest.json``.  **The rename is the commit
+point**: a crash at any earlier instant leaves the previous manifest (and
+every file it references) untouched, a crash after it leaves the new store
+fully referenced — a reader sees the old store or the new store, never a
+torn one.  After a successful commit, data files the new manifest no longer
+references (the previous generation's fragments, aborted ``*.tmp`` leftovers)
+are garbage-collected best-effort; ``load_decomposed`` also sweeps stale
+temp files so an aborted save cannot accumulate garbage.
+
+The ``mutability`` manifest section records ``generation`` (0 for a fresh
+directory; each overwriting save or ``Index.reorganize`` commit increments
+it) and ``wal_lsn`` — the last write-ahead-log sequence number merged into
+the committed fragments.  ``Index.open`` replays only WAL records beyond
+that watermark; see :mod:`repro.mutability.wal`.
 
 Integrity: every fragment file's CRC-32 is recorded in the manifest at save
 time, together with a fast vectorised ``fold64`` digest (word count +
@@ -56,6 +77,7 @@ record at all, in which case verification falls back to the full CRC-32).
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import zlib
 
@@ -70,14 +92,17 @@ from repro.storage.formats import FragmentFormat
 #: Version tag written into every manifest; bump on layout changes.
 #: Version 2 added per-fragment content checksums; version 3 added the
 #: fragment-format record (dtype x residency); version 4 added the optional
-#: ``approx`` section (IVF cluster plan + HNSW graph sidecar arrays).
-LAYOUT_VERSION = 4
+#: ``approx`` section (IVF cluster plan + HNSW graph sidecar arrays);
+#: version 5 added atomic manifest commits, store generations and the
+#: ``mutability`` section (generation + WAL watermark).
+LAYOUT_VERSION = 5
 #: Manifest versions this build can still read (version 1 predates
 #: checksums, so it loads but cannot be checksum-verified; versions 1 and 2
 #: imply the historical in-RAM ``float64`` fragment format; versions 1-3
 #: carry no approximate-tier structures, so an index opened from them plans
-#: the approximate backends against lazily rebuilt structures).
-SUPPORTED_LAYOUT_VERSIONS = frozenset({1, 2, 3, 4})
+#: the approximate backends against lazily rebuilt structures; versions 1-4
+#: predate generations and are read as generation 0 with no WAL).
+SUPPORTED_LAYOUT_VERSIONS = frozenset({1, 2, 3, 4, 5})
 #: Fragment verification modes of :func:`load_decomposed`.
 VERIFY_MODES = ("none", "checksum")
 MANIFEST_NAME = "manifest.json"
@@ -120,9 +145,144 @@ def fragment_digest(column: np.ndarray) -> str:
     return f"fold64:{count:016x}:{total & _U64_MASK:016x}"
 
 
-def fragment_file_name(dimension: int) -> str:
+def generation_suffix(generation: int) -> str:
+    """File-name tag of one store generation (empty for generation 0).
+
+    Generation 0 keeps the historical untagged names, so a fresh save is
+    byte- and name-identical to earlier layout versions; later generations
+    tag every data file, which is what lets an overwriting commit write next
+    to the live files instead of over them.
+    """
+    if generation < 0:
+        raise StorageError(f"generation must be non-negative, got {generation}")
+    return "" if generation == 0 else f".g{generation:08d}"
+
+
+def fragment_file_name(dimension: int, generation: int = 0) -> str:
     """File name of one dimension fragment."""
-    return f"dim_{dimension:05d}.col"
+    return f"dim_{dimension:05d}{generation_suffix(generation)}.col"
+
+
+def row_sum_file_name(generation: int = 0) -> str:
+    """File name of the row-sum column."""
+    return f"row_sums{generation_suffix(generation)}.col"
+
+
+def manifest_mutability(manifest: dict) -> dict:
+    """The ``mutability`` record of a manifest (defaulted for v1-v4)."""
+    record = manifest.get("mutability") or {}
+    return {
+        "generation": int(record.get("generation", 0)),
+        "wal_lsn": int(record.get("wal_lsn", 0)),
+    }
+
+
+def next_generation(path: str | pathlib.Path) -> int:
+    """The generation an overwriting save of ``path`` must commit as.
+
+    A fresh directory starts at 0.  A directory holding a committed store
+    commits the *next* generation — reading the current one from the
+    manifest, or, if the manifest is unreadable (interrupted earlier write
+    on a pre-atomic layout), one past the largest generation tag among the
+    data files, so the new files still cannot collide with anything present.
+    """
+    path = pathlib.Path(path)
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.exists():
+        return 0
+    try:
+        manifest = json.loads(manifest_path.read_text())
+        return manifest_mutability(manifest)["generation"] + 1
+    except (ValueError, TypeError, OSError):
+        highest = 0
+        for existing in path.glob("*.col"):
+            parts = existing.name.split(".")
+            for part in parts[1:-1]:
+                if part.startswith("g") and part[1:].isdigit():
+                    highest = max(highest, int(part[1:]))
+        return highest + 1
+
+
+def _commit_manifest(
+    path: pathlib.Path, manifest: dict, *, generation: int, durable: bool
+) -> bytes:
+    """Atomically publish ``manifest``; returns the exact bytes written.
+
+    The temp-write + fsync + ``os.replace`` sequence is the storage layer's
+    single commit point: everything the manifest references must already be
+    on disk when this runs.
+    """
+    manifest_path = path / MANIFEST_NAME
+    temp_path = path / (MANIFEST_NAME + ".tmp")
+    payload = (json.dumps(manifest, indent=2) + "\n").encode("utf-8")
+    try:
+        with open(temp_path, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        fault_point("manifest.commit", generation=generation)
+        fault_point("file.rename", source=temp_path.name, target=manifest_path.name)
+        os.replace(temp_path, manifest_path)
+    except BaseException:
+        temp_path.unlink(missing_ok=True)
+        raise
+    if durable:
+        _fsync_directory(path)
+    return payload
+
+
+def _fsync_directory(path: pathlib.Path) -> None:
+    """Best-effort fsync of a directory entry (not all platforms allow it)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def _collect_referenced(manifest: dict) -> set[str]:
+    """Every data file name the manifest references (GC keeps exactly these)."""
+    referenced = set(manifest.get("fragments", {}))
+    referenced.update(manifest.get("checksums", {}))
+    for structure in (manifest.get("approx") or {}).values():
+        for record in (structure.get("arrays") or {}).values():
+            if isinstance(record, dict) and "file" in record:
+                referenced.add(str(record["file"]))
+    return referenced
+
+
+def _sweep_unreferenced(path: pathlib.Path, manifest: dict) -> None:
+    """Best-effort removal of data files the committed manifest doesn't own.
+
+    Runs only after a successful commit: anything matching the layout's data
+    patterns (``*.col``, ``*.apx``, ``*.tmp``) that the new manifest does not
+    reference belongs to a superseded generation or an aborted save.  The
+    write-ahead log is never touched — its lifecycle belongs to the WAL
+    lineage token, not the sweep.
+    """
+    referenced = _collect_referenced(manifest)
+    for pattern in ("*.col", "*.apx", "*.tmp"):
+        for candidate in path.glob(pattern):
+            if candidate.name in referenced or candidate.name == "wal.log":
+                continue
+            try:
+                candidate.unlink()
+            except OSError:  # pragma: no cover - GC is best effort
+                pass
+
+
+def _write_data_file(path: pathlib.Path, array: np.ndarray, *, durable: bool) -> None:
+    """Write one data file, fsyncing when the save must be durable."""
+    with open(path, "wb") as handle:
+        array.tofile(handle)
+        if durable:
+            handle.flush()
+            os.fsync(handle.fileno())
 
 
 def save_decomposed(
@@ -131,12 +291,23 @@ def save_decomposed(
     *,
     overwrite: bool = False,
     extra_manifest: dict | None = None,
+    generation: int | None = None,
+    wal_lsn: int = 0,
+    durable: bool = False,
+    sidecar_files: dict[str, np.ndarray] | None = None,
 ) -> pathlib.Path:
     """Write a decomposed store to ``directory`` (one file per fragment).
 
     Fragments are written in the store's own format dtype — persisting a
     float32 store writes half the bytes of a float64 one, and reopening it
     with ``residency="mmap"`` maps those files directly.
+
+    The save is **crash-atomic**: all data files land first (under
+    generation-tagged names when the directory already holds a store, so the
+    live files are never overwritten in place), then the manifest commits
+    via temp-file + fsync + atomic rename, and only then are superseded data
+    files garbage-collected.  A kill at any instant leaves the directory
+    opening as either the previous or the new store.
 
     Parameters
     ----------
@@ -146,12 +317,26 @@ def save_decomposed(
     directory:
         Target directory; created if missing.
     overwrite:
-        Allow writing into a directory that already contains a manifest.
+        Allow committing over a directory that already contains a manifest.
     extra_manifest:
         Additional manifest entries merged in next to the layout keys (the
         :class:`repro.api.Index` facade records its build options under an
         ``"index"`` key so ``Index.open`` can restore them).  Keys must not
         collide with the layout's own.
+    generation:
+        Generation to commit as; default derives it from the target (fresh
+        directory: 0, committed store: its generation + 1).
+    wal_lsn:
+        Last write-ahead-log LSN whose effect is contained in these
+        fragments; ``Index.open`` replays only records beyond it.
+    durable:
+        fsync every data file (and the directory) rather than just the
+        manifest — the reorganisation path needs this before it may drop
+        WAL records; plain saves of static collections can skip it.
+    sidecar_files:
+        Extra data files (the approximate tier's ``*.apx`` payloads) to
+        write *before* the commit, so the manifest never references files
+        that do not exist yet.
     """
     if store.pending_updates:
         raise StorageError(
@@ -163,6 +348,8 @@ def save_decomposed(
     manifest_path = path / MANIFEST_NAME
     if manifest_path.exists() and not overwrite:
         raise StorageError(f"{path} already contains a persisted collection (pass overwrite=True)")
+    if generation is None:
+        generation = next_generation(path)
 
     fragment_format = store.format
     struct_string = fragment_format.struct_string
@@ -171,8 +358,8 @@ def save_decomposed(
     fragments: dict[str, dict] = {}
     for dimension in range(store.dimensionality):
         column = np.ascontiguousarray(store.fragment_tail(dimension), dtype=struct_string)
-        file_name = fragment_file_name(dimension)
-        column.tofile(path / file_name)
+        file_name = fragment_file_name(dimension, generation)
+        _write_data_file(path / file_name, column, durable=durable)
         checksums[file_name] = fragment_checksum(column)
         digests[file_name] = fragment_digest(column)
         fragments[file_name] = {
@@ -186,14 +373,18 @@ def save_decomposed(
     except StorageError:
         has_row_sums = False
     if has_row_sums:
+        row_sum_name = row_sum_file_name(generation)
         row_sum_column = np.ascontiguousarray(row_sums, dtype="<f8")
-        row_sum_column.tofile(path / ROW_SUM_NAME)
-        checksums[ROW_SUM_NAME] = fragment_checksum(row_sum_column)
-        digests[ROW_SUM_NAME] = fragment_digest(row_sum_column)
-        fragments[ROW_SUM_NAME] = {
+        _write_data_file(path / row_sum_name, row_sum_column, durable=durable)
+        checksums[row_sum_name] = fragment_checksum(row_sum_column)
+        digests[row_sum_name] = fragment_digest(row_sum_column)
+        fragments[row_sum_name] = {
             "dtype": "float64",
             "residency": fragment_format.residency,
         }
+
+    for file_name, data in (sidecar_files or {}).items():
+        _write_data_file(path / file_name, np.ascontiguousarray(data), durable=durable)
 
     manifest = {
         "layout_version": LAYOUT_VERSION,
@@ -206,13 +397,15 @@ def save_decomposed(
         "has_row_sums": has_row_sums,
         "checksums": checksums,
         "digests": digests,
+        "mutability": {"generation": int(generation), "wal_lsn": int(wal_lsn)},
     }
     if extra_manifest:
         collisions = sorted(set(extra_manifest) & set(manifest))
         if collisions:
             raise StorageError(f"extra manifest keys collide with the layout's: {collisions}")
         manifest.update(extra_manifest)
-    manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
+    _commit_manifest(path, manifest, generation=generation, durable=durable)
+    _sweep_unreferenced(path, manifest)
     return path
 
 
@@ -388,6 +581,10 @@ def load_decomposed(
         raise StorageError(f"unknown verify mode {verify!r}; supported: {VERIFY_MODES}")
     path = pathlib.Path(directory)
     manifest = load_manifest(path)
+    # An interrupted (pre-commit) save can leave a temp manifest behind; the
+    # committed manifest is authoritative, so the leftover is swept here.
+    (path / (MANIFEST_NAME + ".tmp")).unlink(missing_ok=True)
+    generation = manifest_mutability(manifest)["generation"]
     cardinality = int(manifest["cardinality"])
     dimensionality = int(manifest["dimensionality"])
     stored_dtype = np.dtype(manifest["dtype"])
@@ -411,7 +608,7 @@ def load_decomposed(
     expected_bytes = cardinality * stored_dtype.itemsize
     tails: list[np.ndarray] = []
     for dimension in wanted:
-        file_name = fragment_file_name(dimension)
+        file_name = fragment_file_name(dimension, generation)
         fragment_path = path / file_name
         fault_point("store.read_fragment", dimension=dimension, file=file_name)
         if not fragment_path.exists():
@@ -441,7 +638,8 @@ def load_decomposed(
 
     has_row_sums = bool(manifest.get("has_row_sums", True))
     row_sum_tail = None
-    row_sum_path = path / ROW_SUM_NAME
+    row_sum_name = row_sum_file_name(generation)
+    row_sum_path = path / row_sum_name
     # The persisted row sums are only the store's T(v) column when the loaded
     # fragments hold exactly the persisted values — a dtype change shifts the
     # coefficients, so the sums are recomputed over the widened result.
@@ -449,7 +647,7 @@ def load_decomposed(
     if has_row_sums and dimensions is None and dtype_unchanged and row_sum_path.exists():
         row_sums = np.fromfile(row_sum_path, dtype="<f8")
         if verify == "checksum":
-            _verify_fragment(ROW_SUM_NAME, row_sums, checksums, digests)
+            _verify_fragment(row_sum_name, row_sums, checksums, digests)
         if row_sums.shape[0] == cardinality:
             row_sum_tail = row_sums
 
@@ -484,16 +682,18 @@ def persisted_size_bytes(directory: str | pathlib.Path) -> int:
 
 
 def approx_sidecar_records(
-    arrays: dict[str, np.ndarray], *, structure: str
+    arrays: dict[str, np.ndarray], *, structure: str, generation: int = 0
 ) -> tuple[dict[str, dict], dict[str, np.ndarray]]:
     """Manifest records plus to-be-written payloads for one structure's arrays.
 
     Returns ``(records, files)``: ``records`` goes under the manifest's
     ``approx.<structure>.arrays`` key, ``files`` maps file names to the
-    contiguous arrays :func:`write_approx_sidecars` writes.  Splitting record
-    computation from writing lets :meth:`repro.api.Index.save` embed the
-    integrity records in the manifest it hands to :func:`save_decomposed`
-    and write the payload files afterwards.
+    contiguous arrays to persist.  Splitting record computation from writing
+    lets :meth:`repro.api.Index.save` embed the integrity records in the
+    manifest it hands to :func:`save_decomposed` and pass the payloads as
+    ``sidecar_files`` — written before the commit, so the manifest never
+    references a file that is not on disk.  Sidecar names carry the same
+    generation tag as the fragments.
     """
     records: dict[str, dict] = {}
     files: dict[str, np.ndarray] = {}
@@ -501,7 +701,7 @@ def approx_sidecar_records(
         data = np.ascontiguousarray(array)
         if data.dtype.byteorder == ">":
             data = data.astype(data.dtype.newbyteorder("<"))
-        file_name = f"approx_{structure}_{name}.apx"
+        file_name = f"approx_{structure}_{name}{generation_suffix(generation)}.apx"
         records[name] = {
             "file": file_name,
             "dtype": data.dtype.str,

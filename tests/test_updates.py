@@ -58,6 +58,73 @@ class TestDeltaLog:
         with pytest.raises(StorageError):
             log.apply(np.zeros((2, 3)))
 
+    def test_record_append_copies_its_input(self):
+        # The log is the durable record between WAL ack and reorganisation;
+        # a caller mutating its array afterwards must not rewrite history.
+        log = DeltaLog(dimensionality=2)
+        rows = np.array([[1.0, 2.0]])
+        log.record_append(rows)
+        rows[0, 0] = 99.0
+        assert np.allclose(log.entries[0].payload, [[1.0, 2.0]])
+
+    def test_record_delete_copies_its_input(self):
+        log = DeltaLog(dimensionality=2)
+        oids = np.array([3, 4], dtype=np.int64)
+        log.record_delete(oids)
+        oids[0] = 0
+        assert log.entries[0].payload.tolist() == [3, 4]
+
+    def test_record_delete_rejects_matrix(self):
+        log = DeltaLog(dimensionality=2)
+        with pytest.raises(StorageError):
+            log.record_delete(np.zeros((2, 2), dtype=np.int64))
+
+    def test_snapshot_apply_leaves_live_log_intact(self):
+        log = DeltaLog(dimensionality=1)
+        log.record_append(np.array([[2.0]]))
+        log.record_delete([0])
+        merged = log.snapshot().apply(np.array([[1.0]]))
+        assert np.allclose(merged, [[2.0]])
+        # apply() consumed the snapshot, not the live log.
+        assert len(log) == 2
+
+    def test_delete_then_append_does_not_resurrect(self):
+        # Coordinate-system audit: a delete marks a row dead; a later append
+        # continues the OID sequence past it and never reuses the dead slot
+        # until reorganisation compacts.
+        log = DeltaLog(dimensionality=1)
+        base = np.array([[0.0], [1.0], [2.0]])
+        log.record_delete([1])
+        log.record_append(np.array([[3.0]]))  # logical OID 3, not 1
+        merged = log.apply(base)
+        assert np.allclose(merged, [[0.0], [2.0], [3.0]])
+
+    def test_delete_applies_to_pending_append_in_log_order(self):
+        # A delete naming an OID introduced by an *earlier* append in the
+        # same log must hit that appended row, and only that row.
+        log = DeltaLog(dimensionality=1)
+        base = np.array([[0.0], [1.0]])
+        log.record_append(np.array([[2.0], [3.0]]))  # OIDs 2, 3
+        log.record_delete([2])
+        merged = log.apply(base)
+        assert np.allclose(merged, [[0.0], [1.0], [3.0]])
+
+    def test_delete_before_append_cannot_name_future_oid(self):
+        # Log order matters: at the time of the delete, OID 2 does not exist.
+        log = DeltaLog(dimensionality=1)
+        log.record_delete([2])
+        log.record_append(np.array([[9.0]]))
+        with pytest.raises(StorageError):
+            log.apply(np.array([[0.0], [1.0]]))
+
+    def test_double_delete_is_idempotent(self):
+        log = DeltaLog(dimensionality=1)
+        base = np.array([[0.0], [1.0]])
+        log.record_delete([0])
+        log.record_delete([0])
+        merged = log.apply(base)
+        assert np.allclose(merged, [[1.0]])
+
 
 class TestStoreUpdates:
     def test_append_visible_after_reorganize(self, corel_histograms):
