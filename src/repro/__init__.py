@@ -34,6 +34,7 @@ from repro.api import (
 )
 from repro.approx import ApproxConfig
 from repro.baselines import RTreeIndex, SimilarityNetwork, VAFile
+from repro.cluster import ClusterCoordinator, ClusterHealth, ClusterStats
 from repro.bounds import (
     EqBound,
     EvBound,
@@ -142,6 +143,9 @@ __all__ = [
     "BondSearcher",
     "Capabilities",
     "CircuitBreaker",
+    "ClusterCoordinator",
+    "ClusterHealth",
+    "ClusterStats",
     "ClusteredCollection",
     "CorruptFragmentError",
     "CompressedBondSearcher",

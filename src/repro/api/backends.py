@@ -370,6 +370,13 @@ class ShardedBondBackend(Backend):
     #: ``compressed_bond``, which is exactly when it should lose.
     COORDINATION_OPS = 2_000.0
 
+    #: Extra per-shard, per-query charge of the process executor: pickling
+    #: the query / result / cost wire across the worker pipe costs real work
+    #: a thread hand-off does not.  Keeps the planner honest about
+    #: ``shard_executor="process"`` on small collections, where serialisation
+    #: rivals the scan itself.
+    PROCESS_SCATTER_OPS = 8_000.0
+
     def estimate(self, index: "Index", query: "Query", metric: Metric) -> CostEstimate:
         """Critical-path estimate: one shard's scan volume plus the merge.
 
@@ -399,14 +406,23 @@ class ShardedBondBackend(Backend):
         merge_candidates = float(query.batch_size * shards * query.k)
         merge_bytes = merge_candidates * (DOUBLE_BYTES + OID_BYTES)
         coordination = self.COORDINATION_OPS * shards * query.batch_size
+        detail = f"critical path of {shards} parallel shards + top-k merge"
+        if getattr(index, "shard_executor", "thread") == "process":
+            coordination += self.PROCESS_SCATTER_OPS * shards * query.batch_size
+            detail += " (process workers)"
         return CostEstimate(
             bytes_read=scan_bytes + merge_bytes,
             arithmetic_ops=scan_ops + merge_candidates + coordination,
-            detail=f"critical path of {shards} parallel shards + top-k merge",
+            detail=detail,
         )
 
     def create(self, index: "Index", metric: Metric) -> ShardedSearcher:
-        return ShardedSearcher(index, metric, on_shard_failure=index.on_shard_failure)
+        return ShardedSearcher(
+            index,
+            metric,
+            on_shard_failure=index.on_shard_failure,
+            executor=index.shard_executor,
+        )
 
     def answer(
         self, index: "Index", query: "Query", metric: Metric

@@ -70,6 +70,7 @@ from repro.approx import (
     build_cluster_plan,
     build_hnsw_graph,
 )
+from repro.core.parallel import SHARD_EXECUTORS
 from repro.core.result import BatchSearchResult, SearchResult
 from repro.engine.cost import CostModel
 from repro.engine.updates import DeltaLog
@@ -162,6 +163,7 @@ class Index:
         registry: BackendRegistry | None = None,
         shards: int = 1,
         on_shard_failure: str = "fail",
+        shard_executor: str = "thread",
         format: "FragmentFormat | str | None" = None,
         approx: "ApproxConfig | dict | None" = None,
     ) -> None:
@@ -175,6 +177,7 @@ class Index:
             registry=registry,
             shards=shards,
             on_shard_failure=on_shard_failure,
+            shard_executor=shard_executor,
             format=FragmentFormat.coerce(format),
             approx=approx,
             cardinality=int(matrix.shape[0]),
@@ -200,6 +203,7 @@ class Index:
         cardinality: int,
         dimensionality: int,
         approx: "ApproxConfig | dict | None" = None,
+        shard_executor: str = "thread",
     ) -> None:
         """Option validation + shared state; matrix-independent, so the
         :meth:`open` path can run it without materialising the collection."""
@@ -210,9 +214,15 @@ class Index:
                 f"on_shard_failure must be one of {self.SHARD_FAILURE_MODES}, "
                 f"got {on_shard_failure!r}"
             )
+        if shard_executor not in SHARD_EXECUTORS:
+            raise QueryError(
+                f"shard_executor must be one of {SHARD_EXECUTORS}, "
+                f"got {shard_executor!r}"
+            )
         self._name = name
         self._bits = bits
         self._on_shard_failure = on_shard_failure
+        self._shard_executor = shard_executor
         self._shards = int(shards)
         self._format = format
         self._dimensionality = dimensionality
@@ -256,6 +266,7 @@ class Index:
         registry: BackendRegistry | None = None,
         shards: int = 1,
         on_shard_failure: str = "fail",
+        shard_executor: str = "thread",
         approx: "ApproxConfig | dict | None" = None,
     ) -> "Index":
         """An index over an already-constructed decomposed store.
@@ -273,6 +284,7 @@ class Index:
             registry=registry,
             shards=shards,
             on_shard_failure=on_shard_failure,
+            shard_executor=shard_executor,
             format=store.format,
             approx=approx,
             cardinality=store.cardinality,
@@ -442,6 +454,7 @@ class Index:
                     "bits": self._bits,
                     "shards": self._shards,
                     "on_shard_failure": self._on_shard_failure,
+                    "shard_executor": self._shard_executor,
                     "format": self._format.spec,
                     "approx": self._approx_config.to_manifest(),
                 },
@@ -573,6 +586,11 @@ class Index:
     def on_shard_failure(self) -> str:
         """Shard-failure policy handed to the sharded engines."""
         return self._on_shard_failure
+
+    @property
+    def shard_executor(self) -> str:
+        """Worker-pool kind of the sharded engines (``"thread"`` / ``"process"``)."""
+        return self._shard_executor
 
     @property
     def shard_plan(self) -> ShardPlan:
@@ -727,6 +745,7 @@ class Index:
                         "bits": self._bits,
                         "shards": self._shards,
                         "on_shard_failure": self._on_shard_failure,
+                        "shard_executor": self._shard_executor,
                         "format": self._format.spec,
                         "approx": self._approx_config.to_manifest(),
                     },
@@ -753,7 +772,55 @@ class Index:
                 self._wal.reset(token=token)
             else:
                 self._epoch = new_epoch
+            # The superseded epoch's cached searchers can hold real resources
+            # (process pools, shared-memory segments); tear them down once
+            # the last query pinned to it finishes — never under a reader.
+            epoch.retire(lambda: self._close_epoch_resources(epoch))
             return generation
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    @staticmethod
+    def _close_epoch_resources(epoch: Epoch) -> None:
+        """Close everything one epoch's cache holds onto.
+
+        Cached searchers that expose ``close()`` (the sharded engines — their
+        process pools and shared-memory segments must not outlive the epoch)
+        are closed; plain searchers are simply dropped.  The live tail's
+        sub-index releases its own cached engines recursively.
+        """
+        searchers = list(epoch.searchers.values())
+        epoch.searchers.clear()
+        for searcher in searchers:
+            closer = getattr(searcher, "close", None)
+            if callable(closer):
+                closer()
+        sub = epoch.tail.sub_index
+        if sub is not None:
+            epoch.tail.sub_index = None
+            sub.close()
+
+    def close(self) -> None:
+        """Release every resource the index owns (idempotent).
+
+        Closes the current epoch's cached backend engines — including any
+        process-pool sharded engines, whose worker processes exit and whose
+        shared-memory segments are unlinked — plus the tail sub-index and,
+        on an attached index, the write-ahead log.  Answering again after
+        ``close()`` is permitted (engines rebuild lazily), but further
+        mutations on an attached index are not.  ``Index`` is also a context
+        manager: ``with Index.build(...) as index: ...`` closes on exit.
+        """
+        self._close_epoch_resources(self._epoch)
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+
+    def __enter__(self) -> "Index":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- approximate-tier structures ----------------------------------------------
 

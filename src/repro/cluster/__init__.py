@@ -1,0 +1,51 @@
+"""``repro.cluster``: multi-core and multi-service deployment shapes.
+
+Two layers, composable:
+
+* **Process-pool shard execution** — the sharded engines of
+  :mod:`repro.core.parallel` accept ``executor="process"``: fragments are
+  published once into ``multiprocessing.shared_memory``
+  (:mod:`repro.cluster.shm`), worker processes attach zero-copy and run the
+  existing fused engines (:mod:`repro.cluster.executor`), and per-shard
+  results and explicit cost-delta wire tuples come back to the parent's
+  deterministic merge.  Answers and cost accounts are **bitwise identical**
+  to the thread pool for every backend and mode — exact, compressed, approx,
+  and the live-tail overlay (which is applied in the parent, above the shard
+  layer).  Through the facade: ``Index.build(data, shards=4,
+  shard_executor="process")``.
+
+* **Scatter-gather serving** — :class:`~repro.cluster.coordinator.ClusterCoordinator`
+  partitions one collection into shard groups, runs one
+  :class:`~repro.serving.SearchService` (over its own sub-``Index``) per
+  group, scatters each submitted query to every member, and gathers the
+  per-group top-k with the same score-then-ascending-OID merge — answers
+  bitwise identical to one service over the whole collection, with
+  aggregated ``stats()`` / ``health()`` and graceful member-failure
+  degradation.
+
+See the cluster section of ``docs/API.md`` for the shared-memory layout,
+the worker lifecycle, coordinator semantics and the failure matrix.
+"""
+
+from repro.cluster.coordinator import ClusterCoordinator, ClusterHealth, ClusterStats
+from repro.cluster.executor import EngineSpec, ProcessShardExecutor
+from repro.cluster.shm import (
+    SEGMENT_PREFIX,
+    AttachedStore,
+    SharedStoreSegment,
+    StoreSpec,
+    attach_store,
+)
+
+__all__ = [
+    "AttachedStore",
+    "ClusterCoordinator",
+    "ClusterHealth",
+    "ClusterStats",
+    "EngineSpec",
+    "ProcessShardExecutor",
+    "SEGMENT_PREFIX",
+    "SharedStoreSegment",
+    "StoreSpec",
+    "attach_store",
+]

@@ -1,0 +1,263 @@
+"""Zero-copy fragment publication over ``multiprocessing.shared_memory``.
+
+The process-pool shard executor (:mod:`repro.cluster.executor`) must hand
+every worker the same physical collection the parent scans — without copying
+it per worker and without pickling hundreds of megabytes per task.  This
+module packs a store's fragment columns **once** into a single named
+shared-memory segment; workers attach by name and rebuild the store as numpy
+views straight into the segment, so a worker's store shares bytes (not
+copies) with every other worker on the machine.
+
+Layout
+------
+One :class:`SharedStoreSegment` per published store, holding back to back
+(each array 64-byte aligned):
+
+* the exact fragment tails, one contiguous column per dimension, in the
+  store's native dtype;
+* the row-sum column (float64) when the store has one;
+* for compressed publication, the parent's quantisation-code columns
+  (uint8/uint16) — the per-dimension min/max grids are a few doubles and
+  travel inside the picklable :class:`StoreSpec` instead.
+
+Workers rebuild the exact store with
+:meth:`~repro.storage.decomposed.DecomposedStore.from_fragments` and the
+compressed store with
+:meth:`~repro.storage.compressed.CompressedStore.from_arrays`, so the
+attached stores carry bitwise the parent's coefficients, codes and grids —
+the foundation of the process pool's identity contract.  Attached stores are
+always RAM-resident views (a ``mmap`` parent is materialised into the
+segment at publication; the dtype — and therefore every answer and every
+charged byte — is unchanged).
+
+Lifecycle
+---------
+The creating process owns the segment.  Ownership is reference-counted
+(:meth:`SharedStoreSegment.acquire` / :meth:`~SharedStoreSegment.release`):
+the executor of each sharded engine holds one reference, and the segment is
+closed **and unlinked** when the last reference drops — no segment outlives
+``close()``, which ``tests/test_cluster.py`` verifies against ``/dev/shm``.
+Workers attach read-only and merely close their mapping on exit; on
+Python < 3.13 an attach also registers with the worker's ``resource_tracker``
+(whose exit-time cleanup would unlink the parent's live segment and warn), so
+:func:`attach_store` immediately unregisters the attachment again.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.engine.cost import CostModel
+from repro.errors import StorageError
+from repro.storage.compressed import CompressedStore
+from repro.storage.decomposed import DecomposedStore
+from repro.storage.formats import FragmentFormat
+
+#: Prefix of every segment name this module creates — the leak checks in the
+#: tests and the ``cluster-smoke`` CI job look for stale ``/dev/shm`` entries
+#: by this marker.
+SEGMENT_PREFIX = "repro_shm_"
+
+#: Alignment of every array inside a segment, in bytes (one cache line).
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Where one array lives inside a segment: byte offset, dtype, length."""
+
+    offset: int
+    dtype: str
+    length: int
+
+    def view(self, buffer) -> np.ndarray:
+        """The array as a zero-copy view into ``buffer``."""
+        return np.ndarray(
+            (self.length,), dtype=np.dtype(self.dtype), buffer=buffer, offset=self.offset
+        )
+
+
+@dataclass(frozen=True)
+class StoreSpec:
+    """Everything a worker needs to rebuild the published store(s).
+
+    Picklable and small: array payloads stay in the segment, only offsets,
+    dtypes and the per-dimension quantisation grids travel here.
+    """
+
+    segment: str
+    name: str
+    format_spec: str
+    cardinality: int
+    dimensionality: int
+    columns: tuple[ArraySpec, ...]
+    row_sums: ArraySpec | None
+    #: Compressed publication (None / empty when exact-only).
+    bits: int | None
+    code_columns: tuple[ArraySpec, ...]
+    minimums: tuple[float, ...]
+    maximums: tuple[float, ...]
+
+
+class SharedStoreSegment:
+    """Owner-side handle of one published store (creating process only).
+
+    Created with one reference; every additional holder calls
+    :meth:`acquire` and every holder — the creator included — calls
+    :meth:`release` (alias :meth:`close`) exactly once.  The underlying
+    segment is closed and **unlinked** when the count reaches zero.
+    """
+
+    def __init__(
+        self,
+        store: DecomposedStore,
+        *,
+        compressed: CompressedStore | None = None,
+    ) -> None:
+        if compressed is not None and compressed.exact is not store:
+            raise StorageError(
+                "the compressed store must be built over the published exact store"
+            )
+        arrays: list[np.ndarray] = [
+            np.ascontiguousarray(tail) for tail in store._tails
+        ]
+        row_sum_index = None
+        if store.has_row_sums:
+            row_sum_index = len(arrays)
+            arrays.append(np.ascontiguousarray(store._row_sums.tail))
+        code_start = len(arrays)
+        if compressed is not None:
+            arrays.extend(np.ascontiguousarray(column) for column in compressed._code_tails)
+        specs: list[ArraySpec] = []
+        offset = 0
+        for array in arrays:
+            offset = _aligned(offset)
+            specs.append(ArraySpec(offset=offset, dtype=str(array.dtype), length=int(array.shape[0])))
+            offset += array.nbytes
+        name = f"{SEGMENT_PREFIX}{secrets.token_hex(8)}"
+        self._shm = shared_memory.SharedMemory(name=name, create=True, size=max(offset, 1))
+        for spec, array in zip(specs, arrays):
+            spec.view(self._shm.buf)[:] = array
+        dims = store.dimensionality
+        self._spec = StoreSpec(
+            segment=name,
+            name=store.name,
+            format_spec=store.format.spec,
+            cardinality=store.cardinality,
+            dimensionality=dims,
+            columns=tuple(specs[:dims]),
+            row_sums=specs[row_sum_index] if row_sum_index is not None else None,
+            bits=compressed.bits if compressed is not None else None,
+            code_columns=tuple(specs[code_start:]),
+            minimums=tuple(float(v) for v in compressed.minimums) if compressed is not None else (),
+            maximums=tuple(float(v) for v in compressed.maximums) if compressed is not None else (),
+        )
+        self._refs = 1
+
+    @property
+    def spec(self) -> StoreSpec:
+        """The picklable attach recipe shipped to the workers."""
+        return self._spec
+
+    @property
+    def name(self) -> str:
+        """The shared-memory segment name."""
+        return self._spec.segment
+
+    @property
+    def references(self) -> int:
+        """Live owner-side references (0 once closed and unlinked)."""
+        return self._refs
+
+    def acquire(self) -> "SharedStoreSegment":
+        """Take one more owner-side reference."""
+        if self._refs <= 0:
+            raise StorageError(f"shared segment {self.name} is already unlinked")
+        self._refs += 1
+        return self
+
+    def release(self) -> None:
+        """Drop one reference; the last one closes **and unlinks** the segment."""
+        if self._refs <= 0:
+            return
+        self._refs -= 1
+        if self._refs == 0:
+            self._shm.close()
+            self._shm.unlink()
+
+    # The creator's reference reads naturally as close().
+    close = release
+
+    def __enter__(self) -> "SharedStoreSegment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class AttachedStore:
+    """Worker-side view of a published store: attach, rebuild, close.
+
+    ``decomposed`` (and ``compressed``, when the spec carries codes) are
+    zero-copy numpy views into the shared segment; :meth:`close` drops the
+    mapping (never the segment — that is the owner's unlink).
+    """
+
+    def __init__(self, spec: StoreSpec, *, cost: CostModel | None = None) -> None:
+        # Pre-3.13 SharedMemory registers *attachments* with the resource
+        # tracker as if they were owned segments.  Left alone, a spawn-mode
+        # worker's tracker unlinks the owner's live segment at worker exit;
+        # undone with unregister(), a fork-mode worker (shared tracker
+        # process) removes the owner's cache entry instead and the owner's
+        # later unlink trips a KeyError inside the tracker.  Attaching is not
+        # owning: suppress the registration itself, so no tracker in any
+        # start method ever learns about it.
+        register = resource_tracker.register
+        try:
+            resource_tracker.register = lambda name, rtype: None
+            self._shm = shared_memory.SharedMemory(name=spec.segment)
+        finally:
+            resource_tracker.register = register
+        fmt = FragmentFormat.parse(spec.format_spec)
+        if fmt.is_mapped:
+            # The bytes already live in the (RAM-backed) segment; a mapped
+            # residency would only make from_fragments spill copies to disk.
+            fmt = FragmentFormat(dtype=fmt.dtype, residency="ram")
+        buffer = self._shm.buf
+        tails = [column.view(buffer) for column in spec.columns]
+        row_sum_tail = spec.row_sums.view(buffer) if spec.row_sums is not None else None
+        self.decomposed = DecomposedStore.from_fragments(
+            tails,
+            format=fmt,
+            cost=cost,
+            name=spec.name,
+            row_sum_tail=row_sum_tail,
+        )
+        self.compressed: CompressedStore | None = None
+        if spec.bits is not None:
+            self.compressed = CompressedStore.from_arrays(
+                self.decomposed,
+                codes=[column.view(buffer) for column in spec.code_columns],
+                minimums=np.asarray(spec.minimums, dtype=np.float64),
+                maximums=np.asarray(spec.maximums, dtype=np.float64),
+                bits=spec.bits,
+            )
+
+    def close(self) -> None:
+        """Drop this process's mapping of the segment (views die with it)."""
+        self.decomposed = None
+        self.compressed = None
+        self._shm.close()
+
+
+def attach_store(spec: StoreSpec, *, cost: CostModel | None = None) -> AttachedStore:
+    """Attach to a published store by spec (worker-side entry point)."""
+    return AttachedStore(spec, cost=cost)

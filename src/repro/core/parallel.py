@@ -8,8 +8,12 @@ per-shard top-k lists are merged with a deterministic tie-break — so the
 merged answers are bitwise identical to the single-shard engines while the
 scan itself uses every core the pool is given.  NumPy releases the GIL inside
 the large block operations the kernels issue, so plain threads already buy
-real parallelism; a process-pool variant can slot in behind the same
-interface later.
+real parallelism; ``executor="process"`` additionally moves each shard's
+whole search into a worker process over shared-memory fragments
+(:mod:`repro.cluster`), taking the Python-level scan loop off the GIL too —
+with answers and cost accounts bitwise identical to the thread pool (the
+workers run the same engines over the same bytes and the parent applies the
+same merge).
 
 Cache-aware tile rounds
 -----------------------
@@ -64,6 +68,11 @@ from repro.storage.sharding import ShardPlan, shard_compressed, shard_decomposed
 #: paper's m = 8 fragments over 8192 float64 rows is 512 KiB — comfortably
 #: L2-resident while every query of a round consumes it.
 DEFAULT_TILE_ROWS = 8192
+
+#: Recognised shard-executor kinds: ``"thread"`` fans shards out on a
+#: ThreadPoolExecutor in-process; ``"process"`` runs each shard's search in a
+#: worker process over shared-memory fragments (see :mod:`repro.cluster`).
+SHARD_EXECUTORS = ("thread", "process")
 
 
 class TiledBatchQueryEngine(BatchQueryEngine):
@@ -279,17 +288,29 @@ class _ShardedEngineBase:
     SHARD_FAILURE_MODES = ("fail", "partial")
 
     def __init__(
-        self, plan: ShardPlan, workers: int | None, on_shard_failure: str = "fail"
+        self,
+        plan: ShardPlan,
+        workers: int | None,
+        on_shard_failure: str = "fail",
+        executor: str = "thread",
+        process_context: str | None = None,
     ) -> None:
         if on_shard_failure not in self.SHARD_FAILURE_MODES:
             raise QueryError(
                 f"on_shard_failure must be one of {self.SHARD_FAILURE_MODES}, "
                 f"got {on_shard_failure!r}"
             )
+        if executor not in SHARD_EXECUTORS:
+            raise QueryError(
+                f"executor must be one of {SHARD_EXECUTORS}, got {executor!r}"
+            )
         self._plan = plan
         self._workers = plan.num_shards if workers is None else max(1, int(workers))
         self._on_shard_failure = on_shard_failure
+        self._executor_kind = executor
+        self._process_context = process_context
         self._executor: ThreadPoolExecutor | None = None
+        self._process_pool = None  # ProcessShardExecutor, built on first use
 
     @property
     def shard_plan(self) -> ShardPlan:
@@ -313,11 +334,48 @@ class _ShardedEngineBase:
         result ``degraded`` with the failed shard indices."""
         return self._on_shard_failure
 
+    @property
+    def shard_executor(self) -> str:
+        """The executor kind the shards fan out on (``thread`` / ``process``)."""
+        return self._executor_kind
+
     def close(self) -> None:
-        """Shut the worker pool down (idempotent; a later call re-creates it)."""
+        """Shut the worker pools down (idempotent; a later call re-creates them).
+
+        In process mode this also releases the engine's reference on the
+        shared-memory segment — the last holder unlinks it, so a closed
+        engine leaves nothing behind in ``/dev/shm``."""
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._process_pool is not None:
+            self._process_pool.close()
+            self._process_pool = None
+
+    def _cluster_payload(self):
+        """(SharedStoreSegment, EngineSpec) for process mode (subclass hook)."""
+        raise NotImplementedError
+
+    def _ensure_process_pool(self):
+        """Build (or rebuild, after close) the process pool — on the calling
+        thread, *before* any dispatcher threads start, so fork-based workers
+        never fork a multithreaded parent mid-flight."""
+        if self._process_pool is None:
+            from repro.cluster.executor import ProcessShardExecutor
+
+            segment, spec = self._cluster_payload()
+            try:
+                self._process_pool = ProcessShardExecutor(
+                    segment,
+                    spec,
+                    self._plan,
+                    self._workers,
+                    context=self._process_context,
+                )
+            finally:
+                # The pool took its own reference; drop publication's.
+                segment.release()
+        return self._process_pool
 
     def __enter__(self) -> "_ShardedEngineBase":
         return self
@@ -382,8 +440,11 @@ class _ShardedEngineBase:
         started = time.perf_counter()
         parent_cost = self._store.cost
         checkpoint = parent_cost.checkpoint()
+        pool = self._ensure_process_pool() if self._executor_kind == "process" else None
 
         def run_shard(shard: int):
+            if pool is not None:
+                return pool.search(shard, query, k)
             shard_cost = self._shard_stores[shard].cost
             shard_checkpoint = shard_cost.checkpoint()
             result = self._searchers[shard].search(query, k)
@@ -420,8 +481,11 @@ class _ShardedEngineBase:
             raise QueryError(f"queries must form a 2-D matrix, got shape {query_matrix.shape}")
         parent_cost = self._store.cost
         checkpoint = parent_cost.checkpoint()
+        pool = self._ensure_process_pool() if self._executor_kind == "process" else None
 
         def run_shard(shard: int):
+            if pool is not None:
+                return pool.search_batch(shard, query_matrix, k)
             shard_cost = self._shard_stores[shard].cost
             shard_checkpoint = shard_cost.checkpoint()
             results = self._batch_engine(shard, query_matrix, k).run()
@@ -482,6 +546,15 @@ class ShardedBondSearcher(_ShardedEngineBase):
         ``"fail"`` (default) re-raises the first failed shard's error;
         ``"partial"`` degrades gracefully — the surviving shards' top-k is
         merged and flagged (``result.degraded`` / ``result.failed_shards``).
+    executor:
+        ``"thread"`` (default) runs shards on a thread pool; ``"process"``
+        publishes the fragments into shared memory once and runs each
+        shard's search in a worker process (bitwise-identical answers and
+        cost accounts — see :mod:`repro.cluster`).  Process mode needs
+        picklable metric / bound / ordering / schedule objects.
+    process_context:
+        Multiprocessing start method of process mode (``"fork"`` /
+        ``"spawn"`` / ``"forkserver"``; default: the platform's).
     metric / bound / ordering / schedule / candidate_mode / switch_selectivity:
         Forwarded to every per-shard :class:`~repro.core.bond.BondSearcher`
         (bounds and schedules are copied per shard so worker threads never
@@ -502,14 +575,23 @@ class ShardedBondSearcher(_ShardedEngineBase):
         workers: int | None = None,
         tile_rows: int = DEFAULT_TILE_ROWS,
         on_shard_failure: str = "fail",
+        executor: str = "thread",
+        process_context: str | None = None,
     ) -> None:
         plan = shards if isinstance(shards, ShardPlan) else ShardPlan.balanced(
             store.cardinality, int(shards)
         )
-        super().__init__(plan, workers, on_shard_failure)
+        super().__init__(plan, workers, on_shard_failure, executor, process_context)
         self._store = store
         self._metric = metric if metric is not None else HistogramIntersection()
         self._tile_rows = max(1, int(tile_rows))
+        self._spec_args = dict(
+            bound=bound,
+            ordering=ordering,
+            schedule=schedule,
+            candidate_mode=candidate_mode,
+            switch_selectivity=switch_selectivity,
+        )
         self._shard_stores = shard_decomposed(store, plan)
         self._searchers = [
             BondSearcher(
@@ -544,6 +626,17 @@ class ShardedBondSearcher(_ShardedEngineBase):
             self._searchers[shard], queries, k, tile_rows=self._tile_rows
         )
 
+    def _cluster_payload(self):
+        from repro.cluster.executor import EngineSpec
+        from repro.cluster.shm import SharedStoreSegment
+
+        return SharedStoreSegment(self._store), EngineSpec(
+            kind="exact",
+            metric=self._metric,
+            tile_rows=self._tile_rows,
+            **self._spec_args,
+        )
+
 
 class ShardedCompressedBondSearcher(_ShardedEngineBase):
     """Parallel filter-and-refine over contiguous row shards.
@@ -567,14 +660,17 @@ class ShardedCompressedBondSearcher(_ShardedEngineBase):
         workers: int | None = None,
         tile_rows: int = DEFAULT_TILE_ROWS,
         on_shard_failure: str = "fail",
+        executor: str = "thread",
+        process_context: str | None = None,
     ) -> None:
         plan = shards if isinstance(shards, ShardPlan) else ShardPlan.balanced(
             store.cardinality, int(shards)
         )
-        super().__init__(plan, workers, on_shard_failure)
+        super().__init__(plan, workers, on_shard_failure, executor, process_context)
         self._store = store
         self._metric = metric if metric is not None else HistogramIntersection()
         self._tile_rows = max(1, int(tile_rows))
+        self._spec_args = dict(ordering=ordering, schedule=schedule)
         self._shard_stores = shard_compressed(store, plan)
         self._searchers = [
             CompressedBondSearcher(
@@ -608,6 +704,20 @@ class ShardedCompressedBondSearcher(_ShardedEngineBase):
             self._searchers[shard], queries, k, tile_rows=self._tile_rows
         )
 
+    def _cluster_payload(self):
+        from repro.cluster.executor import EngineSpec
+        from repro.cluster.shm import SharedStoreSegment
+
+        return (
+            SharedStoreSegment(self._store.exact, compressed=self._store),
+            EngineSpec(
+                kind="compressed",
+                metric=self._metric,
+                tile_rows=self._tile_rows,
+                **self._spec_args,
+            ),
+        )
+
 
 class ShardedSearcher:
     """Mode dispatcher the ``sharded_bond`` backend hands to the facade.
@@ -629,12 +739,16 @@ class ShardedSearcher:
         workers: int | None = None,
         tile_rows: int = DEFAULT_TILE_ROWS,
         on_shard_failure: str = "fail",
+        executor: str = "thread",
+        process_context: str | None = None,
     ) -> None:
         self._index = index
         self._metric = metric
         self._workers = workers
         self._tile_rows = tile_rows
         self._on_shard_failure = on_shard_failure
+        self._executor_kind = executor
+        self._process_context = process_context
         self._exact: ShardedBondSearcher | None = None
         self._compressed: ShardedCompressedBondSearcher | None = None
 
@@ -649,6 +763,8 @@ class ShardedSearcher:
                 workers=self._workers,
                 tile_rows=self._tile_rows,
                 on_shard_failure=self._on_shard_failure,
+                executor=self._executor_kind,
+                process_context=self._process_context,
             )
         return self._exact
 
@@ -663,6 +779,8 @@ class ShardedSearcher:
                 workers=self._workers,
                 tile_rows=self._tile_rows,
                 on_shard_failure=self._on_shard_failure,
+                executor=self._executor_kind,
+                process_context=self._process_context,
             )
         return self._compressed
 

@@ -133,6 +133,40 @@ class CostAccount:
             "sequential_accesses": self.sequential_accesses,
         }
 
+    #: Field order of the :meth:`to_wire` tuple.  Appending a counter is a
+    #: wire-compatible change (old tuples decode with the new field at 0);
+    #: reordering is not.
+    WIRE_FIELDS = (
+        "bytes_read",
+        "tuples_scanned",
+        "arithmetic_ops",
+        "comparisons",
+        "heap_operations",
+        "random_accesses",
+        "sequential_accesses",
+    )
+
+    def to_wire(self) -> tuple[int, ...]:
+        """The counters as a frozen tuple of plain ints, in WIRE_FIELDS order.
+
+        The explicit serialisation for crossing process boundaries: a shard
+        worker ships its per-call cost delta back as this tuple instead of
+        pickling a live :class:`CostModel` (whose merge lock does not belong
+        on the wire).  Round-trips exactly through :meth:`from_wire`.
+        """
+        return tuple(int(getattr(self, name)) for name in self.WIRE_FIELDS)
+
+    @classmethod
+    def from_wire(cls, wire) -> "CostAccount":
+        """Rebuild an account from a :meth:`to_wire` tuple (missing fields: 0)."""
+        values = tuple(wire)
+        if len(values) > len(cls.WIRE_FIELDS):
+            raise ValueError(
+                f"cost wire tuple has {len(values)} fields, "
+                f"this build understands {len(cls.WIRE_FIELDS)}"
+            )
+        return cls(**{name: int(value) for name, value in zip(cls.WIRE_FIELDS, values)})
+
     @property
     def total_work(self) -> int:
         """A single scalar summary: bytes plus all counted operations."""

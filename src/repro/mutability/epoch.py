@@ -66,6 +66,7 @@ class Epoch:
         self.searchers: dict = {}
         self._pin_lock = threading.Lock()
         self._pins = 0
+        self._on_idle = None
 
     @property
     def pins(self) -> int:
@@ -83,6 +84,27 @@ class Epoch:
         """Unpin this epoch (one reader left)."""
         with self._pin_lock:
             self._pins -= 1
+            callback = self._on_idle if self._pins <= 0 else None
+            if callback is not None:
+                self._on_idle = None
+        if callback is not None:
+            callback()
+
+    def retire(self, on_idle) -> None:
+        """Run ``on_idle`` once the last pinned reader leaves.
+
+        A superseded epoch may still be serving queries that pinned it
+        before the swap; resources bound to it (process pools, shared-memory
+        segments held by cached sharded engines) must not be torn down under
+        them.  ``retire`` defers the cleanup to the last :meth:`release` —
+        or runs it immediately when nothing is pinned.  The callback fires
+        exactly once, outside the pin lock.
+        """
+        with self._pin_lock:
+            if self._pins > 0:
+                self._on_idle = on_idle
+                return
+        on_idle()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

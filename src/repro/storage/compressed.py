@@ -155,6 +155,62 @@ class CompressedStore:
         )
 
     @classmethod
+    def from_arrays(
+        cls,
+        exact: DecomposedStore,
+        *,
+        codes: Sequence[np.ndarray],
+        minimums: np.ndarray,
+        maximums: np.ndarray,
+        bits: int = 8,
+        cost: CostModel | None = None,
+    ) -> "CompressedStore":
+        """Assemble a store from already-quantised code columns and their grid.
+
+        The attach path of :mod:`repro.cluster.shm`: a worker process that
+        mapped the parent's code columns out of shared memory rebuilds the
+        store around them instead of re-quantising — the codes *and* the
+        per-dimension grid are the parent's own arrays, so every interval
+        bound the filter computes is bitwise the parent's.  ``codes`` must
+        hold one 1-D column per dimension of ``exact``, all of equal length.
+        """
+        if bits < 1 or bits > 16:
+            raise StorageError("compressed fragments support 1..16 bits per value")
+        codes = [np.asarray(column) for column in codes]
+        if len(codes) != exact.dimensionality:
+            raise StorageError(
+                f"{len(codes)} code columns do not cover dimensionality "
+                f"{exact.dimensionality}"
+            )
+        for column in codes:
+            if column.ndim != 1 or column.shape[0] != exact.cardinality:
+                raise StorageError("code columns must be 1-D and match the exact cardinality")
+        minimums = np.asarray(minimums, dtype=np.float64)
+        maximums = np.asarray(maximums, dtype=np.float64)
+        if minimums.shape != (exact.dimensionality,) or maximums.shape != (exact.dimensionality,):
+            raise StorageError("quantisation grids must hold one value per dimension")
+        store = object.__new__(cls)
+        store._exact = exact
+        store._bits = bits
+        store._cost = cost if cost is not None else exact.cost
+        store._fragments = [
+            CompressedFragment(
+                codes=column,
+                minimum=float(minimums[dim]),
+                maximum=float(maximums[dim]),
+                bits=bits,
+            )
+            for dim, column in enumerate(codes)
+        ]
+        store._code_tails = [fragment.codes for fragment in store._fragments]
+        store._minimums = minimums
+        store._maximums = maximums
+        store._cell_widths = np.array(
+            [fragment.cell_width for fragment in store._fragments], dtype=np.float64
+        )
+        return store
+
+    @classmethod
     def row_slice(
         cls,
         parent: "CompressedStore",

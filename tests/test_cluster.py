@@ -1,0 +1,528 @@
+"""The cluster subsystem: shared-memory publication, process-pool shard
+workers, and the scatter-gather serving coordinator.
+
+The load-bearing contract is **bitwise identity**: for any shard count,
+worker count, backend and mode — exact, compressed, and the live-tail
+overlay — the process-pool answer (OIDs, scores, cost account) must equal
+the thread-pool answer must equal the unsharded answer, bit for bit.  On
+top sit the lifecycle guarantees (reference-counted segments, nothing left
+in ``/dev/shm`` after ``close()``) and the failure matrix (a killed worker
+surfaces as a typed transient error or a degraded partial answer — never a
+wrong one — and the pool respawns a replacement).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import glob
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.index import Index
+from repro.api.query import Query
+from repro.cluster import (
+    ClusterCoordinator,
+    EngineSpec,
+    SharedStoreSegment,
+    attach_store,
+)
+from repro.cluster.executor import ProcessShardExecutor
+from repro.core.bond import BondSearcher
+from repro.core.compressed import CompressedBondSearcher
+from repro.core.parallel import (
+    ShardedBondSearcher,
+    ShardedCompressedBondSearcher,
+)
+from repro.engine.cost import CostAccount
+from repro.errors import (
+    QueryError,
+    ServiceClosed,
+    StorageError,
+    TransientBackendError,
+)
+from repro.metrics.euclidean import SquaredEuclidean
+from repro.metrics.histogram import HistogramIntersection
+from repro.storage.compressed import CompressedStore
+from repro.storage.decomposed import DecomposedStore
+from repro.storage.sharding import ShardPlan
+
+
+def leaked_segments() -> list[str]:
+    return glob.glob("/dev/shm/repro_shm_*")
+
+
+def results_identical(left, right) -> bool:
+    return bool(
+        left.oids.tobytes() == right.oids.tobytes()
+        and left.scores.tobytes() == right.scores.tobytes()
+    )
+
+
+@pytest.fixture(scope="module")
+def collection(corel_histograms):
+    # Small enough that a worker pool spins up in well under a second; the
+    # values are rounded to two decimals (then renormalised, keeping them
+    # valid histograms) so score ties are common and the deterministic
+    # tie-break is genuinely exercised.
+    rounded = np.round(np.asarray(corel_histograms[:300], dtype=np.float64), 2)
+    rounded[rounded.sum(axis=1) == 0.0, 0] = 1.0
+    return rounded / rounded.sum(axis=1, keepdims=True)
+
+
+# -- the cost-delta wire form -------------------------------------------------
+
+
+class TestCostWire:
+    def test_round_trip_preserves_every_counter(self):
+        account = CostAccount(
+            bytes_read=11,
+            tuples_scanned=22,
+            arithmetic_ops=33,
+            comparisons=44,
+            heap_operations=55,
+            random_accesses=66,
+            sequential_accesses=77,
+        )
+        wire = account.to_wire()
+        assert wire == (11, 22, 33, 44, 55, 66, 77)
+        assert CostAccount.from_wire(wire).as_dict() == account.as_dict()
+
+    def test_wire_is_plain_ints(self):
+        wire = CostAccount(bytes_read=3).to_wire()
+        assert all(type(value) is int for value in wire)
+
+    def test_longer_wire_rejected(self):
+        with pytest.raises(ValueError):
+            CostAccount.from_wire((1,) * 10)
+
+    def test_shorter_wire_fills_missing_fields_with_zero(self):
+        # Forward compatibility: an older worker's shorter tuple still loads.
+        account = CostAccount.from_wire((5, 6))
+        assert account.bytes_read == 5 and account.tuples_scanned == 6
+        assert account.comparisons == 0
+
+
+# -- publication and attachment ----------------------------------------------
+
+
+class TestSharedStoreSegment:
+    def test_attached_store_is_bitwise_the_published_store(self, collection):
+        store = DecomposedStore(collection)
+        store.materialize_row_sums()
+        segment = SharedStoreSegment(store)
+        attached = attach_store(segment.spec)
+        try:
+            for dim in range(store.dimensionality):
+                assert (
+                    attached.decomposed._tails[dim].tobytes()
+                    == store._tails[dim].tobytes()
+                )
+            assert attached.decomposed.has_row_sums
+            assert attached.decomposed.cardinality == store.cardinality
+            assert attached.decomposed.format.dtype == store.format.dtype
+        finally:
+            attached.close()
+            segment.release()
+        assert not leaked_segments()
+
+    def test_compressed_attachment_shares_grid_and_codes(self, collection):
+        exact = DecomposedStore(collection)
+        compressed = CompressedStore(exact, bits=8)
+        segment = SharedStoreSegment(exact, compressed=compressed)
+        attached = attach_store(segment.spec)
+        try:
+            assert attached.compressed is not None
+            assert attached.compressed.bits == 8
+            np.testing.assert_array_equal(
+                attached.compressed.minimums, compressed.minimums
+            )
+            for dim in range(exact.dimensionality):
+                assert (
+                    attached.compressed._code_tails[dim].tobytes()
+                    == compressed._code_tails[dim].tobytes()
+                )
+        finally:
+            attached.close()
+            segment.release()
+        assert not leaked_segments()
+
+    def test_mismatched_compressed_store_rejected(self, collection):
+        exact = DecomposedStore(collection)
+        other = CompressedStore(DecomposedStore(collection), bits=8)
+        with pytest.raises(StorageError):
+            SharedStoreSegment(exact, compressed=other)
+
+    def test_refcounting_unlinks_on_last_release_only(self, collection):
+        segment = SharedStoreSegment(DecomposedStore(collection))
+        name = segment.name
+        segment.acquire()
+        assert segment.references == 2
+        segment.release()
+        assert os.path.exists(f"/dev/shm/{name}")
+        segment.release()
+        assert not os.path.exists(f"/dev/shm/{name}")
+        assert segment.references == 0
+        with pytest.raises(StorageError):
+            segment.acquire()
+        # Releasing past zero stays a no-op.
+        segment.release()
+
+    def test_unpicklable_engine_component_fails_fast(self, collection):
+        class Unpicklable(HistogramIntersection):
+            def __reduce__(self):
+                raise TypeError("nope")
+
+        store = DecomposedStore(collection)
+        segment = SharedStoreSegment(store)
+        plan = ShardPlan.balanced(store.cardinality, 2)
+        with pytest.raises(QueryError, match="picklable"):
+            ProcessShardExecutor(
+                segment, EngineSpec(kind="exact", metric=Unpicklable()), plan, 2
+            )
+        # The rejected constructor released its reference; ours remains.
+        assert segment.references == 1
+        segment.release()
+        assert not leaked_segments()
+
+
+# -- bitwise identity: process == thread == unsharded -------------------------
+
+
+class TestProcessPoolIdentity:
+    @settings(max_examples=6, deadline=None)
+    @given(
+        shards=st.integers(min_value=1, max_value=4),
+        workers=st.integers(min_value=1, max_value=3),
+        compressed=st.booleans(),
+        euclidean=st.booleans(),
+    )
+    def test_any_shard_and_worker_count_matches_thread_and_unsharded(
+        self, collection, shards, workers, compressed, euclidean
+    ):
+        metric = SquaredEuclidean() if euclidean else HistogramIntersection()
+        queries = collection[[7, 42, 193]]
+        if compressed:
+            make_store = lambda: CompressedStore(DecomposedStore(collection), bits=8)
+            make_sharded = ShardedCompressedBondSearcher
+            single = CompressedBondSearcher(make_store(), metric=metric)
+        else:
+            make_store = lambda: DecomposedStore(collection)
+            make_sharded = ShardedBondSearcher
+            single = BondSearcher(make_store(), metric=metric)
+        with make_sharded(
+            make_store(), metric=metric, shards=shards, workers=workers,
+            executor="thread",
+        ) as threaded, make_sharded(
+            make_store(), metric=metric, shards=shards, workers=workers,
+            executor="process",
+        ) as processed:
+            for vector in queries:
+                reference = single.search(vector, 10)
+                via_threads = threaded.search(vector, 10)
+                via_processes = processed.search(vector, 10)
+                assert results_identical(reference, via_threads)
+                assert results_identical(via_threads, via_processes)
+                assert (
+                    via_threads.cost.as_dict() == via_processes.cost.as_dict()
+                )
+            thread_batch = threaded.search_batch(queries, 6)
+            process_batch = processed.search_batch(queries, 6)
+            for left, right in zip(thread_batch.results, process_batch.results):
+                assert results_identical(left, right)
+            assert thread_batch.cost.as_dict() == process_batch.cost.as_dict()
+        assert not leaked_segments()
+
+    def test_forced_score_ties_merge_identically(self):
+        # Four identical blocks of rows: every score appears four times, so
+        # the merged top-k is decided purely by the ascending-OID tie-break.
+        block = np.round(np.random.default_rng(5).random((25, 8)), 1) + 0.05
+        block /= block.sum(axis=1, keepdims=True)
+        data = np.vstack([block, block, block, block])
+        query = block[3]
+        single = BondSearcher(DecomposedStore(data), metric=HistogramIntersection())
+        reference = single.search(query, 12)
+        with ShardedBondSearcher(
+            DecomposedStore(data), shards=4, workers=2, executor="process"
+        ) as engine:
+            result = engine.search(query, 12)
+        assert results_identical(reference, result)
+        assert not leaked_segments()
+
+    def test_spawn_context_matches_fork(self, collection):
+        with ShardedBondSearcher(
+            DecomposedStore(collection), shards=2, workers=2, executor="process"
+        ) as forked, ShardedBondSearcher(
+            DecomposedStore(collection),
+            shards=2,
+            workers=2,
+            executor="process",
+            process_context="spawn",
+        ) as spawned:
+            left = forked.search(collection[9], 10)
+            right = spawned.search(collection[9], 10)
+        assert results_identical(left, right)
+        assert left.cost.as_dict() == right.cost.as_dict()
+        assert not leaked_segments()
+
+    def test_invalid_executor_rejected(self, collection):
+        with pytest.raises(QueryError, match="executor"):
+            ShardedBondSearcher(
+                DecomposedStore(collection), shards=2, executor="rocket"
+            )
+
+
+# -- facade integration -------------------------------------------------------
+
+
+class TestIndexProcessExecutor:
+    def test_facade_answers_identical_across_executors(self, collection):
+        query_vector = collection[11]
+        reference = Index.build(collection, shards=1)
+        threaded = Index.build(collection, shards=3, shard_executor="thread")
+        processed = Index.build(collection, shards=3, shard_executor="process")
+        try:
+            for mode in ("exact", "compressed"):
+                base = reference.answer(Query(query_vector, k=9, mode=mode))
+                left = threaded.answer(
+                    Query(query_vector, k=9, mode=mode, backend="sharded_bond")
+                )
+                right = processed.answer(
+                    Query(query_vector, k=9, mode=mode, backend="sharded_bond")
+                )
+                assert results_identical(base, left)
+                assert results_identical(left, right)
+        finally:
+            reference.close()
+            threaded.close()
+            processed.close()
+        assert not leaked_segments()
+
+    def test_live_tail_overlay_identical_across_executors(self, collection):
+        query_vector = collection[40]
+        threaded = Index.build(collection, shards=3, shard_executor="thread")
+        processed = Index.build(collection, shards=3, shard_executor="process")
+        try:
+            fresh = np.round(collection[:5] * 0.5 + 0.05, 2)
+            for index in (threaded, processed):
+                index.insert(fresh)
+                index.delete([2, 17, 33])
+            left = threaded.answer(Query(query_vector, k=9, backend="sharded_bond"))
+            right = processed.answer(Query(query_vector, k=9, backend="sharded_bond"))
+            assert results_identical(left, right)
+        finally:
+            threaded.close()
+            processed.close()
+        assert not leaked_segments()
+
+    def test_planner_charges_process_scatter_premium(self, collection):
+        threaded = Index.build(collection, shards=3, shard_executor="thread")
+        processed = Index.build(collection, shards=3, shard_executor="process")
+        try:
+            query = Query(collection[0], k=5, backend="sharded_bond")
+            cheap = threaded.plan(query)
+            dear = processed.plan(query)
+            assert dear.estimate.arithmetic_ops > cheap.estimate.arithmetic_ops
+            assert "process" in dear.estimate.detail
+        finally:
+            threaded.close()
+            processed.close()
+
+    def test_shard_executor_survives_the_manifest_round_trip(
+        self, collection, tmp_path
+    ):
+        index = Index.build(collection, shards=2, shard_executor="process")
+        index.save(tmp_path / "store")
+        index.close()
+        reopened = Index.open(tmp_path / "store")
+        try:
+            assert reopened.shard_executor == "process"
+            assert reopened.shards == 2
+        finally:
+            reopened.close()
+
+    def test_close_shuts_worker_pools_and_context_manager_closes(self, collection):
+        with Index.build(collection, shards=2, shard_executor="process") as index:
+            index.answer(Query(collection[3], k=5, backend="sharded_bond"))
+            searcher = next(iter(index._epoch.searchers.values()))
+            pool = searcher.exact_engine._process_pool
+            assert pool is not None and pool.worker_pids()
+        deadline = time.monotonic() + 10
+        while any(_alive(pid) for pid in pool.worker_pids()):
+            assert time.monotonic() < deadline, "workers survived close()"
+            time.sleep(0.05)
+        assert not leaked_segments()
+
+    def test_reorganize_retires_the_old_epoch_resources(self, collection):
+        index = Index.build(collection, shards=2, shard_executor="process")
+        try:
+            index.answer(Query(collection[3], k=5, backend="sharded_bond"))
+            old_epoch = index._epoch
+            assert old_epoch.searchers
+            index.insert(np.round(collection[:2] * 0.9, 2))
+            index.reorganize()
+            assert index._epoch is not old_epoch
+            assert not old_epoch.searchers
+            assert not leaked_segments()
+            # The new epoch answers normally (fresh pool on demand).
+            index.answer(Query(collection[3], k=5, backend="sharded_bond"))
+        finally:
+            index.close()
+        assert not leaked_segments()
+
+    def test_invalid_shard_executor_rejected(self, collection):
+        with pytest.raises(QueryError, match="shard_executor"):
+            Index.build(collection, shards=2, shard_executor="carrier-pigeon")
+
+
+def _alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+# -- worker death -------------------------------------------------------------
+
+
+class TestWorkerDeath:
+    def test_fail_mode_raises_typed_error_then_recovers(self, collection):
+        with ShardedBondSearcher(
+            DecomposedStore(collection), shards=2, workers=2, executor="process"
+        ) as engine:
+            before = engine.search(collection[8], 6)
+            pool = engine._process_pool
+            for pid in pool.worker_pids():
+                os.kill(pid, signal.SIGKILL)
+            with pytest.raises(TransientBackendError, match="died mid-task"):
+                engine.search(collection[8], 6)
+            # Replacements were spawned; the same engine answers again,
+            # bitwise as before.
+            after = engine.search(collection[8], 6)
+            assert results_identical(before, after)
+        assert not leaked_segments()
+
+    def test_partial_mode_degrades_never_lies(self, collection):
+        with ShardedBondSearcher(
+            DecomposedStore(collection),
+            shards=2,
+            workers=2,
+            executor="process",
+            on_shard_failure="partial",
+        ) as engine:
+            complete = engine.search(collection[8], 6)
+            pool = engine._process_pool
+            os.kill(pool.worker_pids()[0], signal.SIGKILL)
+            degraded = engine.search(collection[8], 6)
+            assert degraded.degraded
+            assert len(degraded.failed_shards) >= 1
+            surviving = [
+                shard
+                for shard in range(2)
+                if shard not in degraded.failed_shards
+            ]
+            # Every returned OID really belongs to a surviving shard: the
+            # degraded answer is partial, not fabricated.
+            plan = engine.shard_plan
+            for oid in degraded.oids:
+                assert plan.shard_of(int(oid)) in surviving
+            # And a later query (on respawned workers) is complete again.
+            recovered = engine.search(collection[8], 6)
+            assert results_identical(complete, recovered)
+            assert not recovered.degraded
+        assert not leaked_segments()
+
+
+# -- the scatter-gather coordinator -------------------------------------------
+
+
+class TestClusterCoordinator:
+    def test_answers_bitwise_identical_to_one_index(self, collection):
+        single = Index.build(collection)
+        queries = collection[[3, 77, 150]]
+
+        async def main():
+            async with ClusterCoordinator(
+                collection, groups=3, index_options={"shards": 2}
+            ) as coordinator:
+                return [
+                    await coordinator.submit(vector, k=9) for vector in queries
+                ]
+
+        try:
+            merged = asyncio.run(main())
+            for vector, result in zip(queries, merged):
+                reference = single.answer(Query(vector, k=9))
+                assert results_identical(reference, result)
+                assert not result.degraded
+        finally:
+            single.close()
+        assert not leaked_segments()
+
+    def test_stats_and_health_aggregate_members(self, collection):
+        async def main():
+            async with ClusterCoordinator(collection, groups=2) as coordinator:
+                await coordinator.submit(collection[0], k=5)
+                stats = coordinator.stats()
+                health = coordinator.health()
+            return stats, health, coordinator.health()
+
+        stats, live_health, stopped_health = asyncio.run(main())
+        assert len(stats.members) == 2
+        assert stats.submitted == 2 and stats.completed == 2
+        assert stats.cost.bytes_read == sum(
+            member.cost.bytes_read for member in stats.members
+        )
+        assert live_health.running and not live_health.degraded_members
+        assert not stopped_health.running
+        assert stopped_health.degraded_members == (0, 1)
+
+    def test_stopped_member_fails_or_degrades_by_policy(self, collection):
+        async def main(on_group_failure):
+            coordinator = ClusterCoordinator(
+                collection, groups=2, on_group_failure=on_group_failure
+            )
+            async with coordinator:
+                await coordinator.services[1].stop()
+                if on_group_failure == "fail":
+                    with pytest.raises(ServiceClosed):
+                        await coordinator.submit(collection[4], k=6)
+                    return None
+                return await coordinator.submit(collection[4], k=6)
+
+        assert asyncio.run(main("fail")) is None
+        partial = asyncio.run(main("partial"))
+        assert partial.degraded and partial.failed_shards == (1,)
+        # Every OID comes from group 0's row range.
+        plan = ShardPlan.balanced(len(collection), 2)
+        assert all(plan.shard_of(int(oid)) == 0 for oid in partial.oids)
+
+    def test_rejects_bad_configuration(self, collection):
+        with pytest.raises(QueryError, match="on_group_failure"):
+            ClusterCoordinator(collection, on_group_failure="shrug")
+        with pytest.raises(QueryError, match="group plan"):
+            ClusterCoordinator(
+                collection, groups=ShardPlan.balanced(10, 2)
+            )
+
+    def test_stop_closes_owned_indexes(self, collection):
+        async def main():
+            coordinator = ClusterCoordinator(
+                collection,
+                groups=2,
+                index_options={"shards": 2, "shard_executor": "process"},
+            )
+            async with coordinator:
+                await coordinator.submit(collection[12], k=5)
+            return coordinator
+
+        asyncio.run(main())
+        assert not leaked_segments()
